@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Experiment E8 -- sections 3.2 and 6: the balance model's prefetch
+ * term. "In the future, we will look into the effects of our
+ * optimization technique on architectures that support software
+ * prefetching since our performance model handles this."
+ *
+ * Sweeps the prefetch-issue bandwidth b of the wide-ILP machine and
+ * reports, over the suite, how many main-memory accesses stay
+ * unserviced (the U of bL = (VM + U*gm/gc)/VF) and the simulated
+ * geometric-mean normalized time of the cache-model-optimized loops.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/optimizer.hh"
+#include "sim/simulator.hh"
+#include "transform/prefetch_insertion.hh"
+#include "transform/scalar_replacement.hh"
+#include "transform/unroll_and_jam.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+/**
+ * The explicit reading of the same study: insert prefetch
+ * instructions per streaming group-spatial set and let them compete
+ * for issue slots and memory ports in the simulator.
+ */
+void
+printExplicitPrefetch()
+{
+    using namespace ujam;
+    std::printf("\n--- explicit software-prefetch insertion (wide-ILP "
+                "machine) ---\n\n");
+    std::printf("%-10s %12s %12s %14s %14s\n", "loop", "time w/o pf",
+                "time w/ pf", "demand misses", "pf inserted");
+    MachineModel machine = MachineModel::wideIlp();
+    double geo = 0.0;
+    for (const SuiteLoop &loop : testSuite()) {
+        Program program = loadSuiteProgram(loop);
+        SimResult plain = simulateProgram(program, machine);
+
+        Program prefetched = program;
+        PrefetchResult inserted =
+            insertPrefetches(program.nests()[0], PrefetchConfig{8});
+        prefetched.nests()[0] = inserted.nest;
+        SimResult result = simulateProgram(prefetched, machine);
+
+        double ratio = result.cycles / plain.cycles;
+        geo += std::log(ratio);
+        std::printf("%-10s %12.3g %12.3g %6llu -> %5llu %14zu\n",
+                    loop.name.c_str(), plain.cycles, result.cycles,
+                    static_cast<unsigned long long>(plain.demandMisses),
+                    static_cast<unsigned long long>(
+                        result.demandMisses),
+                    inserted.prefetchesInserted);
+    }
+    std::printf("\ngeomean time with explicit prefetching: %.3f of the "
+                "plain loop\n",
+                std::exp(geo / static_cast<double>(testSuite().size())));
+}
+
+void
+printPrefetchSweep()
+{
+    using namespace ujam;
+    std::printf("\n=== E8: prefetch-bandwidth sensitivity (wide-ILP "
+                "machine) ===\n\n");
+    std::printf("%10s %16s %18s\n", "b (pf/cyc)", "geomean time",
+                "mean predicted bL");
+
+    for (double bandwidth : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+        MachineModel machine = MachineModel::wideIlp();
+        machine.prefetchPerCycle = bandwidth;
+        OptimizerConfig config;
+        config.maxUnroll = 4;
+
+        double geo = 0.0;
+        double balance_sum = 0.0;
+        for (const SuiteLoop &loop : testSuite()) {
+            Program program = loadSuiteProgram(loop);
+            UnrollDecision decision =
+                chooseUnrollAmounts(program.nests()[0], machine, config);
+            balance_sum += decision.predictedBalance;
+
+            SimResult original = simulateProgram(program, machine);
+            Program transformed =
+                unrollAndJam(program, 0, decision.unroll);
+            for (LoopNest &nest : transformed.nests())
+                nest = scalarReplace(nest).nest;
+            SimResult after = simulateProgram(transformed, machine);
+            geo += std::log(after.cycles / original.cycles);
+        }
+        double n = static_cast<double>(testSuite().size());
+        std::printf("%10.2f %16.3f %18.3f\n", bandwidth,
+                    std::exp(geo / n), balance_sum / n);
+    }
+    std::printf("\n(normalized against the untransformed loop on the "
+                "same machine; prefetching\n lowers both the predicted "
+                "balance and the measured time)\n");
+}
+
+void
+BM_PrefetchDecision(benchmark::State &state)
+{
+    using namespace ujam;
+    MachineModel machine = MachineModel::wideIlp();
+    machine.prefetchPerCycle = static_cast<double>(state.range(0)) / 4.0;
+    OptimizerConfig config;
+    config.maxUnroll = 4;
+    Program program = loadSuiteProgram(suiteLoop("dmxpy0"));
+    for (auto _ : state) {
+        UnrollDecision decision =
+            chooseUnrollAmounts(program.nests()[0], machine, config);
+        benchmark::DoNotOptimize(decision);
+    }
+}
+BENCHMARK(BM_PrefetchDecision)->Arg(0)->Arg(2)->Arg(4);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printPrefetchSweep();
+    printExplicitPrefetch();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

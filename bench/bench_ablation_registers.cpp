@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Experiment E7 -- section 6 future work: "we will also examine the
+ * performance of unroll-and-jam on architectures with larger register
+ * sets so that the transformation is not as limited."
+ *
+ * Sweeps the register-file size of the Alpha-like machine from 8 to
+ * 128 and reports, over the suite: the average unroll volume the
+ * optimizer can afford and the resulting geometric-mean normalized
+ * execution time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/optimizer.hh"
+#include "sim/simulator.hh"
+#include "transform/scalar_replacement.hh"
+#include "transform/unroll_and_jam.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+void
+printRegisterSweep()
+{
+    using namespace ujam;
+    std::printf("\n=== E7: sensitivity to register-file size "
+                "(Alpha-like machine) ===\n\n");
+    std::printf("%8s %14s %14s %16s\n", "regs", "mean copies",
+                "constrained", "geomean time");
+
+    for (std::int64_t regs : {8, 16, 24, 32, 48, 64, 96, 128}) {
+        MachineModel machine = MachineModel::decAlpha21064();
+        machine.fpRegisters = regs;
+        OptimizerConfig config;
+        config.maxUnroll = 4;
+
+        double copies_sum = 0.0;
+        double geo = 0.0;
+        std::size_t constrained = 0;
+        for (const SuiteLoop &loop : testSuite()) {
+            Program program = loadSuiteProgram(loop);
+            UnrollDecision decision =
+                chooseUnrollAmounts(program.nests()[0], machine, config);
+            double copies = 1.0;
+            for (std::size_t k = 0; k < decision.unroll.size(); ++k)
+                copies *= static_cast<double>(decision.unroll[k] + 1);
+            copies_sum += copies;
+
+            // Would a bigger file have unrolled more?
+            MachineModel roomy = machine;
+            roomy.fpRegisters = 1024;
+            UnrollDecision unconstrained = chooseUnrollAmounts(
+                program.nests()[0], roomy, config);
+            constrained += (unconstrained.unroll != decision.unroll);
+
+            SimResult original = simulateProgram(program, machine);
+            Program transformed =
+                unrollAndJam(program, 0, decision.unroll);
+            for (LoopNest &nest : transformed.nests())
+                nest = scalarReplace(nest).nest;
+            SimResult after = simulateProgram(transformed, machine);
+            geo += std::log(after.cycles / original.cycles);
+        }
+        std::printf("%8lld %14.2f %11zu/19 %16.3f\n",
+                    static_cast<long long>(regs),
+                    copies_sum / static_cast<double>(testSuite().size()),
+                    constrained,
+                    std::exp(geo /
+                             static_cast<double>(testSuite().size())));
+    }
+    std::printf("\n(\"constrained\" counts loops whose decision would "
+                "change with unlimited registers)\n");
+}
+
+void
+BM_RegisterSweepPoint(benchmark::State &state)
+{
+    using namespace ujam;
+    MachineModel machine = MachineModel::decAlpha21064();
+    machine.fpRegisters = state.range(0);
+    OptimizerConfig config;
+    config.maxUnroll = 4;
+    Program program = loadSuiteProgram(suiteLoop("mmjik"));
+    for (auto _ : state) {
+        UnrollDecision decision =
+            chooseUnrollAmounts(program.nests()[0], machine, config);
+        benchmark::DoNotOptimize(decision);
+    }
+}
+BENCHMARK(BM_RegisterSweepPoint)->Arg(16)->Arg(32)->Arg(128);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printRegisterSweep();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Experiment E3 -- paper Figure 8: performance of the test loops on a
+ * DEC Alpha-like machine, normalized to the untransformed loop, for
+ * the no-cache model ([3]) and the cache-aware UGS model (this
+ * paper). The google-benchmark entry times one full figure run.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fig_common.hh"
+
+namespace
+{
+
+void
+BM_Figure8(benchmark::State &state)
+{
+    using namespace ujam;
+    for (auto _ : state) {
+        auto rows = runFigure(MachineModel::decAlpha21064());
+        benchmark::DoNotOptimize(rows);
+    }
+}
+BENCHMARK(BM_Figure8)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ujam;
+    MachineModel machine = MachineModel::decAlpha21064();
+    printFigure("=== Figure 8: Performance of Test Loops on DEC Alpha ===",
+                machine, runFigure(machine));
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

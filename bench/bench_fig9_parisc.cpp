@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Experiment E4 -- paper Figure 9: performance of the test loops on
+ * an HP PA-RISC-like machine (see Figure 8 for the variant
+ * definitions).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fig_common.hh"
+
+namespace
+{
+
+void
+BM_Figure9(benchmark::State &state)
+{
+    using namespace ujam;
+    for (auto _ : state) {
+        auto rows = runFigure(MachineModel::hpPa7100());
+        benchmark::DoNotOptimize(rows);
+    }
+}
+BENCHMARK(BM_Figure9)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ujam;
+    MachineModel machine = MachineModel::hpPa7100();
+    printFigure(
+        "=== Figure 9: Performance of Test Loops on HP PA-RISC ===",
+        machine, runFigure(machine));
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

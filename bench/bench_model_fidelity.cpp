@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Experiment E12 -- how good is the model itself?
+ *
+ * The paper's whole premise is deciding from *predicted* quantities.
+ * This experiment confronts the predictions with the simulator, per
+ * suite loop at the chosen unroll vector:
+ *   - Eq. 1 main-memory accesses per iteration vs measured demand
+ *     misses per iteration,
+ *   - predicted balance bL vs measured cycles per flop, and
+ *   - the reuse-distance profile's LRU hit fraction at the L1
+ *     capacity vs the cache simulator's hit ratio (the model-free
+ *     cross-check).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/optimizer.hh"
+#include "sim/reuse_distance.hh"
+#include "sim/simulator.hh"
+#include "transform/scalar_replacement.hh"
+#include "transform/unroll_and_jam.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+void
+printModelFidelity()
+{
+    using namespace ujam;
+    MachineModel machine = MachineModel::decAlpha21064();
+    std::printf("\n=== E12: model fidelity on the chosen unroll vectors "
+                "(Alpha-like) ===\n\n");
+    std::printf("%-10s %-10s | %9s %9s | %8s %8s | %8s %8s\n", "loop",
+                "u", "pred m/i", "meas m/i", "pred bL", "meas bL",
+                "rd-hit", "sim-hit");
+
+    double miss_log_err = 0.0;
+    double bl_log_err = 0.0;
+    std::size_t counted = 0;
+
+    for (const SuiteLoop &loop : testSuite()) {
+        Program program = loadSuiteProgram(loop);
+        OptimizerConfig config;
+        config.maxUnroll = 4;
+        UnrollDecision decision =
+            chooseUnrollAmounts(program.nests()[0], machine, config);
+
+        Program transformed = unrollAndJam(program, 0, decision.unroll);
+        for (LoopNest &nest : transformed.nests())
+            nest = scalarReplace(nest).nest;
+        SimResult sim = simulateProgram(transformed, machine);
+
+        // Model quantities are per unrolled body; normalize both sides
+        // to per original iteration.
+        double copies = 1.0;
+        for (std::size_t k = 0; k < decision.unroll.size(); ++k)
+            copies *= static_cast<double>(decision.unroll[k] + 1);
+        double orig_iters =
+            static_cast<double>(sim.iterations) * copies;
+        double pred_misses = decision.misses / copies;
+        double meas_misses =
+            static_cast<double>(sim.demandMisses) /
+            (orig_iters / copies) / copies;
+
+        double flops = static_cast<double>(
+            program.nests()[0].bodyFlops());
+        double meas_bl =
+            sim.cycles / (orig_iters * flops) *
+            machine.flopsPerCycle; // cycles/flop vs 1/flop rate
+
+        ReuseDistanceProfiler profile =
+            profileReuseDistances(transformed, machine.lineElems());
+        std::int64_t l1_lines =
+            machine.cacheBytes / machine.lineBytes;
+        double rd_hit = profile.hitFractionBelow(l1_lines);
+        double sim_hit = 1.0 - sim.missRatio;
+
+        std::printf("%-10s %-10s | %9.3f %9.3f | %8.2f %8.2f | %7.1f%% "
+                    "%7.1f%%\n",
+                    loop.name.c_str(),
+                    decision.unroll.toString().c_str(), pred_misses,
+                    meas_misses, decision.predictedBalance, meas_bl,
+                    100.0 * rd_hit, 100.0 * sim_hit);
+
+        if (pred_misses > 1e-6 && meas_misses > 1e-6) {
+            miss_log_err += std::fabs(std::log(pred_misses) -
+                                      std::log(meas_misses));
+            ++counted;
+        }
+        bl_log_err += std::fabs(std::log(decision.predictedBalance) -
+                                std::log(std::max(meas_bl, 1e-9)));
+    }
+    std::printf("\nmean |log2 error|: misses %.2f bits (over %zu "
+                "loops), balance %.2f bits\n",
+                miss_log_err / std::log(2.0) /
+                    static_cast<double>(counted),
+                counted,
+                bl_log_err / std::log(2.0) /
+                    static_cast<double>(testSuite().size()));
+    std::printf("(rd-hit is the fully-associative LRU hit fraction at "
+                "L1 capacity from the reuse-\n distance profile; "
+                "sim-hit is the 2-way cache simulator, cold misses "
+                "included)\n");
+}
+
+void
+BM_ReuseDistanceProfile(benchmark::State &state)
+{
+    using namespace ujam;
+    Program program = loadSuiteProgram(suiteLoop("jacobi"));
+    for (auto _ : state) {
+        ReuseDistanceProfiler profile =
+            profileReuseDistances(program, 4, {{"n", 64}});
+        benchmark::DoNotOptimize(profile);
+    }
+}
+BENCHMARK(BM_ReuseDistanceProfile)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printModelFidelity();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Experiment E2 -- paper Table 2.
+ *
+ * Prints the evaluation suite and, for each loop, the static analysis
+ * the optimizer sees: balance before/after, the chosen unroll vector
+ * per machine, and register use. The google-benchmark section times
+ * the full table construction per loop.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/optimizer.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+void
+printTable2()
+{
+    using namespace ujam;
+    std::printf("\n=== Table 2: Description of Test Loops ===\n\n");
+    std::printf("%-4s %-10s %s\n", "Num", "Loop", "Description");
+    for (const SuiteLoop &loop : testSuite())
+        std::printf("%-4d %-10s %s\n", loop.number, loop.name.c_str(),
+                    loop.description.c_str());
+
+    std::printf("\n--- per-loop unroll decisions ---\n\n");
+    std::printf("%-10s | %-22s | %-22s\n", "", "DEC Alpha 21064",
+                "HP PA-RISC 7100");
+    std::printf("%-10s | %-10s %5s %5s | %-10s %5s %5s\n", "loop", "u",
+                "bL", "regs", "u", "bL", "regs");
+    for (const SuiteLoop &loop : testSuite()) {
+        Program program = loadSuiteProgram(loop);
+        OptimizerConfig config;
+        config.maxUnroll = 4;
+        UnrollDecision alpha = chooseUnrollAmounts(
+            program.nests()[0], MachineModel::decAlpha21064(), config);
+        UnrollDecision parisc = chooseUnrollAmounts(
+            program.nests()[0], MachineModel::hpPa7100(), config);
+        std::printf("%-10s | %-10s %5.2f %5lld | %-10s %5.2f %5lld\n",
+                    loop.name.c_str(), alpha.unroll.toString().c_str(),
+                    alpha.predictedBalance,
+                    static_cast<long long>(alpha.registers),
+                    parisc.unroll.toString().c_str(),
+                    parisc.predictedBalance,
+                    static_cast<long long>(parisc.registers));
+    }
+}
+
+void
+BM_ChooseUnrollAmounts(benchmark::State &state)
+{
+    using namespace ujam;
+    const SuiteLoop &loop =
+        testSuite()[static_cast<std::size_t>(state.range(0))];
+    Program program = loadSuiteProgram(loop);
+    MachineModel machine = MachineModel::decAlpha21064();
+    OptimizerConfig config;
+    config.maxUnroll = 4;
+    for (auto _ : state) {
+        UnrollDecision decision =
+            chooseUnrollAmounts(program.nests()[0], machine, config);
+        benchmark::DoNotOptimize(decision);
+    }
+    state.SetLabel(loop.name);
+}
+BENCHMARK(BM_ChooseUnrollAmounts)->DenseRange(0, 18);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable2();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

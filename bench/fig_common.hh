@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared harness for the Figure 8/9 experiments.
+ *
+ * For every Table-2 loop, measure normalized execution time of three
+ * variants on a machine model, exactly as the paper's figures do:
+ *   - Original: the loop as written;
+ *   - No Cache: unroll amounts chosen assuming every access hits
+ *     (the model of Carr & Kennedy [3]);
+ *   - Cache:    unroll amounts chosen with the UGS cache model
+ *     (this paper).
+ * Both transformed variants are unroll-and-jammed and scalar
+ * replaced, then run through the cache + pipeline simulator.
+ */
+
+#ifndef UJAM_BENCH_FIG_COMMON_HH
+#define UJAM_BENCH_FIG_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.hh"
+#include "sim/simulator.hh"
+#include "support/string_utils.hh"
+#include "transform/scalar_replacement.hh"
+#include "transform/unroll_and_jam.hh"
+#include "workloads/suite.hh"
+
+namespace ujam
+{
+
+struct FigureRow
+{
+    std::string loop;
+    IntVector unrollNoCache;
+    IntVector unrollCache;
+    double normalizedNoCache = 1.0;
+    double normalizedCache = 1.0;
+};
+
+inline std::pair<IntVector, double>
+runVariant(const Program &program, const MachineModel &machine,
+           bool use_cache_model, double original_cycles)
+{
+    OptimizerConfig config;
+    config.maxUnroll = 4;
+    config.useCacheModel = use_cache_model;
+    UnrollDecision decision =
+        chooseUnrollAmounts(program.nests()[0], machine, config);
+
+    Program transformed = unrollAndJam(program, 0, decision.unroll);
+    for (LoopNest &nest : transformed.nests())
+        nest = scalarReplace(nest).nest;
+    SimResult result = simulateProgram(transformed, machine);
+    return {decision.unroll, result.cycles / original_cycles};
+}
+
+inline std::vector<FigureRow>
+runFigure(const MachineModel &machine)
+{
+    std::vector<FigureRow> rows;
+    for (const SuiteLoop &loop : testSuite()) {
+        Program program = loadSuiteProgram(loop);
+        SimResult original = simulateProgram(program, machine);
+
+        FigureRow row;
+        row.loop = loop.name;
+        std::tie(row.unrollNoCache, row.normalizedNoCache) =
+            runVariant(program, machine, false, original.cycles);
+        std::tie(row.unrollCache, row.normalizedCache) =
+            runVariant(program, machine, true, original.cycles);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+inline void
+printFigure(const char *title, const MachineModel &machine,
+            const std::vector<FigureRow> &rows)
+{
+    std::printf("\n%s\n", title);
+    std::printf("machine: %s (bM = %.2f, %lld fp registers, %lldKB "
+                "%lld-way cache)\n",
+                machine.name.c_str(), machine.machineBalance(),
+                static_cast<long long>(machine.fpRegisters),
+                static_cast<long long>(machine.cacheBytes / 1024),
+                static_cast<long long>(machine.associativity));
+    std::printf("normalized execution time (1.00 = original; lower is "
+                "better)\n\n");
+    std::printf("%-12s %-12s %8s   %-12s %8s\n", "loop", "u(no-cache)",
+                "no-cache", "u(cache)", "cache");
+    double geo_nc = 0.0;
+    double geo_c = 0.0;
+    for (const FigureRow &row : rows) {
+        std::printf("%-12s %-12s %8.2f   %-12s %8.2f\n",
+                    row.loop.c_str(),
+                    row.unrollNoCache.toString().c_str(),
+                    row.normalizedNoCache,
+                    row.unrollCache.toString().c_str(),
+                    row.normalizedCache);
+        geo_nc += std::log(row.normalizedNoCache);
+        geo_c += std::log(row.normalizedCache);
+    }
+    double n = static_cast<double>(rows.size());
+    std::printf("%-12s %-12s %8.2f   %-12s %8.2f   (geometric mean)\n",
+                "ALL", "", std::exp(geo_nc / n), "",
+                std::exp(geo_c / n));
+}
+
+} // namespace ujam
+
+#endif // UJAM_BENCH_FIG_COMMON_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tuning matrix multiply for three different machines.
+ *
+ * The same source loop wants different unroll-and-jam amounts on
+ * machines with different balance, register files and caches. This
+ * example runs the optimizer per machine, simulates the result, and
+ * reports the speedups -- the "balance a loop with a particular
+ * architecture" objective of paper section 3.3.
+ */
+
+#include <cstdio>
+
+#include "core/optimizer.hh"
+#include "sim/simulator.hh"
+#include "transform/scalar_replacement.hh"
+#include "transform/unroll_and_jam.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace ujam;
+
+    Program program = loadSuiteProgram(suiteLoop("mmjki"));
+    std::printf("loop: mmjki (matrix multiply, j-k-i order)\n\n");
+    std::printf("%-20s %6s %-12s %8s %8s %9s\n", "machine", "bM",
+                "unroll", "bL", "regs", "speedup");
+
+    for (const MachineModel &machine :
+         {MachineModel::decAlpha21064(), MachineModel::hpPa7100(),
+          MachineModel::wideIlp()}) {
+        OptimizerConfig config;
+        config.maxUnroll = 4;
+        UnrollDecision decision =
+            chooseUnrollAmounts(program.nests()[0], machine, config);
+
+        SimResult original = simulateProgram(program, machine);
+        Program transformed = unrollAndJam(program, 0, decision.unroll);
+        for (LoopNest &nest : transformed.nests())
+            nest = scalarReplace(nest).nest;
+        SimResult optimized = simulateProgram(transformed, machine);
+
+        std::printf("%-20s %6.2f %-12s %8.2f %8lld %8.2fx\n",
+                    machine.name.c_str(), machine.machineBalance(),
+                    decision.unroll.toString().c_str(),
+                    decision.predictedBalance,
+                    static_cast<long long>(decision.registers),
+                    original.cycles / optimized.cycles);
+    }
+    std::printf("\nwider machines (lower bM, more registers) profit "
+                "from deeper unrolling;\nthe optimizer finds that "
+                "automatically from the same tables.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+#include "baseline/brute_force.hh"
+
+#include <cmath>
+
+#include "transform/unroll_and_jam.hh"
+
+namespace ujam
+{
+
+BodyCounts
+measureUnrolledBody(const LoopNest &nest, const IntVector &u,
+                    const Subspace &localized,
+                    const LocalityParams &params)
+{
+    std::vector<LoopNest> expanded = unrollAndJamNest(nest, u);
+    return computeBodyCounts(expanded.front(), localized, params);
+}
+
+BruteForceResult
+bruteForceChooseUnroll(const LoopNest &nest, const MachineModel &machine,
+                       const OptimizerConfig &config)
+{
+    BruteForceResult result;
+    const std::size_t depth = nest.depth();
+    result.unroll = IntVector(depth);
+    if (depth < 2)
+        return result;
+
+    DepOptions dep_options;
+    dep_options.includeInput = false;
+    DependenceGraph graph = analyzeDependences(nest, dep_options);
+    IntVector safety = safeUnrollBounds(nest, graph, config.maxUnroll);
+
+    LocalityParams locality = config.locality;
+    locality.cacheLineElems = machine.lineElems();
+    std::vector<std::size_t> candidates =
+        rankUnrollCandidates(nest, locality, config.maxLoops);
+    std::vector<std::size_t> dims;
+    std::vector<std::int64_t> limits;
+    for (std::size_t k : candidates) {
+        if (safety[k] > 0) {
+            dims.push_back(k);
+            limits.push_back(safety[k]);
+        }
+    }
+    UnrollSpace space(depth, dims, limits);
+    Subspace localized = Subspace::coordinate(depth, {depth - 1});
+
+    double best_score = 0.0;
+    double best_copies = 0.0;
+    bool have_best = false;
+
+    for (std::size_t i = 0; i < space.size(); ++i) {
+        IntVector u = space.vectorAt(i);
+        BodyCounts counts = measureUnrolledBody(nest, u, localized,
+                                                locality);
+        ++result.pointsEvaluated;
+        result.peakBodyRefs =
+            std::max(result.peakBodyRefs, counts.references);
+        result.totalBodyRefs += counts.references;
+
+        BalanceInputs in;
+        in.memOps = static_cast<double>(counts.memOps);
+        in.flops = static_cast<double>(counts.flops);
+        in.mainMemoryAccesses =
+            config.useCacheModel ? counts.mainMemoryAccesses : 0.0;
+        BalanceResult balance = loopBalance(in, machine);
+
+        if (!u.isZero() && config.limitRegisters &&
+            counts.registers > machine.fpRegisters) {
+            continue;
+        }
+
+        double score =
+            std::fabs(balance.balance - machine.machineBalance());
+        double copies = 1.0;
+        for (std::size_t k = 0; k < depth; ++k)
+            copies *= static_cast<double>(u[k] + 1);
+        bool better = !have_best || score < best_score - 1e-12 ||
+                      (score < best_score + 1e-12 &&
+                       copies < best_copies);
+        if (better) {
+            have_best = true;
+            best_score = score;
+            best_copies = copies;
+            result.unroll = u;
+            result.predictedBalance = balance.balance;
+            result.registers = counts.registers;
+        }
+    }
+    return result;
+}
+
+} // namespace ujam

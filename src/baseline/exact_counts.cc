@@ -1,0 +1,41 @@
+#include "baseline/exact_counts.hh"
+
+#include "core/rrs.hh"
+
+namespace ujam
+{
+
+BodyCounts
+computeBodyCounts(const LoopNest &nest, const Subspace &localized,
+                  const LocalityParams &params)
+{
+    BodyCounts counts;
+    counts.flops = nest.bodyFlops();
+
+    for (const UniformlyGeneratedSet &ugs : partitionUGS(nest.accesses())) {
+        counts.references += ugs.members.size();
+        // Group partitions and Eq. 1 handle general (MIV) matrices;
+        // only the register-reuse numbers need SIV separability (the
+        // RRS construction falls back to one set per member itself).
+        std::size_t gt = groupTemporalSets(ugs, localized).size();
+        std::size_t gs = groupSpatialSets(ugs, localized).size();
+        counts.groupTemporal += static_cast<std::int64_t>(gt);
+        counts.groupSpatial += static_cast<std::int64_t>(gs);
+
+        RrsAnalysis rrs = computeRegisterReuseSets(ugs);
+        counts.rrs += static_cast<std::int64_t>(rrs.sets.size());
+        // Invariant sets hoist out of the innermost loop -- but only
+        // when scalar replacement can actually handle them (separable).
+        if (!ugs.innerInvariant() || !ugs.analyzable())
+            counts.memOps += static_cast<std::int64_t>(rrs.sets.size());
+        counts.registers += rrs.totalRegisters();
+
+        counts.mainMemoryAccesses += equationOneAccesses(
+            static_cast<double>(gt), static_cast<double>(gs),
+            classifySelfReuse(ugs, localized),
+            ugs.selfTemporalSpace().intersect(localized).dim(), params);
+    }
+    return counts;
+}
+
+} // namespace ujam

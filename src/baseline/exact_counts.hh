@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Exact reuse counts of a materialized loop body.
+ *
+ * This is the measurement the brute-force method of Wolf, Maydan &
+ * Chen [2] performs after textually unrolling a candidate body -- and
+ * the oracle the table property tests compare against. It
+ * repartitions the body's references from scratch, so its cost grows
+ * with the unrolled body size; the paper's tables avoid exactly this.
+ */
+
+#ifndef UJAM_BASELINE_EXACT_COUNTS_HH
+#define UJAM_BASELINE_EXACT_COUNTS_HH
+
+#include "reuse/locality.hh"
+
+namespace ujam
+{
+
+/** Reuse counts of one loop body. */
+struct BodyCounts
+{
+    std::int64_t groupTemporal = 0; //!< total GTSs over all UGSs
+    std::int64_t groupSpatial = 0;  //!< total GSSs
+    std::int64_t rrs = 0;           //!< total register-reuse sets
+    std::int64_t memOps = 0;        //!< VM: RRSs of non-invariant sets
+    std::int64_t registers = 0;     //!< register pressure
+    std::size_t references = 0;     //!< body array references
+    std::size_t flops = 0;          //!< body flops
+    double mainMemoryAccesses = 0;  //!< Eq. 1 total
+};
+
+/**
+ * Measure a body directly.
+ *
+ * @param nest      The (possibly already unrolled) nest.
+ * @param localized Localized space for the GTS/GSS/Eq.1 numbers (the
+ *                  RRS numbers always use the innermost loop).
+ * @param params    Eq. 1 parameters.
+ * @return The counts.
+ */
+BodyCounts computeBodyCounts(const LoopNest &nest,
+                             const Subspace &localized,
+                             const LocalityParams &params);
+
+} // namespace ujam
+
+#endif // UJAM_BASELINE_EXACT_COUNTS_HH

@@ -1,0 +1,160 @@
+#include "core/optimizer.hh"
+
+#include <cmath>
+
+#include "support/diagnostics.hh"
+#include "support/string_utils.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+/** Operation counts of the body unrolled by u, from the tables. */
+BalanceInputs
+bodyInputs(const NestTables &tables, const LoopNest &nest,
+           const IntVector &u, const OptimizerConfig &config)
+{
+    double copies = 1.0;
+    for (std::size_t k = 0; k < u.size(); ++k)
+        copies *= static_cast<double>(u[k] + 1);
+
+    BalanceInputs in;
+    in.flops = static_cast<double>(nest.bodyFlops()) * copies;
+    in.memOps = static_cast<double>(tables.rrsTotal.at(u));
+    in.mainMemoryAccesses =
+        config.useCacheModel
+            ? tables.mainMemoryAccesses(u, config.locality)
+            : 0.0;
+    return in;
+}
+
+} // namespace
+
+std::string
+UnrollDecision::toString() const
+{
+    return concat("unroll=", unroll.toString(), " bL=",
+                  formatFixed(predictedBalance, 3), " (orig ",
+                  formatFixed(originalBalance, 3), ", bM=",
+                  formatFixed(machineBalance, 3), ") regs=", registers,
+                  " VM=", formatFixed(memOps, 1), " VF=",
+                  formatFixed(flops, 1));
+}
+
+BalanceResult
+evaluateUnrollVector(const NestTables &tables, const LoopNest &nest,
+                     const IntVector &u, const MachineModel &machine,
+                     const OptimizerConfig &config)
+{
+    return loopBalance(bodyInputs(tables, nest, u, config), machine);
+}
+
+UnrollDecision
+searchUnrollSpace(const LoopNest &nest, const MachineModel &machine,
+                  const OptimizerConfig &config, const NestTables &tables)
+{
+    const std::size_t depth = nest.depth();
+    const UnrollSpace &space = tables.space;
+    UnrollDecision decision;
+    decision.unroll = IntVector(depth);
+    decision.machineBalance = machine.machineBalance();
+    decision.safetyBounds = IntVector(depth);
+    decision.consideredLoops = space.dims();
+
+    OptimizerConfig local_config = config;
+    local_config.locality.cacheLineElems = machine.lineElems();
+
+    double best_score = 0.0;
+    bool have_best = false;
+    double best_copies = 0.0;
+
+    for (std::size_t i = 0; i < space.size(); ++i) {
+        IntVector u = space.vectorAt(i);
+        BalanceInputs in = bodyInputs(tables, nest, u, local_config);
+        BalanceResult result = loopBalance(in, machine);
+        ++decision.searchedPoints;
+
+        if (u.isZero()) {
+            decision.originalBalance = result.balance;
+        }
+
+        std::int64_t registers = tables.registersTotal.at(u);
+        // The identity vector is always admissible (it is the
+        // untransformed loop); other points must fit the register file.
+        if (!u.isZero() && config.limitRegisters &&
+            registers > machine.fpRegisters) {
+            continue;
+        }
+
+        double score = std::fabs(result.balance - machine.machineBalance());
+        double copies = 1.0;
+        for (std::size_t k = 0; k < depth; ++k)
+            copies *= static_cast<double>(u[k] + 1);
+
+        // Prefer the closest balance; break ties toward the smaller
+        // body (less code growth, smaller fringe cost).
+        bool better = !have_best || score < best_score - 1e-12 ||
+                      (score < best_score + 1e-12 &&
+                       copies < best_copies);
+        if (better) {
+            have_best = true;
+            best_score = score;
+            best_copies = copies;
+            decision.unroll = u;
+            decision.predictedBalance = result.balance;
+            decision.registers = registers;
+            decision.memOps = in.memOps;
+            decision.flops = in.flops;
+            decision.misses = in.mainMemoryAccesses;
+        }
+    }
+    return decision;
+}
+
+UnrollDecision
+chooseUnrollAmounts(const LoopNest &nest, const MachineModel &machine,
+                    const OptimizerConfig &config)
+{
+    const std::size_t depth = nest.depth();
+    UnrollDecision decision;
+    decision.unroll = IntVector(depth);
+    decision.machineBalance = machine.machineBalance();
+    decision.safetyBounds = IntVector(depth);
+
+    if (depth < 2)
+        return decision;
+
+    // Safety first: the dependence graph (input dependences omitted --
+    // they never constrain correctness) bounds every unroll amount.
+    DepOptions dep_options;
+    dep_options.includeInput = false;
+    DependenceGraph graph = analyzeDependences(nest, dep_options);
+    IntVector safety = safeUnrollBounds(nest, graph, config.maxUnroll);
+
+    // Pick the most profitable loops by Eq. 1 (section 4.5), dropping
+    // loops safety forbids entirely.
+    LocalityParams locality = config.locality;
+    locality.cacheLineElems = machine.lineElems();
+    std::vector<std::size_t> candidates =
+        rankUnrollCandidates(nest, locality, config.maxLoops);
+    std::vector<std::size_t> dims;
+    std::vector<std::int64_t> limits;
+    for (std::size_t k : candidates) {
+        if (safety[k] > 0) {
+            dims.push_back(k);
+            limits.push_back(safety[k]);
+        }
+    }
+
+    UnrollSpace space(depth, dims, limits);
+    Subspace localized = Subspace::coordinate(depth, {depth - 1});
+    NestTables tables = buildNestTables(nest, space, localized);
+
+    decision = searchUnrollSpace(nest, machine, config, tables);
+    decision.safetyBounds = safety;
+    return decision;
+}
+
+} // namespace ujam

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unroll-amount selection (paper section 4.5).
+ *
+ * The optimizer solves
+ *
+ *     minimize |bL(u) - bM|   subject to  RL(u) <= R,  u safe
+ *
+ * over the unroll space of the two most profitable loops, where every
+ * quantity comes from the precomputed tables: memory operations after
+ * scalar replacement from the RRS table, cache misses from the
+ * GTS/GSS tables through Eq. 1, and register pressure from the
+ * register table. Safety bounds come from the dependence graph
+ * (truncated to omit input dependences -- they are not needed here,
+ * which is the paper's storage win).
+ */
+
+#ifndef UJAM_CORE_OPTIMIZER_HH
+#define UJAM_CORE_OPTIMIZER_HH
+
+#include <optional>
+#include <string>
+
+#include "core/tables.hh"
+#include "deps/analyzer.hh"
+#include "model/balance.hh"
+
+namespace ujam
+{
+
+/** Optimizer knobs. */
+struct OptimizerConfig
+{
+    std::int64_t maxUnroll = 8;   //!< per-loop search bound
+    std::size_t maxLoops = 2;     //!< loops considered for unrolling
+    bool useCacheModel = true;    //!< false: assume every access hits
+    bool limitRegisters = true;   //!< enforce RL(u) <= R
+    LocalityParams locality;      //!< Eq. 1 parameters
+};
+
+/** The chosen transformation and its predicted effect. */
+struct UnrollDecision
+{
+    IntVector unroll;            //!< chosen unroll vector (may be 0)
+    double predictedBalance = 0; //!< bL at the chosen vector
+    double machineBalance = 0;   //!< bM
+    double originalBalance = 0;  //!< bL at unroll vector 0
+    std::int64_t registers = 0;  //!< RL at the chosen vector
+    double memOps = 0;           //!< VM for the unrolled body
+    double flops = 0;            //!< VF for the unrolled body
+    double misses = 0;           //!< Eq. 1 accesses for the body
+    IntVector safetyBounds;      //!< per-loop legal maximum
+    std::vector<std::size_t> consideredLoops; //!< which loops searched
+    std::size_t searchedPoints = 0; //!< unroll vectors evaluated
+
+    /** @return True iff any loop is actually unrolled. */
+    bool
+    transforms() const
+    {
+        return !unroll.isZero();
+    }
+
+    /** @return A one-line report of the decision. */
+    std::string toString() const;
+};
+
+/**
+ * Choose unroll amounts for a nest on a machine.
+ *
+ * @param nest    The candidate nest (depth >= 2 and analyzable refs
+ *                give useful results; otherwise the identity decision
+ *                is returned).
+ * @param machine Target machine.
+ * @param config  Search configuration.
+ * @return The decision; unroll is all-zero when nothing helps.
+ */
+UnrollDecision chooseUnrollAmounts(const LoopNest &nest,
+                                   const MachineModel &machine,
+                                   const OptimizerConfig &config = {});
+
+/**
+ * Search an already-built table set for the best unroll vector (the
+ * inner loop of chooseUnrollAmounts; exposed so alternative table
+ * constructions -- e.g. the dependence-based baseline -- share the
+ * identical objective).
+ */
+UnrollDecision searchUnrollSpace(const LoopNest &nest,
+                                 const MachineModel &machine,
+                                 const OptimizerConfig &config,
+                                 const NestTables &tables);
+
+/**
+ * Evaluate the balance of a specific unroll vector using tables
+ * already built (exposed for benchmarks and the brute-force
+ * comparison).
+ */
+BalanceResult evaluateUnrollVector(const NestTables &tables,
+                                   const LoopNest &nest,
+                                   const IntVector &u,
+                                   const MachineModel &machine,
+                                   const OptimizerConfig &config);
+
+} // namespace ujam
+
+#endif // UJAM_CORE_OPTIMIZER_HH

@@ -1,0 +1,173 @@
+#include "core/rrs.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+Rational
+touchPhase(const IntVector &offset, int inner_dim,
+           std::int64_t inner_coeff)
+{
+    if (inner_dim < 0)
+        return Rational(0);
+    // Member touches location 0 of the inner dimension at iteration
+    // -c/a; smaller means earlier.
+    return Rational(-offset[static_cast<std::size_t>(inner_dim)],
+                    inner_coeff);
+}
+
+std::int64_t
+RrsAnalysis::totalRegisters() const
+{
+    std::int64_t total = 0;
+    for (const RegisterReuseSet &set : sets)
+        total += set.registersNeeded;
+    return total;
+}
+
+RrsAnalysis
+computeRegisterReuseSets(const UniformlyGeneratedSet &ugs)
+{
+    RrsAnalysis analysis;
+    const std::size_t depth = ugs.depth();
+
+    if (!ugs.analyzable() || depth == 0) {
+        // No scalar replacement: every member stands alone.
+        for (std::size_t m = 0; m < ugs.members.size(); ++m) {
+            RegisterReuseSet set;
+            set.members = {m};
+            set.generator = m;
+            set.generatorIsDef = ugs.members[m].isWrite;
+            set.mrrs = m;
+            set.leaderOffset = ugs.members[m].ref.offset();
+            set.registersNeeded = 1;
+            analysis.sets.push_back(std::move(set));
+        }
+        analysis.mrrsCount = ugs.members.size();
+        return analysis;
+    }
+
+    auto [inner_dim, inner_coeff] =
+        ugs.members.front().ref.termForLoop(depth - 1);
+    analysis.innerDim = inner_dim;
+    analysis.innerCoeff = inner_coeff;
+
+    auto phase = [&](std::size_t m) {
+        return touchPhase(ugs.members[m].ref.offset(), inner_dim,
+                          inner_coeff);
+    };
+
+    // Group-temporal partition with only the innermost loop localized:
+    // exactly the references among which scalar replacement can move
+    // values.
+    Subspace inner = Subspace::coordinate(depth, {depth - 1});
+    std::vector<ReuseGroup> gts = groupTemporalSets(ugs, inner);
+
+    if (inner_dim < 0) {
+        // Innermost-invariant set: each GTS is a single memory
+        // location whose live value cycles through one register for
+        // the whole inner sweep (loads hoist to the preheader, stores
+        // to the postheader). Definitions do not split the set -- the
+        // register itself carries the value across them -- and all
+        // sets share one MRRS (coinciding copies are literally the
+        // same location).
+        for (const ReuseGroup &group : gts) {
+            RegisterReuseSet set;
+            set.members = group.members; // textual order
+            set.generator = set.members.front();
+            set.generatorIsDef = ugs.members[set.generator].isWrite;
+            set.mrrs = 0;
+            set.leaderOffset = ugs.members[set.generator].ref.offset();
+            set.registersNeeded = 1;
+            analysis.sets.push_back(std::move(set));
+        }
+        analysis.mrrsCount = analysis.sets.empty() ? 0 : 1;
+        return analysis;
+    }
+
+    for (const ReuseGroup &whole_group : gts) {
+        // The group relation is solved over the rationals (Wolf-Lam's
+        // vector-space abstraction), so a GTS can contain members at
+        // fractional phase offsets -- e.g. a(2i) and a(2i+1) -- whose
+        // elements interleave but never coincide. Only members at
+        // integral phase distance exchange values through registers:
+        // split the group by phase residue first.
+        std::map<Rational, std::vector<std::size_t>> by_residue;
+        for (std::size_t m : whole_group.members) {
+            Rational p = phase(m);
+            Rational residue = p - Rational(p.floor());
+            by_residue[residue].push_back(m);
+        }
+        for (auto &[residue, members] : by_residue) {
+
+        // Value-flow order: ascending touch phase; textual order
+        // breaks same-iteration ties (a write textually after a read
+        // of the same element must not head the read's set).
+        std::vector<std::size_t> order = members;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             Rational pa = phase(a);
+                             Rational pb = phase(b);
+                             if (pa != pb)
+                                 return pa < pb;
+                             return ugs.members[a].ordinal <
+                                    ugs.members[b].ordinal;
+                         });
+
+        RegisterReuseSet current;
+        auto flush = [&]() {
+            if (current.members.empty())
+                return;
+            current.generator = current.members.front();
+            current.generatorIsDef =
+                ugs.members[current.generator].isWrite;
+            current.leaderOffset =
+                ugs.members[current.generator].ref.offset();
+            Rational lo = phase(current.members.front());
+            Rational hi = phase(current.members.back());
+            Rational span = hi - lo;
+            UJAM_ASSERT(span >= Rational(0) && span.isInteger(),
+                        "non-integral register span inside an RRS");
+            current.registersNeeded = span.toInteger() + 1;
+            analysis.sets.push_back(current);
+            current = RegisterReuseSet();
+        };
+
+        for (std::size_t m : order) {
+            if (ugs.members[m].isWrite && !current.members.empty())
+                flush(); // a definition interrupts reuse
+            current.members.push_back(m);
+        }
+        flush();
+        } // residue classes
+    }
+
+    // MRRS grouping: scan RRS leaders from earliest toucher (lex
+    // greatest offset) downward; a definition heads a fresh chain,
+    // loads may receive values from the chain above them.
+    std::vector<std::size_t> order(analysis.sets.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return analysis.sets[b].leaderOffset.lexLess(
+                             analysis.sets[a].leaderOffset);
+                     });
+
+    std::size_t mrrs = 0;
+    bool first = true;
+    for (std::size_t i : order) {
+        if (analysis.sets[i].generatorIsDef && !first)
+            ++mrrs;
+        analysis.sets[i].mrrs = mrrs;
+        first = false;
+    }
+    analysis.mrrsCount = analysis.sets.empty() ? 0 : mrrs + 1;
+    return analysis;
+}
+
+} // namespace ujam

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Register-reuse sets (paper section 4.3, Figs. 4-6).
+ *
+ * Scalar replacement keeps values that flow between references of the
+ * innermost loop in registers. Within each group-temporal set
+ * (localized to the innermost loop only), references are ordered by
+ * the innermost iteration at which they touch a given location (the
+ * value-flow order); a definition interrupts reuse, so the GTS splits
+ * into register-reuse sets (RRS) at definitions. Each RRS costs one
+ * memory operation (its generator) after scalar replacement.
+ *
+ * Unrolling can fuse RRSs from different GTSs. RRS leaders are
+ * grouped into mergeable register-reuse sets (MRRS): in value-flow
+ * order, a definition always starts a new MRRS (a def produces its
+ * own value and never consumes one from an earlier chain), and load
+ * leaders join the MRRS of the chain above them.
+ */
+
+#ifndef UJAM_CORE_RRS_HH
+#define UJAM_CORE_RRS_HH
+
+#include "reuse/group_reuse.hh"
+
+namespace ujam
+{
+
+/**
+ * One register-reuse set of a UGS.
+ */
+struct RegisterReuseSet
+{
+    /** Member indices (into the UGS) in value-flow order. */
+    std::vector<std::size_t> members;
+
+    /** The member that touches memory: members.front(). */
+    std::size_t generator = 0;
+
+    /** True when the generator is a definition (a store). */
+    bool generatorIsDef = false;
+
+    /** MRRS class id (shared by RRSs unrolling may fuse). */
+    std::size_t mrrs = 0;
+
+    /** Generator's constant offset vector. */
+    IntVector leaderOffset;
+
+    /**
+     * Registers needed by this set alone: the span of member touch
+     * phases in innermost iterations, plus one.
+     */
+    std::int64_t registersNeeded = 1;
+};
+
+/**
+ * The RRS structure of one UGS.
+ */
+struct RrsAnalysis
+{
+    std::vector<RegisterReuseSet> sets;
+    std::size_t mrrsCount = 0;
+
+    /** Array dimension indexed by the innermost loop (-1: invariant). */
+    int innerDim = -1;
+    /** Innermost-loop coefficient in that dimension. */
+    std::int64_t innerCoeff = 0;
+
+    /** @return Total registers over all sets (unroll vector 0). */
+    std::int64_t totalRegisters() const;
+};
+
+/**
+ * Compute the register-reuse sets of a UGS (paper Fig. 4).
+ *
+ * @param ugs A uniformly generated set with SIV separable H.
+ * @return The RRS structure; one RRS per member if the set is not
+ *         analyzable (no scalar replacement happens there).
+ */
+RrsAnalysis computeRegisterReuseSets(const UniformlyGeneratedSet &ugs);
+
+/**
+ * Touch phase of an offset vector: the innermost iteration (relative
+ * to a fixed location) at which a member with this offset touches it.
+ * Smaller phase means earlier touch; value flows from smaller phase
+ * to larger.
+ *
+ * @param offset     The member's constant offset.
+ * @param inner_dim  Array dim indexed by the innermost loop (-1 if
+ *                   invariant; phase is then 0).
+ * @param inner_coeff The innermost coefficient in that dim.
+ */
+Rational touchPhase(const IntVector &offset, int inner_dim,
+                    std::int64_t inner_coeff);
+
+} // namespace ujam
+
+#endif // UJAM_CORE_RRS_HH

@@ -1,0 +1,141 @@
+#include "core/set_tables.hh"
+
+#include "linalg/merge_solver.hh"
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+/**
+ * Absorption points shared by the full and partitioned table
+ * builders; partition may be empty (every leader in one class).
+ */
+std::vector<std::vector<IntVector>>
+collectPoints(const RatMatrix &subscript,
+              const std::vector<IntVector> &leaders,
+              const std::vector<std::size_t> &partition,
+              const std::vector<bool> &absorbable,
+              const Subspace &localized, const UnrollSpace &space)
+{
+    const std::size_t n = leaders.size();
+    const std::vector<bool> unrollable = space.unrollableFlags();
+    std::vector<std::vector<IntVector>> points(n);
+
+    auto same_class = [&](std::size_t a, std::size_t b) {
+        return partition.empty() || partition[a] == partition[b];
+    };
+
+    for (std::size_t k = 0; k < n; ++k) {
+        if (!absorbable.empty() && !absorbable[k])
+            continue; // e.g. a def-headed RRS: its copies always count
+        // Self-absorption: a leader whose copies coincide with its own
+        // earlier copies along some unrolled dim (e.g. B(I) under an
+        // unrolled J loop) stops contributing after the first copy.
+        for (std::size_t dim : space.dims()) {
+            IntVector unit(space.depth());
+            unit[dim] = 1;
+            // exists x in L : H(e_dim + x) = 0 ?
+            RatVector image = subscript.apply(unit);
+            IntVector target(subscript.rows());
+            bool integral = true;
+            for (std::size_t r = 0; r < image.size(); ++r) {
+                if (!image[r].isInteger()) {
+                    integral = false;
+                    break;
+                }
+                target[r] = -image[r].toInteger();
+            }
+            if (!integral)
+                continue;
+            auto shift = solveMergeShift(subscript, target, localized,
+                                         std::vector<bool>(space.depth(),
+                                                           false));
+            if (shift.has_value())
+                points[k].push_back(unit);
+        }
+
+        // Pairwise absorption: copies of k coincide with copies of j
+        // at offset u' - u* where H u* = cj - ck (mod localized).
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j == k || !same_class(j, k))
+                continue;
+            IntVector delta = leaders[j] - leaders[k];
+            auto shift =
+                solveMergeShift(subscript, delta, localized, unrollable);
+            if (!shift.has_value() || shift->isZero())
+                continue;
+            if (shift->allLessEq(space.maxVector()))
+                points[k].push_back(*shift);
+        }
+    }
+    return points;
+}
+
+UnrollTable
+buildTable(const RatMatrix &subscript,
+           const std::vector<IntVector> &leaders,
+           const std::vector<std::size_t> &partition,
+           const std::vector<bool> &absorbable,
+           const Subspace &localized, const UnrollSpace &space)
+{
+    const std::size_t n = leaders.size();
+    auto points = collectPoints(subscript, leaders, partition, absorbable,
+                                localized, space);
+
+    // new_sets[u'] = number of leaders whose copy at offset u' starts
+    // a new set (initialized to all of them, decremented once per
+    // absorbed leader).
+    UnrollTable new_sets(space, static_cast<std::int64_t>(n));
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t i = 0; i < space.size(); ++i) {
+            IntVector u = space.vectorAt(i);
+            for (const IntVector &point : points[k]) {
+                if (point.allLessEq(u)) {
+                    new_sets.atIndex(i) -= 1;
+                    break; // absorbed once, regardless of how many ways
+                }
+            }
+        }
+    }
+    return new_sets.prefixSum();
+}
+
+} // namespace
+
+std::vector<std::vector<IntVector>>
+collectAbsorptionPoints(const RatMatrix &subscript,
+                        const std::vector<IntVector> &leaders,
+                        const Subspace &localized,
+                        const UnrollSpace &space)
+{
+    return collectPoints(subscript, leaders, {}, {}, localized, space);
+}
+
+UnrollTable
+computeSetCountTable(const RatMatrix &subscript,
+                     const std::vector<IntVector> &leaders,
+                     const Subspace &localized, const UnrollSpace &space)
+{
+    return buildTable(subscript, leaders, {}, {}, localized, space);
+}
+
+UnrollTable
+computeSetCountTablePartitioned(const RatMatrix &subscript,
+                                const std::vector<IntVector> &leaders,
+                                const std::vector<std::size_t> &partition,
+                                const std::vector<bool> &absorbable,
+                                const Subspace &localized,
+                                const UnrollSpace &space)
+{
+    UJAM_ASSERT(partition.size() == leaders.size(),
+                "partition/leader size mismatch");
+    UJAM_ASSERT(absorbable.size() == leaders.size(),
+                "absorbable/leader size mismatch");
+    return buildTable(subscript, leaders, partition, absorbable,
+                      localized, space);
+}
+
+} // namespace ujam

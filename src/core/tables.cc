@@ -1,0 +1,289 @@
+#include "core/tables.hh"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "linalg/merge_solver.hh"
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+/** Lex-ordered leader offsets of a partition of the UGS. */
+std::vector<IntVector>
+leaderOffsets(const UniformlyGeneratedSet &ugs,
+              const std::vector<ReuseGroup> &groups, bool spatial)
+{
+    std::vector<IntVector> leaders;
+    leaders.reserve(groups.size());
+    for (const ReuseGroup &group : groups) {
+        IntVector offset = ugs.members[group.leader].ref.offset();
+        if (spatial && offset.size() > 0)
+            offset[0] = 0;
+        leaders.push_back(std::move(offset));
+    }
+    std::sort(leaders.begin(), leaders.end(), IntVectorLexLess());
+    return leaders;
+}
+
+} // namespace
+
+double
+NestTables::mainMemoryAccesses(const IntVector &u,
+                               const LocalityParams &params) const
+{
+    double total = 0.0;
+    for (const UgsTables &t : perUgs) {
+        total += equationOneAccesses(
+            static_cast<double>(t.groupTemporal.at(u)),
+            static_cast<double>(t.groupSpatial.at(u)), t.self,
+            t.temporalDims, params);
+    }
+    return total;
+}
+
+UnrollTable
+computeRegisterTable(const UniformlyGeneratedSet &ugs,
+                     const RrsAnalysis &rrs, const UnrollSpace &space)
+{
+    UnrollTable table(space, 0);
+    const std::size_t nsets = rrs.sets.size();
+
+    if (nsets == 0)
+        return table;
+
+    // Per-RRS touch-phase interval (integral within a set).
+    std::vector<std::int64_t> phase_lo(nsets), phase_hi(nsets);
+    for (std::size_t r = 0; r < nsets; ++r) {
+        const RegisterReuseSet &set = rrs.sets[r];
+        Rational lo = touchPhase(
+            ugs.members[set.members.front()].ref.offset(), rrs.innerDim,
+            rrs.innerCoeff);
+        phase_lo[r] = lo.floor();
+        phase_hi[r] = phase_lo[r] + set.registersNeeded - 1;
+    }
+
+    // Absorption points restricted to each MRRS.
+    std::vector<IntVector> leaders(nsets);
+    std::vector<std::size_t> classes(nsets);
+    for (std::size_t r = 0; r < nsets; ++r) {
+        leaders[r] = rrs.sets[r].leaderOffset;
+        classes[r] = rrs.sets[r].mrrs;
+    }
+
+    // points[k] = (absorber j, shift u*): copy (k, u') coincides with
+    // copy (j, u' - u*).
+    struct MergeEdge
+    {
+        std::size_t absorber;
+        IntVector shift;
+    };
+    std::vector<std::vector<MergeEdge>> edges(nsets);
+    const std::vector<bool> unrollable = space.unrollableFlags();
+    const RatMatrix &subscript = ugs.subscript;
+    Subspace inner = Subspace::coordinate(space.depth(),
+                                          {space.depth() - 1});
+
+    const bool invariant = ugs.innerInvariant();
+    for (std::size_t k = 0; k < nsets; ++k) {
+        // Def-headed chains never merge into another chain (each store
+        // issues) -- except in invariant sets, where coinciding copies
+        // are the same location.
+        if (!invariant && rrs.sets[k].generatorIsDef)
+            continue;
+        for (std::size_t j = 0; j < nsets; ++j) {
+            if (j == k || classes[j] != classes[k])
+                continue;
+            IntVector delta = leaders[j] - leaders[k];
+            auto shift = solveMergeShift(subscript, delta, inner,
+                                         unrollable);
+            if (!shift.has_value() || shift->isZero())
+                continue;
+            if (shift->allLessEq(space.maxVector()))
+                edges[k].push_back({j, *shift});
+        }
+        // Self-absorption along invariant unrolled dims.
+        for (std::size_t dim : space.dims()) {
+            IntVector unit(space.depth());
+            unit[dim] = 1;
+            RatVector image = subscript.apply(unit);
+            IntVector target(subscript.rows());
+            bool integral = true;
+            for (std::size_t r = 0; r < image.size(); ++r) {
+                if (!image[r].isInteger()) {
+                    integral = false;
+                    break;
+                }
+                target[r] = -image[r].toInteger();
+            }
+            if (!integral)
+                continue;
+            auto shift = solveMergeShift(
+                subscript, target, inner,
+                std::vector<bool>(space.depth(), false));
+            if (shift.has_value())
+                edges[k].push_back({k, unit});
+        }
+    }
+
+    // For each unroll vector: union copies (r, u') along merge edges,
+    // then charge each chain its merged phase span plus one.
+    const std::size_t npoints = space.size();
+    std::vector<std::size_t> parent(nsets * npoints);
+    std::vector<std::int64_t> lo(nsets * npoints), hi(nsets * npoints);
+
+    std::function<std::size_t(std::size_t)> find =
+        [&](std::size_t x) {
+            while (parent[x] != x) {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            return x;
+        };
+
+    for (std::size_t ui = 0; ui < npoints; ++ui) {
+        IntVector u = space.vectorAt(ui);
+        // Copies are the offsets u' <= u; they form a sub-box of the
+        // space, so reuse the space's own indexing for them.
+        std::vector<std::size_t> copy_index;
+        for (std::size_t ci = 0; ci < npoints; ++ci) {
+            if (space.vectorAt(ci).allLessEq(u))
+                copy_index.push_back(ci);
+        }
+        for (std::size_t r = 0; r < nsets; ++r) {
+            for (std::size_t ci : copy_index) {
+                std::size_t id = r * npoints + ci;
+                parent[id] = id;
+                lo[id] = phase_lo[r];
+                hi[id] = phase_hi[r];
+            }
+        }
+        for (std::size_t r = 0; r < nsets; ++r) {
+            for (std::size_t ci : copy_index) {
+                IntVector up = space.vectorAt(ci);
+                for (const MergeEdge &edge : edges[r]) {
+                    if (!edge.shift.allLessEq(up))
+                        continue;
+                    IntVector origin = up - edge.shift;
+                    std::size_t a = find(r * npoints + ci);
+                    std::size_t b = find(edge.absorber * npoints +
+                                         space.indexOf(origin));
+                    if (a == b)
+                        continue;
+                    parent[a] = b;
+                    lo[b] = std::min(lo[b], lo[a]);
+                    hi[b] = std::max(hi[b], hi[a]);
+                }
+            }
+        }
+        std::int64_t registers = 0;
+        for (std::size_t r = 0; r < nsets; ++r) {
+            for (std::size_t ci : copy_index) {
+                std::size_t id = r * npoints + ci;
+                if (find(id) == id)
+                    registers += hi[id] - lo[id] + 1;
+            }
+        }
+        table.atIndex(ui) = registers;
+    }
+    return table;
+}
+
+NestTables
+buildNestTables(const LoopNest &nest, const UnrollSpace &space,
+                const Subspace &localized)
+{
+    NestTables tables;
+    tables.space = space;
+    tables.localized = localized;
+    tables.rrsTotal = UnrollTable(space, 0);
+    tables.registersTotal = UnrollTable(space, 0);
+
+    for (const UniformlyGeneratedSet &ugs : partitionUGS(nest.accesses())) {
+        UgsTables t;
+        t.memberCount = ugs.members.size();
+        t.analyzable = ugs.analyzable();
+
+        t.self = classifySelfReuse(ugs, localized);
+        t.innerInvariant = ugs.innerInvariant();
+        t.temporalDims =
+            ugs.selfTemporalSpace().intersect(localized).dim();
+
+        // Figs. 2-3 need only the merge solver, which handles general
+        // (MIV) subscript matrices; the register-reuse machinery below
+        // additionally needs SIV separability ([11] section 3.5).
+
+        // Fig. 2: GTS table.
+        std::vector<IntVector> gts_leaders = leaderOffsets(
+            ugs, groupTemporalSets(ugs, localized), false);
+        t.groupTemporal = computeSetCountTable(ugs.subscript, gts_leaders,
+                                               localized, space);
+
+        // Fig. 3: GSS table (spatial H, spatially-masked offsets).
+        RatMatrix spatial =
+            ugs.members.front().ref.spatialSubscriptMatrix();
+        std::vector<IntVector> gss_leaders =
+            leaderOffsets(ugs, groupSpatialSets(ugs, localized), true);
+        t.groupSpatial = computeSetCountTable(spatial, gss_leaders,
+                                              localized, space);
+
+        if (!t.analyzable) {
+            // No scalar replacement for non-separable references: one
+            // memory operation and one register per member copy.
+            UnrollTable per_copy(
+                space, static_cast<std::int64_t>(ugs.members.size()));
+            t.rrs = per_copy.prefixSum();
+            t.registers = t.rrs;
+            tables.rrsTotal.accumulate(t.rrs);
+            tables.registersTotal.accumulate(t.registers);
+            tables.perUgs.push_back(std::move(t));
+            continue;
+        }
+
+        // Figs. 4-5: RRS table, merges confined to MRRSs, localized to
+        // the innermost loop only (register reuse is innermost reuse).
+        RrsAnalysis rrs = computeRegisterReuseSets(ugs);
+        std::vector<IntVector> rrs_leaders(rrs.sets.size());
+        std::vector<std::size_t> classes(rrs.sets.size());
+        std::vector<bool> absorbable(rrs.sets.size());
+        std::vector<std::size_t> order(rrs.sets.size());
+        std::iota(order.begin(), order.end(), 0u);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return rrs.sets[a].leaderOffset.lexLess(
+                          rrs.sets[b].leaderOffset);
+                  });
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            const RegisterReuseSet &set = rrs.sets[order[i]];
+            rrs_leaders[i] = set.leaderOffset;
+            classes[i] = set.mrrs;
+            // A def copy always issues its store -- it never merges
+            // into an existing chain. Exception: in an innermost-
+            // invariant set coinciding copies are literally the same
+            // location (one hoisted load/store), so they do merge.
+            absorbable[i] = t.innerInvariant || !set.generatorIsDef;
+        }
+        Subspace inner = Subspace::coordinate(
+            nest.depth(), {nest.depth() - 1});
+        t.rrs = computeSetCountTablePartitioned(
+            ugs.subscript, rrs_leaders, classes, absorbable, inner,
+            space);
+
+        // Fig. 7: register table.
+        t.registers = computeRegisterTable(ugs, rrs, space);
+
+        // Invariant sets hoist their traffic out of the innermost
+        // loop: no VM contribution, only register pressure.
+        if (!t.innerInvariant)
+            tables.rrsTotal.accumulate(t.rrs);
+        tables.registersTotal.accumulate(t.registers);
+        tables.perUgs.push_back(std::move(t));
+    }
+    return tables;
+}
+
+} // namespace ujam

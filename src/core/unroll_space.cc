@@ -1,0 +1,166 @@
+#include "core/unroll_space.hh"
+
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+UnrollSpace::UnrollSpace(std::size_t depth, std::vector<std::size_t> dims,
+                         std::vector<std::int64_t> limits)
+    : depth_(depth), dims_(std::move(dims)), limits_(std::move(limits))
+{
+    UJAM_ASSERT(dims_.size() == limits_.size(),
+                "dims/limits size mismatch");
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        UJAM_ASSERT(dims_[i] + 1 < depth_ || depth_ == 0,
+                    "the innermost loop cannot be unrolled");
+        UJAM_ASSERT(limits_[i] >= 0, "negative unroll limit");
+        for (std::size_t j = i + 1; j < dims_.size(); ++j)
+            UJAM_ASSERT(dims_[i] != dims_[j], "duplicate unroll dim");
+    }
+}
+
+UnrollSpace::UnrollSpace(std::size_t depth, std::vector<std::size_t> dims,
+                         std::int64_t limit)
+    : UnrollSpace(depth, dims,
+                  std::vector<std::int64_t>(dims.size(), limit))
+{}
+
+std::size_t
+UnrollSpace::size() const
+{
+    std::size_t total = 1;
+    for (std::int64_t limit : limits_)
+        total *= static_cast<std::size_t>(limit + 1);
+    return total;
+}
+
+bool
+UnrollSpace::contains(const IntVector &u) const
+{
+    if (u.size() != depth_)
+        return false;
+    std::vector<bool> unrollable = unrollableFlags();
+    for (std::size_t k = 0; k < depth_; ++k) {
+        if (!unrollable[k] && u[k] != 0)
+            return false;
+    }
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (u[dims_[i]] < 0 || u[dims_[i]] > limits_[i])
+            return false;
+    }
+    return true;
+}
+
+std::vector<bool>
+UnrollSpace::unrollableFlags() const
+{
+    std::vector<bool> flags(depth_, false);
+    for (std::size_t dim : dims_)
+        flags[dim] = true;
+    return flags;
+}
+
+std::size_t
+UnrollSpace::indexOf(const IntVector &u) const
+{
+    UJAM_ASSERT(contains(u), "unroll vector ", u.toString(),
+                " outside the space");
+    std::size_t index = 0;
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        index = index * static_cast<std::size_t>(limits_[i] + 1) +
+                static_cast<std::size_t>(u[dims_[i]]);
+    }
+    return index;
+}
+
+IntVector
+UnrollSpace::vectorAt(std::size_t i) const
+{
+    IntVector u(depth_);
+    for (std::size_t d = dims_.size(); d > 0; --d) {
+        std::size_t radix = static_cast<std::size_t>(limits_[d - 1] + 1);
+        u[dims_[d - 1]] = static_cast<std::int64_t>(i % radix);
+        i /= radix;
+    }
+    UJAM_ASSERT(i == 0, "dense index outside the space");
+    return u;
+}
+
+std::vector<IntVector>
+UnrollSpace::allVectors() const
+{
+    std::vector<IntVector> vectors;
+    vectors.reserve(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        vectors.push_back(vectorAt(i));
+    return vectors;
+}
+
+IntVector
+UnrollSpace::maxVector() const
+{
+    IntVector u(depth_);
+    for (std::size_t i = 0; i < dims_.size(); ++i)
+        u[dims_[i]] = limits_[i];
+    return u;
+}
+
+UnrollTable::UnrollTable(const UnrollSpace &space, std::int64_t init)
+    : space_(space), values_(space.size(), init)
+{}
+
+std::int64_t
+UnrollTable::at(const IntVector &u) const
+{
+    return values_[space_.indexOf(u)];
+}
+
+std::int64_t &
+UnrollTable::at(const IntVector &u)
+{
+    return values_[space_.indexOf(u)];
+}
+
+void
+UnrollTable::addBox(const IntVector &from, std::int64_t delta)
+{
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (from.allLessEq(space_.vectorAt(i)))
+            values_[i] += delta;
+    }
+}
+
+void
+UnrollTable::accumulate(const UnrollTable &other)
+{
+    UJAM_ASSERT(values_.size() == other.values_.size(),
+                "accumulating tables over different spaces");
+    for (std::size_t i = 0; i < values_.size(); ++i)
+        values_[i] += other.values_[i];
+}
+
+UnrollTable
+UnrollTable::prefixSum() const
+{
+    UnrollTable result = *this;
+    const std::vector<std::size_t> &dims = space_.dims();
+    const std::vector<std::int64_t> &limits = space_.limits();
+
+    // Standard multidimensional prefix sum: accumulate along one
+    // unrolled dimension at a time.
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+        for (std::size_t i = 0; i < result.values_.size(); ++i) {
+            IntVector u = space_.vectorAt(i);
+            if (u[dims[d]] == 0)
+                continue;
+            IntVector prev = u;
+            prev[dims[d]] -= 1;
+            result.values_[i] += result.values_[space_.indexOf(prev)];
+        }
+    }
+    (void)limits;
+    return result;
+}
+
+} // namespace ujam

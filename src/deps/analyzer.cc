@@ -1,0 +1,217 @@
+#include "deps/analyzer.hh"
+
+#include <algorithm>
+
+#include "deps/subscript_tests.hh"
+#include "support/rational.hh"
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+/**
+ * Rewrite an access for a normalized iteration space: loop k with
+ * constant lower bound lb and step s becomes a unit loop from 1, so
+ * a coefficient a scales to a*s with a*(lb - s) folded into the
+ * offset. Distances are only meaningful on the normalized space --
+ * without this, re-analyzing an unroll-and-jammed nest (step u+1)
+ * would report spurious unit-stride dependences.
+ */
+ArrayRef
+normalizeRef(const ArrayRef &ref, std::size_t k, std::int64_t lb,
+             std::int64_t s)
+{
+    std::vector<IntVector> rows = ref.rows();
+    IntVector offset = ref.offset();
+    for (std::size_t d = 0; d < rows.size(); ++d) {
+        std::int64_t a = rows[d][k];
+        if (a == 0)
+            continue;
+        rows[d][k] = checkedMul(a, s);
+        offset[d] = checkedAdd(offset[d], checkedMul(a, lb - s));
+    }
+    return ArrayRef(ref.array(), std::move(rows), std::move(offset));
+}
+
+DepKind
+classify(bool src_write, bool dst_write)
+{
+    if (src_write)
+        return dst_write ? DepKind::Output : DepKind::Flow;
+    return dst_write ? DepKind::Anti : DepKind::Input;
+}
+
+/**
+ * True when the edge between accesses a and b is the self cycle of a
+ * recognized reduction statement (read and write of the accumulator).
+ */
+bool
+isReductionEdge(const LoopNest &nest, const Access &a, const Access &b)
+{
+    if (a.stmt != b.stmt)
+        return false;
+    const Stmt &stmt = nest.body()[a.stmt];
+    if (!stmt.lhsIsArray() || !stmt.isReduction())
+        return false;
+    return a.ref == stmt.lhsRef() && b.ref == stmt.lhsRef();
+}
+
+} // namespace
+
+DependenceGraph
+analyzeDependences(const LoopNest &nest, const DepOptions &options)
+{
+    const std::size_t depth = nest.depth();
+    std::vector<Access> accesses = nest.accesses();
+    DependenceGraph graph(depth);
+
+    // Step-aware analysis: fold constant-origin stepped loops into
+    // the subscripts so distances come out in iteration (not value)
+    // units. Symbolic-origin stepped loops stay as-is (conservative:
+    // treated like unit stride, which only over-approximates).
+    for (std::size_t k = 0; k < depth; ++k) {
+        const Loop &loop = nest.loop(k);
+        if (loop.step == 1 || !loop.lower.isConstant())
+            continue;
+        std::int64_t lb = loop.lower.evaluate({});
+        for (Access &access : accesses)
+            access.ref = normalizeRef(access.ref, k, lb, loop.step);
+    }
+
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+        for (std::size_t j = i; j < accesses.size(); ++j) {
+            const Access &a = accesses[i];
+            const Access &b = accesses[j];
+            if (a.ref.array() != b.ref.array())
+                continue;
+            bool both_read = !a.isWrite && !b.isWrite;
+            if (both_read && !options.includeInput)
+                continue; // the whole point: skip the test entirely
+
+            auto relations = solveAccessPair(a.ref, b.ref);
+            if (!relations)
+                continue;
+
+            // Partition loops into exactly-known distances and
+            // unresolved (Free/Star) dimensions.
+            bool all_exact = true;
+            IntVector dist(depth);
+            std::vector<bool> unknown(depth, false);
+            for (std::size_t k = 0; k < depth; ++k) {
+                const LoopRelation &rel = (*relations)[k];
+                if (rel.kind == LoopRelation::Kind::Exact) {
+                    dist[k] = rel.exact;
+                } else {
+                    unknown[k] = true;
+                    all_exact = false;
+                }
+            }
+
+            Dependence edge;
+            edge.dirs.assign(depth, DepDir::Eq);
+            edge.reduction = isReductionEdge(nest, a, b);
+
+            if (all_exact) {
+                int cmp = dist.lexCompare(IntVector(depth));
+                if (cmp == 0) {
+                    if (i == j)
+                        continue; // an access is not dependent on itself
+                    edge.src = i;
+                    edge.dst = j;
+                    edge.kind = classify(a.isWrite, b.isWrite);
+                    edge.hasDistance = true;
+                    edge.distance = dist;
+                    graph.addEdge(std::move(edge));
+                    continue;
+                }
+                bool forward = cmp > 0;
+                edge.src = forward ? i : j;
+                edge.dst = forward ? j : i;
+                const Access &src = accesses[edge.src];
+                const Access &dst = accesses[edge.dst];
+                edge.kind = classify(src.isWrite, dst.isWrite);
+                edge.hasDistance = true;
+                edge.distance = forward ? dist : -dist;
+                for (std::size_t k = 0; k < depth; ++k) {
+                    std::int64_t d = edge.distance[k];
+                    edge.dirs[k] = d > 0   ? DepDir::Lt
+                                   : d < 0 ? DepDir::Gt
+                                           : DepDir::Eq;
+                }
+                graph.addEdge(std::move(edge));
+                continue;
+            }
+
+            // Unresolved dimensions: a single Star edge, textual
+            // orientation, with a representative distance (0 fills;
+            // the leading unknown gets 1 for self dependences so the
+            // distance is a valid carried representative).
+            edge.src = i;
+            edge.dst = j;
+            edge.kind = classify(a.isWrite, b.isWrite);
+            edge.hasDistance = false;
+            edge.representative = true;
+            edge.distance = dist;
+            bool first_unknown = true;
+            for (std::size_t k = 0; k < depth; ++k) {
+                if (!unknown[k]) {
+                    std::int64_t d = dist[k];
+                    edge.dirs[k] = d > 0   ? DepDir::Lt
+                                   : d < 0 ? DepDir::Gt
+                                           : DepDir::Eq;
+                    continue;
+                }
+                edge.dirs[k] = DepDir::Star;
+                if (i == j && first_unknown)
+                    edge.distance[k] = 1;
+                first_unknown = false;
+            }
+            graph.addEdge(std::move(edge));
+        }
+    }
+    return graph;
+}
+
+IntVector
+safeUnrollBounds(const LoopNest &nest, const DependenceGraph &graph,
+                 std::int64_t cap)
+{
+    const std::size_t depth = nest.depth();
+    IntVector bounds(depth);
+    for (std::size_t k = 0; k + 1 < depth; ++k)
+        bounds[k] = cap;
+    if (depth > 0)
+        bounds[depth - 1] = 0; // the innermost loop is never unrolled
+
+    for (const Dependence &edge : graph.edges()) {
+        // Reordering two reads is always legal; reduction self-cycles
+        // may be reassociated.
+        if (edge.reduction || edge.kind == DepKind::Input)
+            continue;
+        int level = edge.carrierLevel();
+        if (level < 0 || level + 1 == static_cast<int>(depth))
+            continue; // loop-independent or innermost-carried: harmless
+
+        bool inner_hazard = false;
+        for (std::size_t m = level + 1; m < depth; ++m) {
+            if (edge.dirs[m] == DepDir::Gt ||
+                edge.dirs[m] == DepDir::Star) {
+                inner_hazard = true;
+                break;
+            }
+        }
+        if (!inner_hazard)
+            continue;
+
+        std::int64_t limit = 0;
+        if (edge.dirs[level] == DepDir::Lt && edge.hasDistance)
+            limit = std::max<std::int64_t>(0, edge.distance[level] - 1);
+        bounds[level] = std::min(bounds[level], limit);
+    }
+    return bounds;
+}
+
+} // namespace ujam

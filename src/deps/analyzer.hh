@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Whole-nest dependence analysis.
+ */
+
+#ifndef UJAM_DEPS_ANALYZER_HH
+#define UJAM_DEPS_ANALYZER_HH
+
+#include "deps/graph.hh"
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/** Options controlling dependence-graph construction. */
+struct DepOptions
+{
+    /**
+     * Record input (read-read) dependences. Dependence-based reuse
+     * analysis requires them; the UGS model of this paper does not.
+     */
+    bool includeInput = true;
+};
+
+/**
+ * Build the dependence graph of a nest.
+ *
+ * Tests every pair of accesses to the same array (including an access
+ * against itself for loop-invariant self reuse), classifies edges by
+ * kind, orients them source-before-sink, and tags edges arising from
+ * recognized reduction statements.
+ *
+ * @param nest The nest to analyze.
+ * @param options See DepOptions.
+ * @return The dependence graph, directions indexed outermost-first.
+ */
+DependenceGraph analyzeDependences(const LoopNest &nest,
+                                   const DepOptions &options = {});
+
+/**
+ * Compute, per loop, the largest unroll-and-jam amount the
+ * dependence graph allows (capped).
+ *
+ * Unroll-and-jam of loop k by u interleaves u+1 consecutive k
+ * iterations into one pass over the inner loops; it is illegal when a
+ * dependence carried by k at distance dk <= u points backward in an
+ * inner loop (direction '>' or '*'), because jamming would reverse
+ * it. Reduction self-cycles do not constrain the transformation.
+ *
+ * @param nest  The nest.
+ * @param graph Its dependence graph.
+ * @param cap   Upper bound for every entry (the optimizer's search
+ *              bound).
+ * @return Per-loop maximum safe unroll; the innermost entry is 0.
+ */
+IntVector safeUnrollBounds(const LoopNest &nest,
+                           const DependenceGraph &graph, std::int64_t cap);
+
+} // namespace ujam
+
+#endif // UJAM_DEPS_ANALYZER_HH

@@ -1,0 +1,117 @@
+#include "deps/subscript_tests.hh"
+
+#include "support/diagnostics.hh"
+#include "support/rational.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+/** Merge a new relation into the running per-loop state. */
+bool
+mergeRelation(LoopRelation &state, LoopRelation::Kind kind,
+              std::int64_t exact)
+{
+    switch (state.kind) {
+      case LoopRelation::Kind::Free:
+        state.kind = kind;
+        state.exact = exact;
+        return true;
+      case LoopRelation::Kind::Exact:
+        if (kind == LoopRelation::Kind::Exact && exact != state.exact)
+            return false; // two dimensions demand different distances
+        return true;
+      case LoopRelation::Kind::Star:
+        state.kind = kind;
+        state.exact = exact;
+        return true;
+    }
+    panic("unknown relation kind");
+}
+
+} // namespace
+
+std::optional<std::vector<LoopRelation>>
+solveAccessPair(const ArrayRef &a, const ArrayRef &b)
+{
+    UJAM_ASSERT(a.array() == b.array(),
+                "dependence test across different arrays");
+    UJAM_ASSERT(a.depth() == b.depth(),
+                "depth mismatch in dependence test");
+
+    const std::size_t depth = a.depth();
+    std::vector<LoopRelation> relations(depth);
+
+    if (a.dims() != b.dims()) {
+        // Rank-mismatched views of one array (EQUIVALENCE-style
+        // aliasing): assume everything conflicts.
+        for (LoopRelation &rel : relations)
+            rel.kind = LoopRelation::Kind::Star;
+        return relations;
+    }
+
+    for (std::size_t d = 0; d < a.dims(); ++d) {
+        const IntVector &ra = a.row(d);
+        const IntVector &rb = b.row(d);
+
+        std::vector<std::size_t> involved;
+        for (std::size_t k = 0; k < depth; ++k) {
+            if (ra[k] != 0 || rb[k] != 0)
+                involved.push_back(k);
+        }
+
+        if (involved.empty()) {
+            // ZIV: both subscripts constant in this dimension.
+            if (a.offset()[d] != b.offset()[d])
+                return std::nullopt;
+            continue;
+        }
+
+        if (involved.size() == 1) {
+            std::size_t k = involved.front();
+            std::int64_t ca = ra[k];
+            std::int64_t cb = rb[k];
+            if (ca == cb) {
+                // Strong SIV: ca*i + oa == ca*i' + ob.
+                std::int64_t delta = a.offset()[d] - b.offset()[d];
+                if (delta % ca != 0)
+                    return std::nullopt;
+                if (!mergeRelation(relations[k],
+                                   LoopRelation::Kind::Exact, delta / ca))
+                    return std::nullopt;
+            } else {
+                // Weak-zero (cb == 0), weak-crossing (cb == -ca) or
+                // general SIV: feasibility by GCD, direction unknown.
+                std::int64_t g = gcd64(ca, cb);
+                std::int64_t delta = b.offset()[d] - a.offset()[d];
+                if (g != 0 && delta % g != 0)
+                    return std::nullopt;
+                if (!mergeRelation(relations[k], LoopRelation::Kind::Star,
+                                   0)) {
+                    return std::nullopt;
+                }
+            }
+            continue;
+        }
+
+        // MIV fallback: GCD feasibility over all coefficients, with
+        // every involved loop unresolved.
+        std::int64_t g = 0;
+        for (std::size_t k : involved) {
+            g = gcd64(g, ra[k]);
+            g = gcd64(g, rb[k]);
+        }
+        std::int64_t delta = b.offset()[d] - a.offset()[d];
+        if (g != 0 && delta % g != 0)
+            return std::nullopt;
+        for (std::size_t k : involved) {
+            if (!mergeRelation(relations[k], LoopRelation::Kind::Star, 0))
+                return std::nullopt;
+        }
+    }
+    return relations;
+}
+
+} // namespace ujam

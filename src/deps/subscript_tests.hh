@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Pairwise subscript dependence tests.
+ *
+ * Implements the practical dependence-testing hierarchy of Goff,
+ * Kennedy & Tseng [10]: ZIV, strong SIV, weak-zero SIV, weak-crossing
+ * SIV, with a GCD feasibility test as the MIV fallback. The result of
+ * testing two references is a per-loop relation between the
+ * iterations at which they touch the same memory location.
+ */
+
+#ifndef UJAM_DEPS_SUBSCRIPT_TESTS_HH
+#define UJAM_DEPS_SUBSCRIPT_TESTS_HH
+
+#include <optional>
+#include <vector>
+
+#include "ir/array_ref.hh"
+
+namespace ujam
+{
+
+/**
+ * Relation between the iteration coordinates of two accesses in one
+ * loop dimension.
+ */
+struct LoopRelation
+{
+    enum class Kind
+    {
+        Free,  //!< loop constrains neither access: any pair of values
+        Exact, //!< sink iteration == source iteration + exact
+        Star   //!< constrained but not to a single distance
+    };
+
+    Kind kind = Kind::Free;
+    std::int64_t exact = 0;
+};
+
+/**
+ * Solve for iterations (i of a, i' of b) with a(i) and b(i')
+ * addressing the same element.
+ *
+ * @param a First reference.
+ * @param b Second reference (same array).
+ * @return Per-loop relations of i' relative to i, or nullopt when the
+ *         accesses can never touch the same location.
+ */
+std::optional<std::vector<LoopRelation>>
+solveAccessPair(const ArrayRef &a, const ArrayRef &b);
+
+} // namespace ujam
+
+#endif // UJAM_DEPS_SUBSCRIPT_TESTS_HH

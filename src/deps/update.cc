@@ -1,0 +1,230 @@
+#include "deps/update.hh"
+
+#include <map>
+
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+/** Euclidean division: remainder always in [0, f). */
+std::pair<std::int64_t, std::int64_t>
+divEuclid(std::int64_t value, std::int64_t f)
+{
+    std::int64_t q = value / f;
+    std::int64_t r = value % f;
+    if (r < 0) {
+        r += f;
+        --q;
+    }
+    return {q, r};
+}
+
+DepDir
+dirOf(std::int64_t d)
+{
+    return d > 0 ? DepDir::Lt : d < 0 ? DepDir::Gt : DepDir::Eq;
+}
+
+} // namespace
+
+std::vector<IntVector>
+unrollCopyOrder(const IntVector &unroll)
+{
+    std::vector<IntVector> copies{IntVector(unroll.size())};
+    // unrollAndJamNest expands one loop at a time in ascending order;
+    // each step replicates the existing copy sequence, so the earliest
+    // unrolled loop ends up varying fastest.
+    for (std::size_t k = 0; k < unroll.size(); ++k) {
+        if (unroll[k] == 0)
+            continue;
+        std::vector<IntVector> next;
+        next.reserve(copies.size() *
+                     static_cast<std::size_t>(unroll[k] + 1));
+        for (std::int64_t c = 0; c <= unroll[k]; ++c) {
+            for (const IntVector &base : copies) {
+                IntVector offset = base;
+                offset[k] = c;
+                next.push_back(std::move(offset));
+            }
+        }
+        copies = std::move(next);
+    }
+    return copies;
+}
+
+DependenceGraph
+updateGraphAfterUnrollAndJam(const DependenceGraph &graph,
+                             const LoopNest &nest,
+                             const IntVector &unroll)
+{
+    const std::size_t depth = nest.depth();
+    UJAM_ASSERT(unroll.size() == depth, "unroll vector depth mismatch");
+    const std::size_t naccesses = nest.accesses().size();
+
+    std::vector<IntVector> copies = unrollCopyOrder(unroll);
+    // The copy order is not lexicographic; index offsets by content.
+    std::map<IntVector, std::size_t, IntVectorLexLess> copy_index_by;
+    for (std::size_t c = 0; c < copies.size(); ++c)
+        copy_index_by.emplace(copies[c], c);
+
+    auto ordinal = [&](std::size_t copy, std::size_t orig) {
+        return copy * naccesses + orig;
+    };
+
+    DependenceGraph result(depth);
+
+    for (const Dependence &edge : graph.edges()) {
+        bool star_on_unrolled = false;
+        for (std::size_t k = 0; k < depth; ++k) {
+            if (unroll[k] > 0 && edge.dirs[k] == DepDir::Star)
+                star_on_unrolled = true;
+        }
+
+        if (star_on_unrolled) {
+            // An unrolled Star dim relates every pair of copy offsets
+            // along it; unrolled EXACT dims still pin the destination
+            // copy (other offsets cannot alias). Enumerate source
+            // copies times the Star dims' free choices, keeping
+            // re-analysis's textual orientation: a reversed-ordinal
+            // pair mirrors kind and directions, and self edges pair
+            // each copy combination once.
+            std::vector<std::size_t> star_dims;
+            for (std::size_t k = 0; k < depth; ++k) {
+                if (unroll[k] > 0 && edge.dirs[k] == DepDir::Star)
+                    star_dims.push_back(k);
+            }
+            std::size_t star_combos = 1;
+            for (std::size_t k : star_dims)
+                star_combos *= static_cast<std::size_t>(unroll[k] + 1);
+
+            for (std::size_t s = 0; s < copies.size(); ++s) {
+                const IntVector &src_copy = copies[s];
+                IntVector dst_base(depth);
+                IntVector exact_distance = edge.distance;
+                for (std::size_t k = 0; k < depth; ++k) {
+                    if (unroll[k] == 0 ||
+                        edge.dirs[k] == DepDir::Star) {
+                        continue;
+                    }
+                    std::int64_t f = unroll[k] + 1;
+                    auto [block, offset] =
+                        divEuclid(src_copy[k] + edge.distance[k], f);
+                    dst_base[k] = offset;
+                    exact_distance[k] = block;
+                }
+                for (std::size_t combo = 0; combo < star_combos;
+                     ++combo) {
+                    IntVector dst_copy = dst_base;
+                    std::size_t rest = combo;
+                    for (std::size_t k : star_dims) {
+                        std::size_t f =
+                            static_cast<std::size_t>(unroll[k] + 1);
+                        dst_copy[k] =
+                            static_cast<std::int64_t>(rest % f);
+                        rest /= f;
+                    }
+                    std::size_t t = copy_index_by.at(dst_copy);
+                    std::size_t o1 = ordinal(s, edge.src);
+                    std::size_t o2 = ordinal(t, edge.dst);
+                    if (edge.src == edge.dst && o2 < o1)
+                        continue; // the mirror enumeration covers it
+
+                    Dependence copy_edge = edge;
+                    copy_edge.hasDistance = false;
+                    copy_edge.representative = true;
+                    bool mirrored = o1 > o2;
+                    copy_edge.src = mirrored ? o2 : o1;
+                    copy_edge.dst = mirrored ? o1 : o2;
+                    if (mirrored) {
+                        if (edge.kind == DepKind::Flow)
+                            copy_edge.kind = DepKind::Anti;
+                        else if (edge.kind == DepKind::Anti)
+                            copy_edge.kind = DepKind::Flow;
+                    }
+                    for (std::size_t k = 0; k < depth; ++k) {
+                        if (edge.dirs[k] == DepDir::Star) {
+                            copy_edge.dirs[k] = DepDir::Star;
+                            continue;
+                        }
+                        std::int64_t d = mirrored
+                                             ? -exact_distance[k]
+                                             : exact_distance[k];
+                        copy_edge.dirs[k] = dirOf(d);
+                        copy_edge.distance[k] = d;
+                    }
+                    result.addEdge(std::move(copy_edge));
+                }
+            }
+            continue;
+        }
+
+        // Exact (or representative-exact) on every unrolled dim: the
+        // closed-form copy mapping applies.
+        for (std::size_t s = 0; s < copies.size(); ++s) {
+            const IntVector &src_copy = copies[s];
+            IntVector dst_copy(depth);
+            IntVector new_distance = edge.distance;
+            for (std::size_t k = 0; k < depth; ++k) {
+                if (unroll[k] == 0) {
+                    dst_copy[k] = 0;
+                    continue;
+                }
+                std::int64_t f = unroll[k] + 1;
+                auto [block, offset] =
+                    divEuclid(src_copy[k] + edge.distance[k], f);
+                dst_copy[k] = offset;
+                new_distance[k] = block;
+            }
+
+            Dependence copy_edge = edge;
+            copy_edge.distance = new_distance;
+            std::size_t t = copy_index_by.at(dst_copy);
+
+            int cmp = new_distance.lexCompare(IntVector(depth));
+            bool star_somewhere = false;
+            for (DepDir dir : edge.dirs)
+                star_somewhere |= (dir == DepDir::Star);
+
+            // A zero-distance copy pair is ordered by body layout:
+            // with two unrolled loops the destination copy can be
+            // emitted before the source copy.
+            bool layout_reversed =
+                cmp == 0 && copy_index_by.at(dst_copy) < s;
+
+            if (!star_somewhere && (cmp < 0 || layout_reversed)) {
+                // The copy pair's carried direction flipped: the sink
+                // copy's instance now executes first. Reorient.
+                copy_edge.src = ordinal(t, edge.dst);
+                copy_edge.dst = ordinal(s, edge.src);
+                copy_edge.distance = -new_distance;
+                switch (edge.kind) {
+                  case DepKind::Flow:
+                    copy_edge.kind = DepKind::Anti;
+                    break;
+                  case DepKind::Anti:
+                    copy_edge.kind = DepKind::Flow;
+                    break;
+                  default:
+                    break; // input/output are symmetric
+                }
+            } else {
+                copy_edge.src = ordinal(s, edge.src);
+                copy_edge.dst = ordinal(t, edge.dst);
+            }
+            for (std::size_t k = 0; k < depth; ++k) {
+                if (edge.dirs[k] == DepDir::Star)
+                    copy_edge.dirs[k] = DepDir::Star;
+                else
+                    copy_edge.dirs[k] = dirOf(copy_edge.distance[k]);
+            }
+            result.addEdge(std::move(copy_edge));
+        }
+    }
+    return result;
+}
+
+} // namespace ujam

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Incremental dependence-graph update across unroll-and-jam.
+ *
+ * Transforming compilers update their dependence graphs rather than
+ * rebuild them ("the processing time of dependence graphs is reduced
+ * for transformations that update the dependence graph", paper
+ * section 5.1). For unroll-and-jam the update is closed-form: an
+ * edge at distance d between statement instances maps, for each
+ * source copy offset s over the unrolled loops, to an edge between
+ * copy s and copy t where
+ *
+ *     t_k = (s_k + d_k) mod f_k,   d'_k = floor((s_k + d_k) / f_k)
+ *
+ * (f_k = unroll factor of loop k); non-unrolled components keep d.
+ * No subscript is ever re-tested -- and the update's cost is again
+ * proportional to the edge count, so dropping input dependences pays
+ * once more.
+ */
+
+#ifndef UJAM_DEPS_UPDATE_HH
+#define UJAM_DEPS_UPDATE_HH
+
+#include "deps/graph.hh"
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/**
+ * Enumerate the body-copy offsets of unrollAndJamNest's main nest in
+ * the order the transform lays them out (the earliest-unrolled loop
+ * varies fastest).
+ *
+ * @param unroll Per-loop unroll amounts (innermost 0).
+ * @return Copy offset vectors; size is the product of (u_k + 1).
+ */
+std::vector<IntVector> unrollCopyOrder(const IntVector &unroll);
+
+/**
+ * Update a nest's dependence graph across unroll-and-jam.
+ *
+ * Access ordinals in the result follow the transformed main nest:
+ * copy index (per unrollCopyOrder) times the original access count,
+ * plus the original ordinal.
+ *
+ * @param graph  The original nest's graph.
+ * @param nest   The original nest (for access/statement counts).
+ * @param unroll The unroll vector applied.
+ * @return The graph of the unroll-and-jammed main nest. Edges with
+ *         exact distances map exactly; Star edges are mapped
+ *         conservatively (every copy pair).
+ */
+DependenceGraph updateGraphAfterUnrollAndJam(const DependenceGraph &graph,
+                                             const LoopNest &nest,
+                                             const IntVector &unroll);
+
+} // namespace ujam
+
+#endif // UJAM_DEPS_UPDATE_HH

@@ -1,0 +1,125 @@
+#include "driver/driver.hh"
+
+#include <sstream>
+
+#include "support/string_utils.hh"
+#include "transform/distribution.hh"
+#include "transform/fusion.hh"
+#include "transform/interchange.hh"
+#include "transform/normalize.hh"
+#include "transform/scalar_replacement.hh"
+#include "transform/unroll_and_jam.hh"
+
+namespace ujam
+{
+
+std::string
+PipelineResult::summary() const
+{
+    std::ostringstream os;
+    for (const NestOutcome &outcome : outcomes) {
+        os << padRight(outcome.name.empty() ? "<unnamed>" : outcome.name,
+                       12);
+        if (outcome.normalized)
+            os << " normalized";
+        if (outcome.pieces > 1)
+            os << " distributed(" << outcome.pieces << ")";
+        if (outcome.interchanged) {
+            os << " interchanged(";
+            for (std::size_t i = 0; i < outcome.permutation.size(); ++i)
+                os << (i ? "," : "") << outcome.permutation[i];
+            os << ")";
+        }
+        os << " " << outcome.decision.toString();
+        if (outcome.loadsRemoved > 0)
+            os << " loads-removed=" << outcome.loadsRemoved;
+        if (outcome.prefetches > 0)
+            os << " prefetches=" << outcome.prefetches;
+        os << "\n";
+    }
+    return os.str();
+}
+
+PipelineResult
+optimizeProgram(const Program &program, const MachineModel &machine,
+                const PipelineConfig &config)
+{
+    PipelineResult result;
+
+    Program staged = program;
+    if (config.fuse) {
+        auto [fused, count] = fuseProgram(program);
+        staged = std::move(fused);
+        result.fusions = count;
+    }
+
+    result.program = staged;
+    result.program.nests().clear();
+
+    LocalityParams locality = config.optimizer.locality;
+    locality.cacheLineElems = machine.lineElems();
+
+    for (const LoopNest &original : staged.nests()) {
+        NestOutcome outcome;
+        outcome.name = original.name();
+        LoopNest nest = original;
+
+        if (config.normalize) {
+            NormalizeResult normalized = normalizeNest(nest);
+            outcome.normalized =
+                std::count(normalized.normalized.begin(),
+                           normalized.normalized.end(), true) > 0;
+            nest = std::move(normalized.nest);
+        }
+
+        std::vector<LoopNest> pieces{nest};
+        if (config.distribute) {
+            DistributionResult distributed = distributeNest(nest);
+            pieces = std::move(distributed.nests);
+            outcome.pieces = pieces.size();
+        }
+
+        for (LoopNest &piece : pieces) {
+            if (config.interchange) {
+                InterchangeResult order =
+                    chooseLoopOrder(piece, locality);
+                outcome.interchanged |= order.changed;
+                outcome.permutation = order.permutation;
+                piece = std::move(order.nest);
+            }
+
+            // The summary keeps the last piece's decision; pieces of
+            // one nest rarely diverge and the full detail is in the
+            // transformed program itself.
+            outcome.decision =
+                chooseUnrollAmounts(piece, machine, config.optimizer);
+
+            std::vector<LoopNest> expanded =
+                unrollAndJamNest(piece, outcome.decision.unroll);
+            for (LoopNest &bit : expanded) {
+                if (config.scalarReplace) {
+                    // The transform honors the same register file the
+                    // optimizer's constraint assumed.
+                    ScalarReplacementConfig sr_config;
+                    sr_config.maxRegisters = machine.fpRegisters;
+                    ScalarReplacementResult replaced =
+                        scalarReplace(bit, sr_config);
+                    outcome.loadsRemoved += replaced.loadsRemoved;
+                    bit = std::move(replaced.nest);
+                }
+                if (config.prefetch) {
+                    PrefetchResult prefetched =
+                        insertPrefetches(bit, config.prefetchConfig);
+                    outcome.prefetches +=
+                        prefetched.prefetchesInserted;
+                    bit = std::move(prefetched.nest);
+                }
+                result.program.addNest(std::move(bit));
+            }
+        }
+        result.outcomes.push_back(std::move(outcome));
+    }
+    return result;
+}
+
+} // namespace ujam

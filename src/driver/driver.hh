@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The whole-program optimization pipeline in one call.
+ *
+ * Stages, in order:
+ *   0. loop fusion        (program level, optional: merge adjacent
+ *                          producer-consumer nests)
+ * then per nest:
+ *   1. normalization      (step-1 loops; always safe, optional)
+ *   2. distribution       (optional: split independent statement
+ *                          groups so each gets its own decision)
+ *   3. loop interchange   (Eq. 1 memory order; off by default -- the
+ *                          paper studies unroll-and-jam in isolation)
+ *   4. unroll-and-jam     (the paper: table-driven amount selection)
+ *   5. scalar replacement (register reuse for the unrolled body)
+ *   6. prefetch insertion (optional; section 3.2's model realized)
+ *
+ * Fringe nests created by step 4 get steps 5-6 as well.
+ */
+
+#ifndef UJAM_DRIVER_DRIVER_HH
+#define UJAM_DRIVER_DRIVER_HH
+
+#include "core/optimizer.hh"
+#include "transform/prefetch_insertion.hh"
+
+namespace ujam
+{
+
+/** Pipeline configuration. */
+struct PipelineConfig
+{
+    OptimizerConfig optimizer;   //!< unroll-amount selection
+    bool fuse = false;           //!< merge adjacent conformable nests
+    bool normalize = true;       //!< rewrite stepped loops first
+    bool distribute = false;     //!< split independent statement groups
+    bool interchange = false;    //!< Eq. 1 loop-order selection
+    bool scalarReplace = true;   //!< register reuse after unrolling
+    bool prefetch = false;       //!< insert prefetch statements
+    PrefetchConfig prefetchConfig; //!< distance etc.
+};
+
+/** Per-nest record of what the pipeline did. */
+struct NestOutcome
+{
+    std::string name;            //!< nest name (may be empty)
+    bool normalized = false;     //!< any loop rewritten to step 1
+    std::size_t pieces = 1;      //!< nests after distribution
+    bool interchanged = false;   //!< loop order changed
+    std::vector<std::size_t> permutation; //!< applied loop order
+    UnrollDecision decision;     //!< the unroll choice
+    std::size_t loadsRemoved = 0;   //!< by scalar replacement
+    std::size_t prefetches = 0;     //!< inserted per body
+};
+
+/** The optimized program plus the per-nest log. */
+struct PipelineResult
+{
+    Program program;
+    std::vector<NestOutcome> outcomes; //!< one per (post-fusion) nest
+    std::size_t fusions = 0;           //!< adjacent nests merged
+
+    /** @return A short human-readable summary of all outcomes. */
+    std::string summary() const;
+};
+
+/**
+ * Optimize every nest of a program for a machine.
+ *
+ * @param program The input program (left untouched).
+ * @param machine The optimization target.
+ * @param config  Stage switches and optimizer knobs.
+ * @return The transformed program and what happened per nest.
+ */
+PipelineResult optimizeProgram(const Program &program,
+                               const MachineModel &machine,
+                               const PipelineConfig &config = {});
+
+} // namespace ujam
+
+#endif // UJAM_DRIVER_DRIVER_HH

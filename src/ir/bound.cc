@@ -1,0 +1,161 @@
+#include "ir/bound.hh"
+
+#include <sstream>
+
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+/** The alignment term of a Bound: see Bound::alignedUpper. */
+struct BoundAlignedPart
+{
+    Bound lower;
+    Bound upper;
+    std::int64_t factor = 1;
+
+    bool
+    operator==(const BoundAlignedPart &other) const
+    {
+        return lower == other.lower && upper == other.upper &&
+               factor == other.factor;
+    }
+};
+
+Bound
+Bound::constant(std::int64_t c)
+{
+    Bound b;
+    b.constant_ = c;
+    return b;
+}
+
+Bound
+Bound::param(const std::string &name, std::int64_t coeff,
+             std::int64_t offset)
+{
+    Bound b;
+    b.constant_ = offset;
+    if (coeff != 0)
+        b.terms_[name] = coeff;
+    return b;
+}
+
+Bound
+Bound::alignedUpper(const Bound &lower, const Bound &upper,
+                    std::int64_t factor)
+{
+    UJAM_ASSERT(factor >= 1, "alignment factor must be positive");
+    Bound b;
+    auto part = std::make_shared<BoundAlignedPart>();
+    part->lower = lower;
+    part->upper = upper;
+    part->factor = factor;
+    b.aligned_ = std::move(part);
+    return b;
+}
+
+Bound
+Bound::plus(std::int64_t delta) const
+{
+    Bound b = *this;
+    b.constant_ += delta;
+    return b;
+}
+
+Bound
+Bound::sum(const Bound &lhs, const Bound &rhs)
+{
+    UJAM_ASSERT(!(lhs.aligned_ && rhs.aligned_),
+                "cannot sum two aligned bounds");
+    Bound result = lhs;
+    result.constant_ += rhs.constant_;
+    for (const auto &[name, coeff] : rhs.terms_) {
+        result.terms_[name] += coeff;
+        if (result.terms_[name] == 0)
+            result.terms_.erase(name);
+    }
+    if (rhs.aligned_)
+        result.aligned_ = rhs.aligned_;
+    return result;
+}
+
+bool
+Bound::isConstant() const
+{
+    return terms_.empty() && !aligned_;
+}
+
+std::int64_t
+Bound::evaluate(const ParamBindings &params) const
+{
+    std::int64_t value = constant_;
+    for (const auto &[name, coeff] : terms_) {
+        auto it = params.find(name);
+        if (it == params.end())
+            fatal("unbound loop-bound parameter '", name, "'");
+        value += coeff * it->second;
+    }
+    if (aligned_) {
+        std::int64_t lo = aligned_->lower.evaluate(params);
+        std::int64_t hi = aligned_->upper.evaluate(params);
+        std::int64_t trip = hi - lo + 1;
+        if (trip < 0)
+            trip = 0;
+        value += lo + (trip / aligned_->factor) * aligned_->factor - 1;
+    }
+    return value;
+}
+
+std::string
+Bound::toString() const
+{
+    std::ostringstream os;
+    bool printed = false;
+    for (const auto &[name, coeff] : terms_) {
+        if (coeff == 0)
+            continue;
+        if (printed && coeff > 0)
+            os << " + ";
+        if (coeff == 1) {
+            os << name;
+        } else if (coeff == -1) {
+            os << "-" << name;
+        } else if (coeff < 0 && printed) {
+            os << " - " << -coeff << "*" << name;
+        } else {
+            os << coeff << "*" << name;
+        }
+        printed = true;
+    }
+    if (aligned_) {
+        if (printed)
+            os << " + ";
+        os << "align(" << aligned_->lower.toString() << ", "
+           << aligned_->upper.toString() << ", " << aligned_->factor << ")";
+        printed = true;
+    }
+    if (constant_ != 0 || !printed) {
+        if (printed && constant_ > 0)
+            os << " + " << constant_;
+        else if (printed && constant_ < 0)
+            os << " - " << -constant_;
+        else
+            os << constant_;
+    }
+    return os.str();
+}
+
+bool
+Bound::operator==(const Bound &other) const
+{
+    if (constant_ != other.constant_ || terms_ != other.terms_)
+        return false;
+    if (!aligned_ && !other.aligned_)
+        return true;
+    if (!aligned_ || !other.aligned_)
+        return false;
+    return *aligned_ == *other.aligned_;
+}
+
+} // namespace ujam

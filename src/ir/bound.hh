@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Loop bounds as affine forms over symbolic parameters.
+ *
+ * Bounds are constant + sum(coeff * parameter), optionally plus an
+ * alignment term produced by unroll-and-jam: the largest value not
+ * exceeding an upper bound such that the trip count from a lower
+ * bound is a multiple of the unroll factor. Bounds evaluate to
+ * concrete integers once parameters are bound.
+ */
+
+#ifndef UJAM_IR_BOUND_HH
+#define UJAM_IR_BOUND_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace ujam
+{
+
+/** Parameter bindings used to evaluate symbolic bounds. */
+using ParamBindings = std::map<std::string, std::int64_t>;
+
+struct BoundAlignedPart;
+
+/**
+ * An affine loop bound, optionally with one alignment term.
+ */
+class Bound
+{
+  public:
+    /** Construct the constant 0. */
+    Bound() = default;
+
+    /** @return The constant bound c. */
+    static Bound constant(std::int64_t c);
+
+    /** @return The bound coeff * name + offset. */
+    static Bound param(const std::string &name, std::int64_t coeff = 1,
+                       std::int64_t offset = 0);
+
+    /**
+     * @return The aligned upper bound
+     *   lower + floor((upper - lower + 1) / factor) * factor - 1,
+     * i.e. the last iteration covered when stepping by factor from
+     * lower without passing upper.
+     */
+    static Bound alignedUpper(const Bound &lower, const Bound &upper,
+                              std::int64_t factor);
+
+    /** @return This bound plus a constant. */
+    Bound plus(std::int64_t delta) const;
+
+    /**
+     * @return The sum of two bounds.
+     * @pre At most one operand carries an alignment term.
+     */
+    static Bound sum(const Bound &lhs, const Bound &rhs);
+
+    /** @return True iff the bound is a plain integer constant. */
+    bool isConstant() const;
+
+    /** @return True iff the bound contains an alignment term. */
+    bool isAligned() const { return aligned_ != nullptr; }
+
+    /**
+     * Evaluate with the given parameter bindings.
+     * @throws FatalError if a parameter is unbound.
+     */
+    std::int64_t evaluate(const ParamBindings &params) const;
+
+    /** @return Source rendering, e.g. "2*n - 1" or "align(1, n, 4)". */
+    std::string toString() const;
+
+    bool operator==(const Bound &other) const;
+
+  private:
+    std::int64_t constant_ = 0;
+    std::map<std::string, std::int64_t> terms_;
+    std::shared_ptr<const BoundAlignedPart> aligned_;
+};
+
+} // namespace ujam
+
+#endif // UJAM_IR_BOUND_HH

@@ -1,0 +1,115 @@
+#include "ir/builder.hh"
+
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+NestBuilder &
+NestBuilder::loop(const std::string &iv, Bound lower, Bound upper,
+                  std::int64_t step)
+{
+    for (const Loop &existing : loops_) {
+        if (existing.iv == iv)
+            fatal("duplicate induction variable '", iv, "'");
+    }
+    loops_.push_back(Loop{iv, std::move(lower), std::move(upper), step});
+    return *this;
+}
+
+NestBuilder &
+NestBuilder::loop(const std::string &iv, std::int64_t lower,
+                  std::int64_t upper, std::int64_t step)
+{
+    return loop(iv, Bound::constant(lower), Bound::constant(upper), step);
+}
+
+std::size_t
+NestBuilder::ivPosition(const std::string &iv) const
+{
+    for (std::size_t k = 0; k < loops_.size(); ++k) {
+        if (loops_[k].iv == iv)
+            return k;
+    }
+    fatal("unknown induction variable '", iv, "' in subscript");
+}
+
+ArrayRef
+NestBuilder::ref(const std::string &array,
+                 const std::vector<Subscript> &subs) const
+{
+    std::vector<IntVector> rows;
+    IntVector offset(subs.size());
+    for (std::size_t d = 0; d < subs.size(); ++d) {
+        IntVector row(loops_.size());
+        if (!subs[d].iv.empty() && subs[d].coeff != 0)
+            row[ivPosition(subs[d].iv)] = subs[d].coeff;
+        rows.push_back(std::move(row));
+        offset[d] = subs[d].offset;
+    }
+    return ArrayRef(array, std::move(rows), std::move(offset));
+}
+
+ExprPtr
+NestBuilder::read(const std::string &array,
+                  const std::vector<Subscript> &subs) const
+{
+    return Expr::arrayRead(ref(array, subs));
+}
+
+NestBuilder &
+NestBuilder::assign(const std::string &array,
+                    const std::vector<Subscript> &subs, ExprPtr rhs)
+{
+    body_.push_back(Stmt::assignArray(ref(array, subs), std::move(rhs)));
+    return *this;
+}
+
+NestBuilder &
+NestBuilder::name(std::string nest_name)
+{
+    name_ = std::move(nest_name);
+    return *this;
+}
+
+LoopNest
+NestBuilder::build() const
+{
+    UJAM_ASSERT(!loops_.empty(), "nest with no loops");
+    UJAM_ASSERT(!body_.empty(), "nest with no statements");
+    LoopNest nest(loops_, body_);
+    nest.setName(name_);
+    return nest;
+}
+
+ExprPtr
+add(ExprPtr lhs, ExprPtr rhs)
+{
+    return Expr::binary(BinOp::Add, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr
+subtract(ExprPtr lhs, ExprPtr rhs)
+{
+    return Expr::binary(BinOp::Sub, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr
+mul(ExprPtr lhs, ExprPtr rhs)
+{
+    return Expr::binary(BinOp::Mul, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr
+divide(ExprPtr lhs, ExprPtr rhs)
+{
+    return Expr::binary(BinOp::Div, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr
+lit(double value)
+{
+    return Expr::constant(value);
+}
+
+} // namespace ujam

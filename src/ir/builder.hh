@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Programmatic construction helpers for IR.
+ *
+ * Tests and workload definitions build nests either from DSL text
+ * (see parser/) or with this builder. The builder resolves induction
+ * variable names to loop positions so subscripts can be written
+ * symbolically.
+ */
+
+#ifndef UJAM_IR_BUILDER_HH
+#define UJAM_IR_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/** One subscript position: coeff * iv + offset (iv may be empty). */
+struct Subscript
+{
+    std::string iv;          //!< induction variable name; "" for constant
+    std::int64_t coeff = 1;  //!< coefficient of the induction variable
+    std::int64_t offset = 0; //!< additive constant
+
+    /** @return A pure-constant subscript. */
+    static Subscript
+    constant(std::int64_t value)
+    {
+        return Subscript{"", 0, value};
+    }
+};
+
+/** Shorthand for subscript "iv + offset". */
+inline Subscript
+idx(std::string iv, std::int64_t offset = 0)
+{
+    return Subscript{std::move(iv), 1, offset};
+}
+
+/** Shorthand for subscript "coeff*iv + offset". */
+inline Subscript
+scaled(std::string iv, std::int64_t coeff, std::int64_t offset = 0)
+{
+    return Subscript{std::move(iv), coeff, offset};
+}
+
+/**
+ * Builds one perfect nest.
+ */
+class NestBuilder
+{
+  public:
+    /** Append a loop (outermost first). */
+    NestBuilder &loop(const std::string &iv, Bound lower, Bound upper,
+                      std::int64_t step = 1);
+
+    /** Append a loop with constant bounds. */
+    NestBuilder &loop(const std::string &iv, std::int64_t lower,
+                      std::int64_t upper, std::int64_t step = 1);
+
+    /** @return A reference with symbolic subscripts. */
+    ArrayRef ref(const std::string &array,
+                 const std::vector<Subscript> &subs) const;
+
+    /** @return An array-read expression. */
+    ExprPtr read(const std::string &array,
+                 const std::vector<Subscript> &subs) const;
+
+    /** Append an array assignment statement. */
+    NestBuilder &assign(const std::string &array,
+                        const std::vector<Subscript> &subs, ExprPtr rhs);
+
+    /** Set the nest's report name. */
+    NestBuilder &name(std::string nest_name);
+
+    /** @return The completed nest. */
+    LoopNest build() const;
+
+  private:
+    std::size_t ivPosition(const std::string &iv) const;
+
+    std::string name_;
+    std::vector<Loop> loops_;
+    std::vector<Stmt> body_;
+};
+
+/** @return lhs + rhs. */
+ExprPtr add(ExprPtr lhs, ExprPtr rhs);
+/** @return lhs - rhs. */
+ExprPtr subtract(ExprPtr lhs, ExprPtr rhs);
+/** @return lhs * rhs. */
+ExprPtr mul(ExprPtr lhs, ExprPtr rhs);
+/** @return lhs / rhs. */
+ExprPtr divide(ExprPtr lhs, ExprPtr rhs);
+/** @return A literal constant. */
+ExprPtr lit(double value);
+
+} // namespace ujam
+
+#endif // UJAM_IR_BUILDER_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Reference interpreter for IR programs.
+ *
+ * Executes a Program over concrete parameter bindings with Fortran
+ * column-major arrays. Used three ways:
+ *  - as the semantic oracle for transformation tests (original and
+ *    transformed programs must compute the same array contents),
+ *  - as the address generator feeding the cache simulator, via the
+ *    access callback, and
+ *  - to count dynamic loads/stores/iterations.
+ *
+ * Arrays are allocated with a guard halo so transformed code that
+ * touches a small margin outside the declared extents (as real
+ * unroll-and-jammed Fortran does) stays well defined; accesses beyond
+ * the halo raise a fatal error.
+ */
+
+#ifndef UJAM_IR_INTERP_HH
+#define UJAM_IR_INTERP_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/** Kind of a dynamic memory access reported to the callback. */
+enum class MemAccessKind
+{
+    Read,
+    Write,
+    Prefetch //!< touches the line; never stalls, returns no value
+};
+
+/**
+ * Interprets a Program.
+ */
+class Interpreter
+{
+  public:
+    /** Width of the out-of-bounds guard halo, in elements per side. */
+    static constexpr std::int64_t haloElems = 8;
+
+    /**
+     * Notification for every dynamic array access.
+     * @param address Element address in the global element space.
+     * @param kind    Read, Write or Prefetch.
+     */
+    using AccessCallback =
+        std::function<void(std::int64_t address, MemAccessKind kind)>;
+
+    /**
+     * Construct and allocate arrays.
+     *
+     * @param program   The program; array extents are evaluated now.
+     * @param overrides Parameter values overriding program defaults.
+     */
+    explicit Interpreter(const Program &program,
+                         const ParamBindings &overrides = {});
+
+    /** Fill every array with deterministic values in [1, 2). */
+    void seedArrays(std::uint64_t seed);
+
+    /** Install an access callback (pass nullptr to remove). */
+    void setAccessCallback(AccessCallback callback);
+
+    /** Execute every nest of the program, in order. */
+    void run();
+
+    /** Execute a single nest (shares array/scalar state). */
+    void runNest(const LoopNest &nest);
+
+    /** @return The contents of the named array (including halo). */
+    const std::vector<double> &arrayData(const std::string &name) const;
+
+    /** @return Element (1-based subscripts) of the named array. */
+    double element(const std::string &name,
+                   const std::vector<std::int64_t> &subscripts) const;
+
+    /** @return Current value of a scalar variable (0.0 if unset). */
+    double scalar(const std::string &name) const;
+
+    /** @return The resolved parameter bindings. */
+    const ParamBindings &params() const { return params_; }
+
+    /** @return Global element address of a 1-based subscript tuple. */
+    std::int64_t elementAddress(
+        const std::string &name,
+        const std::vector<std::int64_t> &subscripts) const;
+
+    /** Dynamic statistics. */
+    std::uint64_t loadCount() const { return loads_; }
+    std::uint64_t storeCount() const { return stores_; }
+    std::uint64_t prefetchCount() const { return prefetches_; }
+    std::uint64_t iterationCount() const { return iterations_; }
+    /** Pre/postheader statements executed (once per outer iteration). */
+    std::uint64_t headerStmtCount() const { return header_stmts_; }
+
+    /**
+     * Compare array contents with another interpreter over the same
+     * program shape.
+     *
+     * @param other   The other interpreter.
+     * @param rel_tol Relative tolerance (reassociation headroom).
+     * @return Empty string on match, else a description of the first
+     *         mismatch.
+     */
+    std::string compareArrays(const Interpreter &other,
+                              double rel_tol) const;
+
+  private:
+    struct ArrayStorage
+    {
+        std::string name;
+        std::vector<std::int64_t> extents;  //!< declared extents
+        std::vector<std::int64_t> strides;  //!< element strides w/ halo
+        std::int64_t base = 0;              //!< global element base
+        std::vector<double> data;           //!< includes halo margins
+    };
+
+    const ArrayStorage &storage(const std::string &name) const;
+    ArrayStorage &storage(const std::string &name);
+
+    /** Flat in-array index of a subscript vector; fatal past halo. */
+    std::int64_t flatIndex(const ArrayStorage &array,
+                           const ArrayRef &ref) const;
+
+    double evalExpr(const Expr &expr);
+    double readRef(const ArrayRef &ref);
+    void writeRef(const ArrayRef &ref, double value);
+    void execStmt(const Stmt &stmt);
+    void execLoops(const LoopNest &nest, std::size_t level);
+
+    const Program &program_;
+    ParamBindings params_;
+    std::map<std::string, std::size_t> array_index_;
+    std::vector<ArrayStorage> arrays_;
+    std::map<std::string, double> scalars_;
+    std::vector<std::int64_t> iv_values_;
+    AccessCallback callback_;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t prefetches_ = 0;
+    std::uint64_t iterations_ = 0;
+    std::uint64_t header_stmts_ = 0;
+};
+
+} // namespace ujam
+
+#endif // UJAM_IR_INTERP_HH

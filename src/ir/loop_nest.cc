@@ -1,0 +1,115 @@
+#include "ir/loop_nest.hh"
+
+#include <algorithm>
+
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+std::int64_t
+Loop::tripCount(const ParamBindings &params) const
+{
+    UJAM_ASSERT(step >= 1, "loop step must be positive");
+    std::int64_t lo = lower.evaluate(params);
+    std::int64_t hi = upper.evaluate(params);
+    if (hi < lo)
+        return 0;
+    return (hi - lo) / step + 1;
+}
+
+LoopNest::LoopNest(std::vector<Loop> loops, std::vector<Stmt> body)
+    : loops_(std::move(loops)), body_(std::move(body))
+{}
+
+std::vector<std::string>
+LoopNest::ivNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(loops_.size());
+    for (const Loop &loop : loops_)
+        names.push_back(loop.iv);
+    return names;
+}
+
+std::vector<Access>
+LoopNest::accesses() const
+{
+    std::vector<Access> result;
+    for (std::size_t s = 0; s < body_.size(); ++s) {
+        body_[s].forEachAccess([&](const ArrayRef &ref, bool is_write) {
+            Access access;
+            access.ref = ref;
+            access.isWrite = is_write;
+            access.stmt = s;
+            access.ordinal = result.size();
+            result.push_back(std::move(access));
+        });
+    }
+    return result;
+}
+
+std::size_t
+LoopNest::bodyFlops() const
+{
+    std::size_t flops = 0;
+    for (const Stmt &stmt : body_)
+        flops += stmt.countFlops();
+    return flops;
+}
+
+bool
+LoopNest::allRefsAnalyzable() const
+{
+    bool ok = true;
+    for (const Stmt &stmt : body_) {
+        stmt.forEachAccess([&](const ArrayRef &ref, bool) {
+            if (ref.depth() != depth() || !ref.isSivSeparable())
+                ok = false;
+        });
+    }
+    return ok;
+}
+
+void
+Program::declareArray(ArrayDecl decl)
+{
+    for (ArrayDecl &existing : arrays_) {
+        if (existing.name == decl.name) {
+            existing = std::move(decl);
+            return;
+        }
+    }
+    arrays_.push_back(std::move(decl));
+}
+
+const ArrayDecl &
+Program::array(const std::string &name) const
+{
+    for (const ArrayDecl &decl : arrays_) {
+        if (decl.name == name)
+            return decl;
+    }
+    fatal("array '", name, "' is not declared");
+}
+
+bool
+Program::hasArray(const std::string &name) const
+{
+    return std::any_of(arrays_.begin(), arrays_.end(),
+                       [&](const ArrayDecl &d) { return d.name == name; });
+}
+
+void
+Program::setParamDefault(const std::string &name, std::int64_t value)
+{
+    param_defaults_[name] = value;
+}
+
+void
+Program::addNest(LoopNest nest)
+{
+    nests_.push_back(std::move(nest));
+}
+
+} // namespace ujam

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Source-level rendering of IR.
+ *
+ * Emits the same Fortran-like surface syntax the parser accepts, so a
+ * printed program can be parsed back (round-trip tested).
+ */
+
+#ifndef UJAM_IR_PRINTER_HH
+#define UJAM_IR_PRINTER_HH
+
+#include <string>
+
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/** @return expr rendered with the given induction-variable names. */
+std::string renderExpr(const ExprPtr &expr,
+                       const std::vector<std::string> &ivs);
+
+/** @return stmt rendered with the given induction-variable names. */
+std::string renderStmt(const Stmt &stmt,
+                       const std::vector<std::string> &ivs);
+
+/** @return The nest as indented source text. */
+std::string renderLoopNest(const LoopNest &nest);
+
+/** @return The whole program: declarations, parameters, nests. */
+std::string renderProgram(const Program &program);
+
+} // namespace ujam
+
+#endif // UJAM_IR_PRINTER_HH

@@ -1,0 +1,112 @@
+#include "ir/validation.hh"
+
+#include <set>
+
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+void
+checkStmts(const Program &program, const LoopNest &nest,
+           const std::vector<Stmt> &stmts, const char *where,
+           std::vector<std::string> &problems)
+{
+    const std::string nest_name =
+        nest.name().empty() ? "<unnamed>" : nest.name();
+    auto check_ref = [&](const ArrayRef &ref) {
+            if (!program.hasArray(ref.array())) {
+                problems.push_back(concat("nest ", nest_name, " ", where,
+                                          ": undeclared array '",
+                                          ref.array(), "'"));
+                return;
+            }
+            const ArrayDecl &decl = program.array(ref.array());
+            if (decl.extents.size() != ref.dims()) {
+                problems.push_back(concat(
+                    "nest ", nest_name, " ", where, ": array '",
+                    ref.array(), "' has rank ", decl.extents.size(),
+                    " but is referenced with ", ref.dims(),
+                    " subscripts"));
+            }
+            if (ref.depth() != nest.depth()) {
+                problems.push_back(concat(
+                    "nest ", nest_name, " ", where, ": reference to '",
+                    ref.array(), "' has subscript depth ", ref.depth(),
+                    " in a depth-", nest.depth(), " nest"));
+            }
+    };
+    for (const Stmt &stmt : stmts) {
+        if (stmt.isPrefetch())
+            check_ref(stmt.prefetchRef());
+        else
+            stmt.forEachAccess(
+                [&](const ArrayRef &ref, bool) { check_ref(ref); });
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+validateNest(const Program &program, const LoopNest &nest)
+{
+    std::vector<std::string> problems;
+    const std::string nest_name =
+        nest.name().empty() ? "<unnamed>" : nest.name();
+
+    std::set<std::string> ivs;
+    for (const Loop &loop : nest.loops()) {
+        if (!ivs.insert(loop.iv).second) {
+            problems.push_back(concat("nest ", nest_name,
+                                      ": duplicate induction variable '",
+                                      loop.iv, "'"));
+        }
+        if (loop.step < 1) {
+            problems.push_back(concat("nest ", nest_name, ": loop '",
+                                      loop.iv, "' has non-positive step ",
+                                      loop.step));
+        }
+        try {
+            loop.lower.evaluate(program.paramDefaults());
+            loop.upper.evaluate(program.paramDefaults());
+        } catch (const FatalError &err) {
+            problems.push_back(concat("nest ", nest_name, ": loop '",
+                                      loop.iv, "': ", err.what()));
+        }
+    }
+    if (nest.body().empty())
+        problems.push_back(concat("nest ", nest_name, ": empty body"));
+
+    checkStmts(program, nest, nest.body(), "body", problems);
+    checkStmts(program, nest, nest.preheader(), "preheader", problems);
+    checkStmts(program, nest, nest.postheader(), "postheader", problems);
+    return problems;
+}
+
+std::vector<std::string>
+validateProgram(const Program &program)
+{
+    std::vector<std::string> problems;
+    for (const ArrayDecl &decl : program.arrays()) {
+        for (const Bound &extent : decl.extents) {
+            try {
+                extent.evaluate(program.paramDefaults());
+            } catch (const FatalError &err) {
+                problems.push_back(concat("array '", decl.name, "': ",
+                                          err.what()));
+            }
+        }
+    }
+    for (const LoopNest &nest : program.nests()) {
+        std::vector<std::string> nest_problems =
+            validateNest(program, nest);
+        problems.insert(problems.end(), nest_problems.begin(),
+                        nest_problems.end());
+    }
+    return problems;
+}
+
+} // namespace ujam

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * IR well-formedness checks.
+ */
+
+#ifndef UJAM_IR_VALIDATION_HH
+#define UJAM_IR_VALIDATION_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/**
+ * Check a program for structural problems.
+ *
+ * Verifies: unique induction variables per nest, positive steps,
+ * declared arrays with matching ranks, subscript depths equal to the
+ * nest depth, and evaluable bounds/extents under the program's
+ * parameter defaults.
+ *
+ * @return A list of human-readable problems; empty when valid.
+ */
+std::vector<std::string> validateProgram(const Program &program);
+
+/** Like validateProgram but for one nest against a program's arrays. */
+std::vector<std::string> validateNest(const Program &program,
+                                      const LoopNest &nest);
+
+} // namespace ujam
+
+#endif // UJAM_IR_VALIDATION_HH

@@ -1,0 +1,114 @@
+#include "linalg/int_vector.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "support/diagnostics.hh"
+#include "support/rational.hh"
+
+namespace ujam
+{
+
+IntVector
+IntVector::operator+(const IntVector &other) const
+{
+    UJAM_ASSERT(size() == other.size(), "size mismatch in vector add");
+    IntVector result(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        result[i] = checkedAdd(elems_[i], other.elems_[i]);
+    return result;
+}
+
+IntVector
+IntVector::operator-(const IntVector &other) const
+{
+    UJAM_ASSERT(size() == other.size(), "size mismatch in vector subtract");
+    IntVector result(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        result[i] = checkedAdd(elems_[i], -other.elems_[i]);
+    return result;
+}
+
+IntVector
+IntVector::operator-() const
+{
+    IntVector result(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        result[i] = -elems_[i];
+    return result;
+}
+
+bool
+IntVector::isZero() const
+{
+    return std::all_of(elems_.begin(), elems_.end(),
+                       [](std::int64_t x) { return x == 0; });
+}
+
+bool
+IntVector::lexLess(const IntVector &other) const
+{
+    return lexCompare(other) < 0;
+}
+
+int
+IntVector::lexCompare(const IntVector &other) const
+{
+    UJAM_ASSERT(size() == other.size(), "size mismatch in lex compare");
+    for (std::size_t i = 0; i < size(); ++i) {
+        if (elems_[i] != other.elems_[i])
+            return elems_[i] < other.elems_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+bool
+IntVector::allLessEq(const IntVector &other) const
+{
+    UJAM_ASSERT(size() == other.size(), "size mismatch in dominance test");
+    for (std::size_t i = 0; i < size(); ++i) {
+        if (elems_[i] > other.elems_[i])
+            return false;
+    }
+    return true;
+}
+
+bool
+IntVector::allNonNegative() const
+{
+    return std::all_of(elems_.begin(), elems_.end(),
+                       [](std::int64_t x) { return x >= 0; });
+}
+
+IntVector
+IntVector::max(const IntVector &a, const IntVector &b)
+{
+    UJAM_ASSERT(a.size() == b.size(), "size mismatch in vector max");
+    IntVector result(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        result[i] = std::max(a[i], b[i]);
+    return result;
+}
+
+std::string
+IntVector::toString() const
+{
+    std::ostringstream os;
+    os << "(";
+    for (std::size_t i = 0; i < size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << elems_[i];
+    }
+    os << ")";
+    return os.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const IntVector &v)
+{
+    return os << v.toString();
+}
+
+} // namespace ujam

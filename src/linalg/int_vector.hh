@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Small integer vectors used for subscript offsets, dependence
+ * distances and unroll vectors.
+ */
+
+#ifndef UJAM_LINALG_INT_VECTOR_HH
+#define UJAM_LINALG_INT_VECTOR_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ujam
+{
+
+/**
+ * A fixed-length vector of 64-bit integers with lexicographic and
+ * componentwise orderings.
+ *
+ * Lexicographic order compares from index 0 (the outermost loop in
+ * every ujam convention) toward the end.
+ */
+class IntVector
+{
+  public:
+    /** Construct an empty vector. */
+    IntVector() = default;
+
+    /** Construct a zero vector of the given length. */
+    explicit IntVector(std::size_t size) : elems_(size, 0) {}
+
+    /** Construct from explicit elements. */
+    IntVector(std::initializer_list<std::int64_t> elems) : elems_(elems) {}
+
+    /** Construct from an existing element vector. */
+    explicit IntVector(std::vector<std::int64_t> elems)
+        : elems_(std::move(elems))
+    {}
+
+    std::size_t size() const { return elems_.size(); }
+    bool empty() const { return elems_.empty(); }
+
+    std::int64_t operator[](std::size_t i) const { return elems_[i]; }
+    std::int64_t &operator[](std::size_t i) { return elems_[i]; }
+
+    auto begin() const { return elems_.begin(); }
+    auto end() const { return elems_.end(); }
+
+    bool operator==(const IntVector &other) const = default;
+
+    IntVector operator+(const IntVector &other) const;
+    IntVector operator-(const IntVector &other) const;
+    IntVector operator-() const;
+
+    /** @return True iff every element is zero. */
+    bool isZero() const;
+
+    /** @return True iff *this precedes other lexicographically. */
+    bool lexLess(const IntVector &other) const;
+
+    /** @return -1, 0 or 1 for lexicographic <, ==, >. */
+    int lexCompare(const IntVector &other) const;
+
+    /** @return True iff this[i] <= other[i] for every i. */
+    bool allLessEq(const IntVector &other) const;
+
+    /** @return True iff every element is >= 0. */
+    bool allNonNegative() const;
+
+    /** @return Componentwise maximum of the two vectors. */
+    static IntVector max(const IntVector &a, const IntVector &b);
+
+    /** @return "(a, b, ...)" rendering. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::int64_t> elems_;
+};
+
+std::ostream &operator<<(std::ostream &os, const IntVector &v);
+
+/** Strict-weak lexicographic order functor for ordered containers. */
+struct IntVectorLexLess
+{
+    bool
+    operator()(const IntVector &a, const IntVector &b) const
+    {
+        return a.lexLess(b);
+    }
+};
+
+} // namespace ujam
+
+#endif // UJAM_LINALG_INT_VECTOR_HH

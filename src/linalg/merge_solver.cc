@@ -1,0 +1,83 @@
+#include "linalg/merge_solver.hh"
+
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+std::optional<IntVector>
+solveMergeShift(const RatMatrix &subscript, const IntVector &delta,
+                const Subspace &localized,
+                const std::vector<bool> &unrollable)
+{
+    const std::size_t depth = subscript.cols();
+    const std::size_t dims = subscript.rows();
+    UJAM_ASSERT(delta.size() == dims, "delta/subscript shape mismatch");
+    UJAM_ASSERT(unrollable.size() == depth, "unrollable flag size mismatch");
+    UJAM_ASSERT(localized.ambient() == depth, "localized space mismatch");
+
+    // Unknowns are ordered [y (localized coefficients) | u (unrollable
+    // dims)]. Putting y first makes the elimination prefer pivoting on
+    // the localized coefficients, leaving any genuinely coupled u
+    // component as a free variable we can pin to its minimum, 0.
+    std::vector<std::size_t> unroll_cols;
+    for (std::size_t k = 0; k < depth; ++k) {
+        if (unrollable[k])
+            unroll_cols.push_back(k);
+    }
+
+    const RatMatrix &lbasis = localized.basis();
+    const std::size_t ny = lbasis.rows();
+    const std::size_t nu = unroll_cols.size();
+
+    RatMatrix system(dims, ny + nu + 1);
+    for (std::size_t r = 0; r < dims; ++r) {
+        for (std::size_t j = 0; j < ny; ++j) {
+            Rational coeff;
+            for (std::size_t k = 0; k < depth; ++k)
+                coeff += subscript.at(r, k) * lbasis.at(j, k);
+            system.at(r, j) = coeff;
+        }
+        for (std::size_t j = 0; j < nu; ++j)
+            system.at(r, ny + j) = subscript.at(r, unroll_cols[j]);
+        system.at(r, ny + nu) = Rational(delta[r]);
+    }
+
+    std::vector<std::size_t> pivots = system.reduceToRref();
+    if (!pivots.empty() && pivots.back() == ny + nu)
+        return std::nullopt; // inconsistent: the leaders never merge
+
+    // Read off the u components. A pivot u column gets the RHS value of
+    // its row provided the row involves no other free u column (free y
+    // columns are harmless only if the u value stays fixed; with y
+    // ordered first, any y still free at this point cannot appear in a
+    // pivot row of a u column in RREF when the u value is unique).
+    RatVector shift(nu);
+    std::vector<bool> is_pivot_col(ny + nu, false);
+    for (std::size_t r = 0; r < pivots.size(); ++r)
+        is_pivot_col[pivots[r]] = true;
+
+    for (std::size_t r = 0; r < pivots.size(); ++r) {
+        std::size_t col = pivots[r];
+        if (col < ny)
+            continue; // a localized coefficient; its value is irrelevant
+        // Pin every free variable in this row to 0; the pivot value is
+        // then just the RHS.
+        shift[col - ny] = system.at(r, ny + nu);
+    }
+    // Non-pivot u columns are genuinely free: minimal choice is 0.
+
+    if (!allIntegral(shift))
+        return std::nullopt; // fractional shift: copies interleave, no merge
+
+    IntVector result(depth);
+    for (std::size_t j = 0; j < nu; ++j) {
+        std::int64_t value = shift[j].toInteger();
+        if (value < 0)
+            return std::nullopt; // merge would need a negative shift
+        result[unroll_cols[j]] = value;
+    }
+    return result;
+}
+
+} // namespace ujam

@@ -1,0 +1,139 @@
+#include "linalg/subspace.hh"
+
+#include <sstream>
+
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+Subspace
+Subspace::zero(std::size_t n)
+{
+    Subspace result;
+    result.basis_ = RatMatrix(0, n);
+    result.dimension_ = 0;
+    result.ambient_ = n;
+    return result;
+}
+
+Subspace
+Subspace::full(std::size_t n)
+{
+    return span(RatMatrix::identity(n));
+}
+
+Subspace
+Subspace::span(const RatMatrix &rows)
+{
+    RatMatrix reduced = rows;
+    std::vector<std::size_t> pivots = reduced.reduceToRref();
+
+    Subspace result;
+    result.ambient_ = rows.cols();
+    result.dimension_ = pivots.size();
+    result.basis_ = RatMatrix(0, rows.cols());
+    for (std::size_t r = 0; r < pivots.size(); ++r)
+        result.basis_.appendRow(reduced.row(r));
+    return result;
+}
+
+Subspace
+Subspace::spanOf(std::size_t n, const std::vector<IntVector> &vecs)
+{
+    RatMatrix rows(0, n);
+    for (const IntVector &v : vecs) {
+        UJAM_ASSERT(v.size() == n, "ambient dimension mismatch");
+        rows.appendRow(toRatVector(v));
+    }
+    return span(rows);
+}
+
+Subspace
+Subspace::coordinate(std::size_t n, const std::vector<std::size_t> &dims)
+{
+    RatMatrix rows(0, n);
+    for (std::size_t d : dims) {
+        UJAM_ASSERT(d < n, "coordinate index out of range");
+        RatVector unit(n);
+        unit[d] = Rational(1);
+        rows.appendRow(unit);
+    }
+    return span(rows);
+}
+
+bool
+Subspace::contains(const RatVector &v) const
+{
+    UJAM_ASSERT(v.size() == ambient_, "ambient dimension mismatch");
+    // v is in the span iff appending it does not increase the rank.
+    RatMatrix augmented = basis_;
+    augmented.appendRow(v);
+    return augmented.rank() == dimension_;
+}
+
+bool
+Subspace::contains(const IntVector &v) const
+{
+    return contains(toRatVector(v));
+}
+
+Subspace
+Subspace::intersect(const Subspace &other) const
+{
+    UJAM_ASSERT(ambient_ == other.ambient_, "ambient dimension mismatch");
+    if (isZero() || other.isZero())
+        return zero(ambient_);
+    if (dim() == ambient_)
+        return other;
+    if (other.dim() == ambient_)
+        return *this;
+
+    // Over Q with the standard form, rowspace(A) = null(kernelBasis(A)),
+    // so V cap W = null([constraints(V); constraints(W)]).
+    RatMatrix constraints = basis_.kernelBasis();
+    constraints.appendRows(other.basis_.kernelBasis());
+    return span(constraints.kernelBasis());
+}
+
+Subspace
+Subspace::sum(const Subspace &other) const
+{
+    UJAM_ASSERT(ambient_ == other.ambient_, "ambient dimension mismatch");
+    RatMatrix rows = basis_;
+    rows.appendRows(other.basis_);
+    return span(rows);
+}
+
+bool
+Subspace::containsSubspace(const Subspace &other) const
+{
+    UJAM_ASSERT(ambient_ == other.ambient_, "ambient dimension mismatch");
+    for (std::size_t r = 0; r < other.basis_.rows(); ++r) {
+        if (!contains(other.basis_.row(r)))
+            return false;
+    }
+    return true;
+}
+
+std::string
+Subspace::toString() const
+{
+    std::ostringstream os;
+    os << "span{";
+    for (std::size_t r = 0; r < basis_.rows(); ++r) {
+        if (r > 0)
+            os << ", ";
+        os << "(";
+        for (std::size_t c = 0; c < basis_.cols(); ++c) {
+            if (c > 0)
+                os << ", ";
+            os << basis_.at(r, c);
+        }
+        os << ")";
+    }
+    os << "}";
+    return os.str();
+}
+
+} // namespace ujam

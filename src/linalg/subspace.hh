@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Vector subspaces of Q^n.
+ *
+ * Localized iteration spaces and reuse vector spaces (RST, RSS) are
+ * subspaces of the iteration space. A subspace is stored as a
+ * canonical (RREF) basis, so equal subspaces compare equal
+ * structurally.
+ */
+
+#ifndef UJAM_LINALG_SUBSPACE_HH
+#define UJAM_LINALG_SUBSPACE_HH
+
+#include <string>
+#include <vector>
+
+#include "linalg/rat_matrix.hh"
+
+namespace ujam
+{
+
+/**
+ * A linear subspace of Q^n with a canonical basis.
+ */
+class Subspace
+{
+  public:
+    /** Construct the zero subspace of Q^0. */
+    Subspace() : dimension_(0), ambient_(0) {}
+
+    /** @return The zero subspace of Q^n. */
+    static Subspace zero(std::size_t n);
+
+    /** @return All of Q^n. */
+    static Subspace full(std::size_t n);
+
+    /**
+     * @return The span of the rows of the given matrix.
+     */
+    static Subspace span(const RatMatrix &rows);
+
+    /** @return The span of the given integer vectors in Q^n. */
+    static Subspace spanOf(std::size_t n, const std::vector<IntVector> &vecs);
+
+    /**
+     * @return The coordinate subspace of Q^n spanned by unit vectors
+     *         e_i for each i in dims.
+     */
+    static Subspace coordinate(std::size_t n,
+                               const std::vector<std::size_t> &dims);
+
+    /** @return Dimension of the ambient space Q^n. */
+    std::size_t ambient() const { return ambient_; }
+
+    /** @return Dimension of the subspace. */
+    std::size_t dim() const { return dimension_; }
+
+    /** @return True iff the subspace is {0}. */
+    bool isZero() const { return dimension_ == 0; }
+
+    /** @return The canonical basis, one vector per row. */
+    const RatMatrix &basis() const { return basis_; }
+
+    /** @return True iff v lies in the subspace. */
+    bool contains(const RatVector &v) const;
+
+    /** @return True iff v lies in the subspace. */
+    bool contains(const IntVector &v) const;
+
+    /** @return The intersection with other. @pre same ambient dim. */
+    Subspace intersect(const Subspace &other) const;
+
+    /** @return The sum (join) with other. @pre same ambient dim. */
+    Subspace sum(const Subspace &other) const;
+
+    /** @return True iff other is a (non-strict) subspace of *this. */
+    bool containsSubspace(const Subspace &other) const;
+
+    bool operator==(const Subspace &other) const = default;
+
+    /** @return "span{(..), ..}" rendering. */
+    std::string toString() const;
+
+  private:
+    RatMatrix basis_;       //!< canonical RREF basis, one vector per row
+    std::size_t dimension_;
+    std::size_t ambient_;
+};
+
+} // namespace ujam
+
+#endif // UJAM_LINALG_SUBSPACE_HH

@@ -1,0 +1,166 @@
+#include "parser/lexer.hh"
+
+#include <cctype>
+
+#include "support/diagnostics.hh"
+#include "support/string_utils.hh"
+
+namespace ujam
+{
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::Ident:
+        return "identifier";
+      case TokenKind::Integer:
+        return "integer";
+      case TokenKind::Float:
+        return "number";
+      case TokenKind::Plus:
+        return "'+'";
+      case TokenKind::Minus:
+        return "'-'";
+      case TokenKind::Star:
+        return "'*'";
+      case TokenKind::Slash:
+        return "'/'";
+      case TokenKind::LParen:
+        return "'('";
+      case TokenKind::RParen:
+        return "')'";
+      case TokenKind::Comma:
+        return "','";
+      case TokenKind::Equals:
+        return "'='";
+      case TokenKind::Newline:
+        return "end of line";
+      case TokenKind::NestName:
+        return "nest name";
+      case TokenKind::End:
+        return "end of input";
+    }
+    return "?";
+}
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    std::vector<Token> tokens;
+    int line = 1;
+    std::size_t i = 0;
+
+    auto push = [&](TokenKind kind, std::string text = "") {
+        // Collapse consecutive newlines and drop leading ones.
+        if (kind == TokenKind::Newline &&
+            (tokens.empty() || tokens.back().kind == TokenKind::Newline)) {
+            return;
+        }
+        Token token;
+        token.kind = kind;
+        token.text = std::move(text);
+        token.line = line;
+        tokens.push_back(std::move(token));
+    };
+
+    while (i < source.size()) {
+        char c = source[i];
+        if (c == '\n') {
+            push(TokenKind::Newline);
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '!') {
+            std::size_t eol = source.find('\n', i);
+            std::string comment = source.substr(
+                i + 1, (eol == std::string::npos ? source.size() : eol) -
+                           i - 1);
+            std::string trimmed = trim(comment);
+            if (startsWith(trimmed, "nest:"))
+                push(TokenKind::NestName, trim(trimmed.substr(5)));
+            i = (eol == std::string::npos) ? source.size() : eol;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t start = i;
+            bool is_float = false;
+            while (i < source.size() &&
+                   (std::isdigit(static_cast<unsigned char>(source[i])) ||
+                    source[i] == '.')) {
+                if (source[i] == '.')
+                    is_float = true;
+                ++i;
+            }
+            std::string spelling = source.substr(start, i - start);
+            Token token;
+            token.kind = is_float ? TokenKind::Float : TokenKind::Integer;
+            token.text = spelling;
+            token.line = line;
+            try {
+                if (is_float)
+                    token.floatValue = std::stod(spelling);
+                else
+                    token.intValue = std::stoll(spelling);
+            } catch (const std::exception &) {
+                fatal("line ", line, ": malformed numeric literal '",
+                      spelling, "'");
+            }
+            tokens.push_back(std::move(token));
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t start = i;
+            while (i < source.size() &&
+                   (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                    source[i] == '_')) {
+                ++i;
+            }
+            push(TokenKind::Ident,
+                 toLower(source.substr(start, i - start)));
+            continue;
+        }
+        switch (c) {
+          case '+':
+            push(TokenKind::Plus);
+            break;
+          case '-':
+            push(TokenKind::Minus);
+            break;
+          case '*':
+            push(TokenKind::Star);
+            break;
+          case '/':
+            push(TokenKind::Slash);
+            break;
+          case '(':
+            push(TokenKind::LParen);
+            break;
+          case ')':
+            push(TokenKind::RParen);
+            break;
+          case ',':
+            push(TokenKind::Comma);
+            break;
+          case '=':
+            push(TokenKind::Equals);
+            break;
+          default:
+            fatal("line ", line, ": unexpected character '", c, "'");
+        }
+        ++i;
+    }
+    push(TokenKind::Newline);
+    Token end_token;
+    end_token.kind = TokenKind::End;
+    end_token.line = line;
+    tokens.push_back(end_token);
+    return tokens;
+}
+
+} // namespace ujam

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tokenizer for the loop DSL.
+ *
+ * The DSL is a small Fortran-flavoured language:
+ *
+ *   param n = 100
+ *   real a(n, n)
+ *   ! nest: example
+ *   do j = 1, n
+ *     do i = 1, n
+ *       a(i, j) = a(i, j-1) + 2.0
+ *     end do
+ *   end do
+ *
+ * Newlines terminate statements; "!" starts a comment. A comment of
+ * the form "! nest: NAME" names the following nest.
+ */
+
+#ifndef UJAM_PARSER_LEXER_HH
+#define UJAM_PARSER_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ujam
+{
+
+/** Token kinds produced by the lexer. */
+enum class TokenKind
+{
+    Ident,     //!< identifiers and keywords
+    Integer,   //!< integer literal
+    Float,     //!< floating-point literal (contains '.')
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+    Equals,
+    Newline,   //!< statement terminator
+    NestName,  //!< "! nest: NAME" comment; text holds NAME
+    End        //!< end of input
+};
+
+/** One token with its source position. */
+struct Token
+{
+    TokenKind kind = TokenKind::End;
+    std::string text;        //!< identifier text / literal spelling
+    std::int64_t intValue = 0;
+    double floatValue = 0.0;
+    int line = 0;            //!< 1-based source line
+};
+
+/**
+ * Tokenize DSL source.
+ *
+ * @param source The program text.
+ * @return Tokens ending with an End token; consecutive newlines are
+ *         collapsed.
+ * @throws FatalError on malformed literals or stray characters.
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+/** @return Printable name of a token kind (for error messages). */
+const char *tokenKindName(TokenKind kind);
+
+} // namespace ujam
+
+#endif // UJAM_PARSER_LEXER_HH

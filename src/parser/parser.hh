@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Recursive-descent parser for the loop DSL.
+ *
+ * Grammar (newline-terminated statements, case-insensitive keywords):
+ *
+ *   program    := (param | real | nest)*
+ *   param      := "param" IDENT "=" [-] INT
+ *   real       := "real" IDENT "(" bound ("," bound)* ")"
+ *   nest       := [NESTNAME] doloop
+ *   doloop     := "do" IDENT "=" bound "," bound ["," INT] body "end" ["do"]
+ *   body       := doloop | stmt+       (perfect nests only)
+ *   stmt       := ["pre"] lhs "=" expr
+ *   lhs        := IDENT "(" subscript ("," subscript)* ")" | IDENT
+ *   expr       := addexpr with usual precedence, parentheses, unary -
+ *   primary    := NUMBER | IDENT ["(" subscripts ")"] | "(" expr ")"
+ *   subscript  := affine form over enclosing induction variables
+ *   bound      := affine form over parameters, or
+ *                 "align" "(" bound "," bound "," INT ")"
+ */
+
+#ifndef UJAM_PARSER_PARSER_HH
+#define UJAM_PARSER_PARSER_HH
+
+#include <string>
+
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/**
+ * Parse DSL source into a Program.
+ *
+ * @param source DSL text.
+ * @return The parsed program.
+ * @throws FatalError with line information on syntax errors.
+ */
+Program parseProgram(const std::string &source);
+
+/**
+ * Parse a source containing exactly one nest and return it.
+ *
+ * Convenience for tests; declarations are parsed and discarded.
+ */
+LoopNest parseSingleNest(const std::string &source);
+
+} // namespace ujam
+
+#endif // UJAM_PARSER_PARSER_HH

@@ -1,0 +1,134 @@
+#include "report/report.hh"
+
+#include <sstream>
+
+#include "core/rrs.hh"
+#include "ir/printer.hh"
+#include "support/string_utils.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+const char *
+selfReuseName(SelfReuse kind)
+{
+    switch (kind) {
+      case SelfReuse::None:
+        return "none";
+      case SelfReuse::Spatial:
+        return "spatial";
+      case SelfReuse::Temporal:
+        return "temporal";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+reuseSummary(const LoopNest &nest)
+{
+    std::ostringstream os;
+    const std::size_t depth = nest.depth();
+    Subspace inner = depth > 0
+                         ? Subspace::coordinate(depth, {depth - 1})
+                         : Subspace::zero(0);
+    for (const UniformlyGeneratedSet &ugs : partitionUGS(nest.accesses())) {
+        std::size_t writes = 0;
+        for (const Access &member : ugs.members)
+            writes += member.isWrite;
+        os << padRight(ugs.array, 10) << " refs=" << ugs.members.size()
+           << " (writes " << writes << ")";
+        os << "  self=" << selfReuseName(classifySelfReuse(ugs, inner));
+        if (ugs.innerInvariant())
+            os << "  inner-invariant";
+        if (!ugs.analyzable())
+            os << "  [not SIV separable]";
+        os << "  gT=" << groupTemporalSets(ugs, inner).size()
+           << " gS=" << groupSpatialSets(ugs, inner).size();
+        if (ugs.analyzable()) {
+            RrsAnalysis rrs = computeRegisterReuseSets(ugs);
+            os << " rrs=" << rrs.sets.size()
+               << " regs=" << rrs.totalRegisters();
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+analysisReport(const LoopNest &nest, const MachineModel &machine,
+               const OptimizerConfig &config, const ReportOptions &options)
+{
+    std::ostringstream os;
+    os << "=== ujam analysis report: "
+       << (nest.name().empty() ? "<unnamed>" : nest.name()) << " ===\n\n";
+    os << renderLoopNest(nest) << "\n";
+    os << "machine: " << machine.name << "  (bM = "
+       << formatFixed(machine.machineBalance(), 3) << ", "
+       << machine.fpRegisters << " fp registers, "
+       << machine.cacheBytes / 1024 << "KB cache, "
+       << machine.lineElems() << "-element lines)\n\n";
+
+    if (options.showSets) {
+        os << "--- uniformly generated sets (localized: innermost) "
+              "---\n";
+        os << reuseSummary(nest) << "\n";
+    }
+
+    UnrollDecision decision = chooseUnrollAmounts(nest, machine, config);
+
+    if (options.showTables && nest.depth() >= 2 &&
+        !decision.consideredLoops.empty()) {
+        std::vector<std::int64_t> limits;
+        for (std::size_t k : decision.consideredLoops) {
+            limits.push_back(std::min(options.maxUnrollShown,
+                                      decision.safetyBounds[k]));
+        }
+        UnrollSpace space(nest.depth(), decision.consideredLoops,
+                          limits);
+        Subspace localized =
+            Subspace::coordinate(nest.depth(), {nest.depth() - 1});
+        NestTables tables = buildNestTables(nest, space, localized);
+        LocalityParams params = config.locality;
+        params.cacheLineElems = machine.lineElems();
+
+        os << "--- unroll tables (loops";
+        for (std::size_t k : decision.consideredLoops)
+            os << " " << nest.loop(k).iv;
+        os << ") ---\n";
+        os << padLeft("u", 12) << padLeft("VM", 8) << padLeft("regs", 8)
+           << padLeft("misses", 10) << padLeft("bL", 8) << "\n";
+        for (std::size_t i = 0; i < space.size(); ++i) {
+            IntVector u = space.vectorAt(i);
+            BalanceResult balance = evaluateUnrollVector(
+                tables, nest, u, machine, config);
+            os << padLeft(u.toString(), 12)
+               << padLeft(std::to_string(tables.rrsTotal.at(u)), 8)
+               << padLeft(std::to_string(tables.registersTotal.at(u)),
+                          8)
+               << padLeft(formatFixed(
+                              tables.mainMemoryAccesses(u, params), 2),
+                          10)
+               << padLeft(formatFixed(balance.balance, 3), 8) << "\n";
+        }
+        os << "\n";
+    }
+
+    if (options.showDecision) {
+        os << "--- decision ---\n";
+        os << "safety bounds: " << decision.safetyBounds.toString()
+           << "\n";
+        os << decision.toString() << "\n";
+        if (!decision.transforms()) {
+            os << "(loop left unchanged: no admissible vector improves "
+                  "|bL - bM|)\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace ujam

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Human-readable analysis reports.
+ *
+ * Production loop optimizers ship a report facility (-qreport,
+ * -opt-report) explaining what the analysis saw and why it chose a
+ * transformation. This module renders, for one nest: the uniformly
+ * generated sets with their reuse spaces and partitions, the unroll
+ * tables, the safety bounds, and the decision with its predicted
+ * balance arithmetic -- everything a user needs to audit a choice.
+ */
+
+#ifndef UJAM_REPORT_REPORT_HH
+#define UJAM_REPORT_REPORT_HH
+
+#include <string>
+
+#include "core/optimizer.hh"
+
+namespace ujam
+{
+
+/** Report verbosity. */
+struct ReportOptions
+{
+    bool showSets = true;     //!< UGS/GTS/GSS/RRS structure
+    bool showTables = true;   //!< unroll tables (can be long)
+    bool showDecision = true; //!< the chosen vector and its numbers
+    std::int64_t maxUnrollShown = 4; //!< table rows to print
+};
+
+/**
+ * Render the full analysis report for one nest on one machine.
+ *
+ * @param nest    The nest (pre-transformation).
+ * @param machine The target the optimizer aims at.
+ * @param config  The optimizer configuration used for the decision.
+ * @param options Verbosity switches.
+ * @return Multi-line text.
+ */
+std::string analysisReport(const LoopNest &nest,
+                           const MachineModel &machine,
+                           const OptimizerConfig &config = {},
+                           const ReportOptions &options = {});
+
+/** @return One line per UGS: array, members, reuse classification. */
+std::string reuseSummary(const LoopNest &nest);
+
+} // namespace ujam
+
+#endif // UJAM_REPORT_REPORT_HH

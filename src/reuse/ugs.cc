@@ -1,0 +1,59 @@
+#include "reuse/ugs.hh"
+
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+bool
+UniformlyGeneratedSet::innerInvariant() const
+{
+    if (subscript.cols() == 0)
+        return true;
+    std::size_t inner = subscript.cols() - 1;
+    for (std::size_t r = 0; r < subscript.rows(); ++r) {
+        if (!subscript.at(r, inner).isZero())
+            return false;
+    }
+    return true;
+}
+
+Subspace
+UniformlyGeneratedSet::selfTemporalSpace() const
+{
+    return Subspace::span(subscript.kernelBasis());
+}
+
+Subspace
+UniformlyGeneratedSet::selfSpatialSpace() const
+{
+    UJAM_ASSERT(!members.empty(), "empty uniformly generated set");
+    return Subspace::span(
+        members.front().ref.spatialSubscriptMatrix().kernelBasis());
+}
+
+std::vector<UniformlyGeneratedSet>
+partitionUGS(const std::vector<Access> &accesses)
+{
+    std::vector<UniformlyGeneratedSet> sets;
+    for (const Access &access : accesses) {
+        bool placed = false;
+        for (UniformlyGeneratedSet &set : sets) {
+            if (set.members.front().ref.uniformlyGeneratedWith(access.ref)) {
+                set.members.push_back(access);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            UniformlyGeneratedSet set;
+            set.array = access.ref.array();
+            set.subscript = access.ref.subscriptMatrix();
+            set.members.push_back(access);
+            sets.push_back(std::move(set));
+        }
+    }
+    return sets;
+}
+
+} // namespace ujam

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Uniformly generated sets (Gannon/Jalby/Gallivan [9], Wolf & Lam [5]).
+ *
+ * References are partitioned by (array, subscript matrix H): members
+ * of one set differ only in their constant offset vectors, which is
+ * exactly the structure the unroll tables exploit.
+ */
+
+#ifndef UJAM_REUSE_UGS_HH
+#define UJAM_REUSE_UGS_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/loop_nest.hh"
+#include "linalg/rat_matrix.hh"
+#include "linalg/subspace.hh"
+
+namespace ujam
+{
+
+/**
+ * One uniformly generated set.
+ */
+struct UniformlyGeneratedSet
+{
+    std::string array;          //!< the common array
+    RatMatrix subscript;        //!< the common H (dims x depth)
+    std::vector<Access> members; //!< accesses in textual order
+
+    /** @return The loop-nest depth (columns of H). */
+    std::size_t
+    depth() const
+    {
+        return subscript.cols();
+    }
+
+    /** @return True iff the common H is SIV separable. */
+    bool
+    analyzable() const
+    {
+        return !members.empty() && members.front().ref.isSivSeparable();
+    }
+
+    /**
+     * @return True iff H's innermost column is zero: every member
+     * addresses the same element throughout an innermost sweep, so
+     * its memory traffic hoists out of the innermost loop entirely.
+     */
+    bool innerInvariant() const;
+
+    /** @return The self-temporal reuse vector space RST = ker H. */
+    Subspace selfTemporalSpace() const;
+
+    /** @return The self-spatial reuse vector space RSS = ker Hs. */
+    Subspace selfSpatialSpace() const;
+};
+
+/**
+ * Partition a nest body's accesses into uniformly generated sets.
+ *
+ * @param accesses Accesses in textual order (LoopNest::accesses()).
+ * @return Sets in order of first appearance; members keep textual
+ *         order within each set.
+ */
+std::vector<UniformlyGeneratedSet>
+partitionUGS(const std::vector<Access> &accesses);
+
+} // namespace ujam
+
+#endif // UJAM_REUSE_UGS_HH

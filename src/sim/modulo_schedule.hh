@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Modulo scheduling of innermost-loop bodies.
+ *
+ * The paper's closing direction is studying "unroll-and-jam and
+ * software pipelining on machines that have large register files and
+ * high degrees of ILP" (section 6). This module supplies the software
+ * pipelining half: the body becomes an operation graph with intra-
+ * and cross-iteration edges, the minimum initiation interval is
+ * computed from both resources and recurrences (positive-cycle
+ * feasibility, the standard formulation), and an iterative modulo
+ * scheduler finds a concrete schedule at the smallest feasible II.
+ *
+ * The steady-state pipeline model (sim/pipeline.hh) approximates the
+ * same quantity cheaply; this is the precise version, and the E14
+ * benchmark quantifies the gap.
+ */
+
+#ifndef UJAM_SIM_MODULO_SCHEDULE_HH
+#define UJAM_SIM_MODULO_SCHEDULE_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/loop_nest.hh"
+#include "model/machine.hh"
+
+namespace ujam
+{
+
+/** One operation of the loop body. */
+struct OpNode
+{
+    enum class Kind
+    {
+        Load,
+        Store,
+        Fp,
+        Move,
+        Prefetch
+    };
+
+    Kind kind = Kind::Fp;
+    int latency = 1;
+};
+
+/**
+ * A scheduling constraint: dst must start at least `latency` cycles
+ * after src's start, `distance` iterations earlier (0 = same
+ * iteration).
+ */
+struct OpEdge
+{
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    int latency = 1;
+    int distance = 0;
+};
+
+/** The body as a scheduling problem. */
+struct OpGraph
+{
+    std::vector<OpNode> nodes;
+    std::vector<OpEdge> edges;
+
+    std::size_t memOps() const;
+    std::size_t fpOps() const;
+
+    /**
+     * Build the graph of a nest body: expression trees give intra-
+     * iteration edges; scalar reads of values defined later in the
+     * body (rotations, accumulators) and same-set memory flow at
+     * positive innermost distance give cross-iteration edges.
+     */
+    static OpGraph fromBody(const LoopNest &nest,
+                            const MachineModel &machine);
+};
+
+/** A modulo schedule. */
+struct ModuloScheduleResult
+{
+    int resourceMii = 1;   //!< max over resource classes
+    int recurrenceMii = 1; //!< from positive-cycle feasibility
+    int achievedII = 0;    //!< the scheduled initiation interval
+    int scheduleLength = 0; //!< last start cycle + 1 (one iteration)
+    std::vector<int> startCycle; //!< per node
+
+    /** @return max(resourceMii, recurrenceMii). */
+    int
+    mii() const
+    {
+        return resourceMii > recurrenceMii ? resourceMii
+                                           : recurrenceMii;
+    }
+};
+
+/**
+ * Schedule a graph at the smallest II the machine admits.
+ *
+ * @param graph   The operation graph.
+ * @param machine Resource capacities and latencies.
+ * @return The schedule; achievedII == 0 only for empty graphs.
+ */
+ModuloScheduleResult moduloSchedule(const OpGraph &graph,
+                                    const MachineModel &machine);
+
+/**
+ * Convenience: cycles per iteration of a nest body under software
+ * pipelining (the achieved II).
+ */
+double softwarePipelinedII(const LoopNest &nest,
+                           const MachineModel &machine);
+
+} // namespace ujam
+
+#endif // UJAM_SIM_MODULO_SCHEDULE_HH

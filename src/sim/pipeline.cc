@@ -1,0 +1,159 @@
+#include "sim/pipeline.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "reuse/ugs.hh"
+
+namespace ujam
+{
+
+BodyOps
+countBodyOps(const LoopNest &nest)
+{
+    BodyOps ops;
+    for (const Stmt &stmt : nest.body()) {
+        if (stmt.isPrefetch()) {
+            ++ops.prefetches;
+            continue;
+        }
+        ops.flops += stmt.countFlops();
+        stmt.rhs()->forEachArrayRead(
+            [&](const ArrayRef &) { ++ops.loads; });
+        if (stmt.lhsIsArray()) {
+            ++ops.stores;
+        } else if (stmt.countFlops() == 0 &&
+                   stmt.rhs()->kind() == Expr::Kind::Scalar) {
+            ++ops.moves; // a pure register-to-register copy
+        }
+    }
+    return ops;
+}
+
+namespace
+{
+
+/** Scalar names read anywhere in an expression. */
+void
+collectScalarReads(const Expr &expr, std::set<std::string> &out)
+{
+    switch (expr.kind()) {
+      case Expr::Kind::Scalar:
+        out.insert(expr.scalarName());
+        return;
+      case Expr::Kind::Binary:
+        collectScalarReads(*expr.lhs(), out);
+        collectScalarReads(*expr.rhs(), out);
+        return;
+      default:
+        return;
+    }
+}
+
+} // namespace
+
+bool
+bodyHasArithmeticRecurrence(const LoopNest &nest)
+{
+    const std::size_t depth = nest.depth();
+
+    // Scalar dependence graph across the body: edge src -> dst when a
+    // statement defines dst reading src; an edge is "arithmetic" when
+    // the defining statement computes. A cycle containing an
+    // arithmetic edge chains FP latency across iterations.
+    struct Edge
+    {
+        std::string dst;
+        bool arithmetic;
+    };
+    std::multimap<std::string, Edge> edges;
+    std::set<std::string> scalars;
+    for (const Stmt &stmt : nest.body()) {
+        if (stmt.isPrefetch() || stmt.lhsIsArray())
+            continue;
+        std::set<std::string> reads;
+        collectScalarReads(*stmt.rhs(), reads);
+        bool arithmetic = stmt.countFlops() > 0;
+        for (const std::string &src : reads) {
+            edges.insert({src, {stmt.lhsScalar(), arithmetic}});
+            scalars.insert(src);
+        }
+        scalars.insert(stmt.lhsScalar());
+    }
+    // DFS from every scalar looking for a cycle back to it that uses
+    // at least one arithmetic edge.
+    for (const std::string &start : scalars) {
+        std::vector<std::pair<std::string, bool>> stack{{start, false}};
+        std::set<std::pair<std::string, bool>> seen;
+        while (!stack.empty()) {
+            auto [node, arith] = stack.back();
+            stack.pop_back();
+            auto [lo, hi] = edges.equal_range(node);
+            for (auto it = lo; it != hi; ++it) {
+                bool next_arith = arith || it->second.arithmetic;
+                if (it->second.dst == start && next_arith)
+                    return true;
+                if (seen.insert({it->second.dst, next_arith}).second)
+                    stack.push_back({it->second.dst, next_arith});
+            }
+        }
+    }
+
+    // Memory-carried recurrences: a statement whose stored value is
+    // consumed by the same statement group in a later innermost
+    // iteration -- an innermost-invariant reduction (a(j) += ...) or a
+    // same-UGS read at positive innermost distance (a(i) = a(i-1)...).
+    for (const Stmt &stmt : nest.body()) {
+        if (stmt.isPrefetch() || !stmt.lhsIsArray() ||
+            stmt.countFlops() == 0) {
+            continue;
+        }
+        const ArrayRef &lhs = stmt.lhsRef();
+        if (lhs.depth() != depth || !lhs.isSivSeparable())
+            continue;
+        auto [inner_dim, inner_coeff] = lhs.termForLoop(depth - 1);
+        bool found = false;
+        stmt.rhs()->forEachArrayRead([&](const ArrayRef &read) {
+            if (!read.uniformlyGeneratedWith(lhs))
+                return;
+            if (inner_dim < 0) {
+                // Invariant reduction: same element every iteration.
+                if (read.offset() == lhs.offset())
+                    found = true;
+                return;
+            }
+            // Flow into a later iteration: the read trails the write
+            // along the innermost direction.
+            IntVector delta = lhs.offset() - read.offset();
+            for (std::size_t d = 0; d < delta.size(); ++d) {
+                if (static_cast<int>(d) != inner_dim && delta[d] != 0)
+                    return;
+            }
+            std::int64_t dist =
+                delta[static_cast<std::size_t>(inner_dim)] / inner_coeff;
+            if (dist > 0)
+                found = true;
+        });
+        if (found)
+            return true;
+    }
+    return false;
+}
+
+double
+steadyStateCyclesPerIteration(const LoopNest &nest,
+                              const MachineModel &machine)
+{
+    BodyOps ops = countBodyOps(nest);
+    double mem = static_cast<double>(ops.memOps()) / machine.memOpsPerCycle;
+    double fp = static_cast<double>(ops.flops) / machine.flopsPerCycle;
+    double issue = static_cast<double>(ops.totalOps()) /
+                   static_cast<double>(machine.issueWidth);
+    double ii = std::max({mem, fp, issue, 1.0});
+    if (bodyHasArithmeticRecurrence(nest))
+        ii = std::max(ii, static_cast<double>(machine.fpLatency));
+    return ii;
+}
+
+} // namespace ujam

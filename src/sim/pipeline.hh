@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Steady-state pipeline model for one loop body.
+ *
+ * Models an in-order ILP machine running a software-pipelined
+ * innermost loop: the sustained initiation interval is bounded by
+ * each resource class (memory ports, FP units, total issue slots) and
+ * by loop-carried recurrences (an accumulation chains one FP latency
+ * per iteration). This is the "c" of the paper's balance formula made
+ * concrete enough to produce execution times.
+ */
+
+#ifndef UJAM_SIM_PIPELINE_HH
+#define UJAM_SIM_PIPELINE_HH
+
+#include "ir/loop_nest.hh"
+#include "model/machine.hh"
+
+namespace ujam
+{
+
+/** Static operation counts of one body execution. */
+struct BodyOps
+{
+    std::size_t loads = 0;
+    std::size_t stores = 0;
+    std::size_t flops = 0;
+    std::size_t moves = 0;      //!< scalar-to-scalar register copies
+    std::size_t prefetches = 0; //!< software prefetch instructions
+
+    std::size_t
+    memOps() const
+    {
+        return loads + stores + prefetches;
+    }
+
+    std::size_t
+    totalOps() const
+    {
+        return loads + stores + prefetches + flops + moves;
+    }
+};
+
+/** @return Operation counts of the nest's body statements. */
+BodyOps countBodyOps(const LoopNest &nest);
+
+/**
+ * @return True iff the body carries a value recurrence from one
+ * innermost iteration to the next through an arithmetic operation
+ * (e.g. an accumulation t = t + x or a(j) = a(j) + x); such chains
+ * bound the initiation interval by the FP latency.
+ */
+bool bodyHasArithmeticRecurrence(const LoopNest &nest);
+
+/**
+ * Steady-state cycles per innermost iteration (cache hits assumed).
+ *
+ * @param nest    The nest whose body is measured.
+ * @param machine The target machine.
+ * @return max(resource II over all classes, recurrence II), at least 1.
+ */
+double steadyStateCyclesPerIteration(const LoopNest &nest,
+                                     const MachineModel &machine);
+
+} // namespace ujam
+
+#endif // UJAM_SIM_PIPELINE_HH

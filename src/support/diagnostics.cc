@@ -1,0 +1,33 @@
+#include "support/diagnostics.hh"
+
+#include <iostream>
+
+namespace ujam
+{
+
+namespace
+{
+bool diagnosticsQuiet = false;
+} // namespace
+
+void
+warnMessage(const std::string &msg)
+{
+    if (!diagnosticsQuiet)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informMessage(const std::string &msg)
+{
+    if (!diagnosticsQuiet)
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+setDiagnosticsQuiet(bool quiet)
+{
+    diagnosticsQuiet = quiet;
+}
+
+} // namespace ujam

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small string helpers shared across the library.
+ */
+
+#ifndef UJAM_SUPPORT_STRING_UTILS_HH
+#define UJAM_SUPPORT_STRING_UTILS_HH
+
+#include <string>
+#include <vector>
+
+namespace ujam
+{
+
+/** @return Copy of s with leading/trailing whitespace removed. */
+std::string trim(const std::string &s);
+
+/** @return s split on sep, with empty fields preserved. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** @return Lower-cased ASCII copy of s. */
+std::string toLower(const std::string &s);
+
+/** @return True iff s begins with prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** @return value formatted with fixed decimal places. */
+std::string formatFixed(double value, int places);
+
+/** @return s left-padded with spaces to at least width characters. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** @return s right-padded with spaces to at least width characters. */
+std::string padRight(const std::string &s, std::size_t width);
+
+} // namespace ujam
+
+#endif // UJAM_SUPPORT_STRING_UTILS_HH

@@ -1,0 +1,199 @@
+#include "transform/distribution.hh"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "deps/analyzer.hh"
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+/** Scalar names an expression reads. */
+void
+scalarReads(const Expr &expr, std::set<std::string> &out)
+{
+    switch (expr.kind()) {
+      case Expr::Kind::Scalar:
+        out.insert(expr.scalarName());
+        return;
+      case Expr::Kind::Binary:
+        scalarReads(*expr.lhs(), out);
+        scalarReads(*expr.rhs(), out);
+        return;
+      default:
+        return;
+    }
+}
+
+/** Tarjan SCC over a small statement digraph. */
+class Tarjan
+{
+  public:
+    explicit Tarjan(const std::vector<std::set<std::size_t>> &succs)
+        : succs_(succs), index_(succs.size(), -1),
+          low_(succs.size(), 0), on_stack_(succs.size(), false),
+          component_(succs.size(), 0)
+    {
+        for (std::size_t v = 0; v < succs.size(); ++v) {
+            if (index_[v] < 0)
+                strongConnect(v);
+        }
+        // Components were numbered in reverse topological order.
+        for (std::size_t v = 0; v < succs.size(); ++v)
+            component_[v] = count_ - 1 - component_[v];
+    }
+
+    /** @return Component id per vertex, in topological order. */
+    const std::vector<std::size_t> &
+    components() const
+    {
+        return component_;
+    }
+
+    std::size_t
+    componentCount() const
+    {
+        return count_;
+    }
+
+  private:
+    void
+    strongConnect(std::size_t v)
+    {
+        index_[v] = low_[v] = next_index_++;
+        stack_.push_back(v);
+        on_stack_[v] = true;
+        for (std::size_t w : succs_[v]) {
+            if (index_[w] < 0) {
+                strongConnect(w);
+                low_[v] = std::min(low_[v], low_[w]);
+            } else if (on_stack_[w]) {
+                low_[v] = std::min(low_[v],
+                                   static_cast<std::size_t>(index_[w]));
+            }
+        }
+        if (low_[v] == static_cast<std::size_t>(index_[v])) {
+            for (;;) {
+                std::size_t w = stack_.back();
+                stack_.pop_back();
+                on_stack_[w] = false;
+                component_[w] = count_;
+                if (w == v)
+                    break;
+            }
+            ++count_;
+        }
+    }
+
+    const std::vector<std::set<std::size_t>> &succs_;
+    std::vector<int> index_;
+    std::vector<std::size_t> low_;
+    std::vector<bool> on_stack_;
+    std::vector<std::size_t> component_;
+    std::vector<std::size_t> stack_;
+    std::size_t next_index_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace
+
+DistributionResult
+distributeNest(const LoopNest &nest)
+{
+    UJAM_ASSERT(nest.preheader().empty() && nest.postheader().empty(),
+                "distribute before scalar replacement only");
+    DistributionResult result;
+    const std::size_t stmts = nest.body().size();
+    result.groupOf.assign(stmts, 0);
+    if (stmts <= 1) {
+        result.nests.push_back(nest);
+        return result;
+    }
+
+    // Map access ordinals to statements.
+    std::vector<std::size_t> stmt_of;
+    for (const Access &access : nest.accesses())
+        stmt_of.push_back(access.stmt);
+
+    std::vector<std::set<std::size_t>> succs(stmts);
+
+    // Array dependences (input deps never constrain statement order).
+    DepOptions options;
+    options.includeInput = false;
+    DependenceGraph graph = analyzeDependences(nest, options);
+    for (const Dependence &edge : graph.edges()) {
+        std::size_t s = stmt_of[edge.src];
+        std::size_t t = stmt_of[edge.dst];
+        if (s != t)
+            succs[s].insert(t);
+    }
+
+    // Scalars shared between statements: keep writer and accessors in
+    // one component (conservative: edges both ways when any write is
+    // involved, covering loop-carried scalar flow).
+    for (std::size_t s = 0; s < stmts; ++s) {
+        const Stmt &a = nest.body()[s];
+        if (a.isPrefetch())
+            continue;
+        std::set<std::string> a_reads;
+        scalarReads(*a.rhs(), a_reads);
+        for (std::size_t t = s + 1; t < stmts; ++t) {
+            const Stmt &b = nest.body()[t];
+            if (b.isPrefetch())
+                continue;
+            std::set<std::string> b_reads;
+            scalarReads(*b.rhs(), b_reads);
+            bool a_writes = !a.lhsIsArray();
+            bool b_writes = !b.lhsIsArray();
+            bool conflict =
+                (a_writes && (b_reads.count(a.lhsScalar()) ||
+                              (b_writes &&
+                               a.lhsScalar() == b.lhsScalar()))) ||
+                (b_writes && a_reads.count(b.lhsScalar()));
+            if (conflict) {
+                succs[s].insert(t);
+                succs[t].insert(s);
+            }
+        }
+    }
+
+    // Prefetch statements travel with the following statement (a
+    // hint's placement is advisory; keep it near its consumer).
+    for (std::size_t s = 0; s + 1 < stmts; ++s) {
+        if (nest.body()[s].isPrefetch()) {
+            succs[s].insert(s + 1);
+            succs[s + 1].insert(s);
+        }
+    }
+
+    Tarjan tarjan(succs);
+    result.groupOf = tarjan.components();
+    std::size_t groups = tarjan.componentCount();
+    if (groups <= 1) {
+        result.nests.push_back(nest);
+        return result;
+    }
+
+    result.changed = true;
+    for (std::size_t g = 0; g < groups; ++g) {
+        std::vector<Stmt> body;
+        for (std::size_t s = 0; s < stmts; ++s) {
+            if (result.groupOf[s] == g)
+                body.push_back(nest.body()[s]);
+        }
+        UJAM_ASSERT(!body.empty(), "empty distribution group");
+        LoopNest piece(nest.loops(), std::move(body));
+        piece.setName(groups > 1 && !nest.name().empty()
+                          ? concat(nest.name(), ".", g)
+                          : nest.name());
+        result.nests.push_back(std::move(piece));
+    }
+    return result;
+}
+
+} // namespace ujam

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Loop distribution (fission).
+ *
+ * Splits a multi-statement body into a sequence of nests, one per
+ * strongly connected component of the statement-level dependence
+ * graph, in topological order. Distribution is the classic enabler
+ * for unroll-and-jam (Callahan/Cocke/Kennedy [6] use it to make
+ * nests perfect); here it also lets each statement group get its own
+ * unroll decision.
+ *
+ * Legality: a dependence whose source statement instance executes
+ * before its sink keeps that property when the source's group runs as
+ * a whole before the sink's group -- so any forward edge is fine and
+ * cycles must stay together. Scalar temporaries shared between
+ * statements are handled conservatively (writer and readers stay in
+ * one group).
+ */
+
+#ifndef UJAM_TRANSFORM_DISTRIBUTION_HH
+#define UJAM_TRANSFORM_DISTRIBUTION_HH
+
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/** Outcome of distributing one nest. */
+struct DistributionResult
+{
+    std::vector<LoopNest> nests; //!< the pieces, in execution order
+    bool changed = false;        //!< more than one piece came out
+
+    /** Statement-group index for each original statement. */
+    std::vector<std::size_t> groupOf;
+};
+
+/**
+ * Distribute a nest maximally.
+ *
+ * @param nest A perfect nest without pre/postheaders.
+ * @return One nest per statement group; the input unchanged (single
+ *         group) when dependences tie everything together.
+ */
+DistributionResult distributeNest(const LoopNest &nest);
+
+} // namespace ujam
+
+#endif // UJAM_TRANSFORM_DISTRIBUTION_HH

@@ -1,0 +1,130 @@
+#include "transform/fusion.hh"
+
+#include "deps/subscript_tests.hh"
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+bool
+headersMatch(const LoopNest &a, const LoopNest &b)
+{
+    if (a.depth() != b.depth() || a.depth() == 0)
+        return false;
+    for (std::size_t k = 0; k < a.depth(); ++k) {
+        const Loop &la = a.loop(k);
+        const Loop &lb = b.loop(k);
+        if (la.iv != lb.iv || la.step != lb.step ||
+            !(la.lower == lb.lower) || !(la.upper == lb.upper)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Would fusing reverse a dependence between these two accesses?
+ * Before fusion every instance of `first` executes before every
+ * instance of `second`; after fusion, `second` at iteration i
+ * precedes `first` at any lexicographically greater iteration. The
+ * pair is safe when the sink's iteration never precedes the source's:
+ * every component relation must be exact and non-negative (sink at or
+ * after source), or there must be no dependence at all.
+ */
+bool
+pairSafe(const ArrayRef &first, const ArrayRef &second)
+{
+    auto relations = solveAccessPair(first, second);
+    if (!relations)
+        return true; // never the same location
+    // distance = second's iteration minus first's. Safe iff the first
+    // nonzero exact component is positive and nothing is unresolved
+    // before it (lexicographic nonnegativity).
+    for (const LoopRelation &rel : *relations) {
+        switch (rel.kind) {
+          case LoopRelation::Kind::Exact:
+            if (rel.exact > 0)
+                return true; // strictly forward: safe
+            if (rel.exact < 0)
+                return false; // strictly backward: fusion reverses it
+            break;            // equal: keep scanning inner loops
+          case LoopRelation::Kind::Free:
+            // Unconstrained loop: some instance pairs are backward.
+            return false;
+          case LoopRelation::Kind::Star:
+            return false; // unknown direction: conservative
+        }
+    }
+    return true; // same iteration: loop-independent, order preserved
+}
+
+} // namespace
+
+bool
+fusionLegal(const LoopNest &first, const LoopNest &second)
+{
+    if (!first.preheader().empty() || !first.postheader().empty() ||
+        !second.preheader().empty() || !second.postheader().empty()) {
+        return false;
+    }
+    if (!headersMatch(first, second))
+        return false;
+
+    for (const Access &a : first.accesses()) {
+        for (const Access &b : second.accesses()) {
+            if (a.ref.array() != b.ref.array())
+                continue;
+            if (!a.isWrite && !b.isWrite)
+                continue; // read-read never constrains
+            if (a.ref.dims() != b.ref.dims())
+                return false; // rank-mismatched aliasing: bail
+            if (!pairSafe(a.ref, b.ref))
+                return false;
+        }
+    }
+    return true;
+}
+
+LoopNest
+fuseNests(const LoopNest &first, const LoopNest &second)
+{
+    UJAM_ASSERT(headersMatch(first, second),
+                "fusing nests with different headers");
+    std::vector<Stmt> body = first.body();
+    body.insert(body.end(), second.body().begin(), second.body().end());
+    LoopNest fused(first.loops(), std::move(body));
+    std::string name = first.name();
+    if (!second.name().empty())
+        name = name.empty() ? second.name()
+                            : concat(name, "+", second.name());
+    fused.setName(std::move(name));
+    return fused;
+}
+
+std::pair<Program, std::size_t>
+fuseProgram(const Program &program)
+{
+    Program result = program;
+    std::size_t fused = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::vector<LoopNest> &nests = result.nests();
+        for (std::size_t n = 0; n + 1 < nests.size(); ++n) {
+            if (!fusionLegal(nests[n], nests[n + 1]))
+                continue;
+            nests[n] = fuseNests(nests[n], nests[n + 1]);
+            nests.erase(nests.begin() +
+                        static_cast<std::ptrdiff_t>(n + 1));
+            ++fused;
+            changed = true;
+            break;
+        }
+    }
+    return {std::move(result), fused};
+}
+
+} // namespace ujam

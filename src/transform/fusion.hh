@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Loop fusion.
+ *
+ * Merges adjacent conformable nests (identical loop headers) when no
+ * dependence between them would be reversed: for statements s in the
+ * first nest and t in the second touching the same array, every pair
+ * of instances touching one location must keep s-before-t, which
+ * after fusion means the sink iteration may not lexicographically
+ * precede the source iteration.
+ *
+ * Fusion is the reuse dual of distribution (McKinley/Carr/Tseng):
+ * producer-consumer nest pairs fused let scalar replacement forward
+ * the produced values in registers.
+ */
+
+#ifndef UJAM_TRANSFORM_FUSION_HH
+#define UJAM_TRANSFORM_FUSION_HH
+
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/**
+ * Can these two adjacent nests (first executes before second) be
+ * fused into one body?
+ *
+ * Requires identical loop headers (induction variables, bounds,
+ * steps) and no backward dependence; both nests must be header-free
+ * (no pre/postheaders).
+ */
+bool fusionLegal(const LoopNest &first, const LoopNest &second);
+
+/**
+ * Fuse two nests. @pre fusionLegal(first, second).
+ * @return One nest with the concatenated bodies.
+ */
+LoopNest fuseNests(const LoopNest &first, const LoopNest &second);
+
+/**
+ * Greedily fuse adjacent fusable nests across a whole program.
+ *
+ * @return The program with maximal adjacent fusion applied, plus the
+ *         number of fusions performed.
+ */
+std::pair<Program, std::size_t> fuseProgram(const Program &program);
+
+} // namespace ujam
+
+#endif // UJAM_TRANSFORM_FUSION_HH

@@ -1,0 +1,144 @@
+#include "transform/interchange.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+ArrayRef
+permuteRef(const ArrayRef &ref, const std::vector<std::size_t> &perm)
+{
+    std::vector<IntVector> rows;
+    rows.reserve(ref.dims());
+    for (std::size_t d = 0; d < ref.dims(); ++d) {
+        IntVector row(perm.size());
+        for (std::size_t k = 0; k < perm.size(); ++k)
+            row[k] = ref.row(d)[perm[k]];
+        rows.push_back(std::move(row));
+    }
+    return ArrayRef(ref.array(), std::move(rows), ref.offset());
+}
+
+Stmt
+permuteStmt(const Stmt &stmt, const std::vector<std::size_t> &perm)
+{
+    if (stmt.isPrefetch())
+        return Stmt::prefetch(permuteRef(stmt.prefetchRef(), perm));
+    ExprPtr rhs = stmt.rhs()->rewriteArrayReads(
+        [&](const ArrayRef &ref) {
+            return Expr::arrayRead(permuteRef(ref, perm));
+        });
+    if (stmt.lhsIsArray())
+        return Stmt::assignArray(permuteRef(stmt.lhsRef(), perm), rhs);
+    return Stmt::assignScalar(stmt.lhsScalar(), rhs);
+}
+
+void
+checkPermutation(std::size_t depth, const std::vector<std::size_t> &perm)
+{
+    UJAM_ASSERT(perm.size() == depth, "permutation arity mismatch");
+    std::vector<bool> seen(depth, false);
+    for (std::size_t p : perm) {
+        UJAM_ASSERT(p < depth && !seen[p], "not a permutation");
+        seen[p] = true;
+    }
+}
+
+} // namespace
+
+LoopNest
+permuteLoops(const LoopNest &nest, const std::vector<std::size_t> &perm)
+{
+    checkPermutation(nest.depth(), perm);
+    UJAM_ASSERT(nest.preheader().empty() && nest.postheader().empty(),
+                "interchange before scalar replacement only");
+
+    std::vector<Loop> loops;
+    loops.reserve(nest.depth());
+    for (std::size_t k = 0; k < nest.depth(); ++k)
+        loops.push_back(nest.loop(perm[k]));
+
+    std::vector<Stmt> body;
+    body.reserve(nest.body().size());
+    for (const Stmt &stmt : nest.body())
+        body.push_back(permuteStmt(stmt, perm));
+
+    LoopNest result(std::move(loops), std::move(body));
+    result.setName(nest.name());
+    return result;
+}
+
+bool
+interchangeLegal(const DependenceGraph &graph,
+                 const std::vector<std::size_t> &perm)
+{
+    for (const Dependence &edge : graph.edges()) {
+        if (edge.reduction || edge.kind == DepKind::Input)
+            continue;
+        for (std::size_t k = 0; k < perm.size(); ++k) {
+            DepDir dir = edge.dirs[perm[k]];
+            if (dir == DepDir::Eq)
+                continue;
+            if (dir == DepDir::Lt)
+                break; // still lexicographically positive
+            return false; // Gt or Star decides: (possibly) reversed
+        }
+    }
+    return true;
+}
+
+InterchangeResult
+chooseLoopOrder(const LoopNest &nest, const LocalityParams &params)
+{
+    const std::size_t depth = nest.depth();
+    InterchangeResult result;
+    result.permutation.resize(depth);
+    std::iota(result.permutation.begin(), result.permutation.end(), 0u);
+    result.nest = nest;
+
+    Subspace inner = depth > 0
+                         ? Subspace::coordinate(depth, {depth - 1})
+                         : Subspace::zero(0);
+    result.costBefore = depth > 0
+                            ? nestMemoryCost(nest, inner, params)
+                            : 0.0;
+    result.costAfter = result.costBefore;
+    if (depth < 2)
+        return result;
+
+    DepOptions options;
+    options.includeInput = false;
+    DependenceGraph graph = analyzeDependences(nest, options);
+
+    std::vector<std::size_t> perm(depth);
+    std::iota(perm.begin(), perm.end(), 0u);
+    std::vector<std::size_t> best = perm;
+    double best_cost = result.costBefore;
+
+    while (std::next_permutation(perm.begin(), perm.end())) {
+        if (!interchangeLegal(graph, perm))
+            continue;
+        LoopNest candidate = permuteLoops(nest, perm);
+        double cost = nestMemoryCost(candidate, inner, params);
+        if (cost < best_cost - 1e-12) {
+            best_cost = cost;
+            best = perm;
+        }
+    }
+
+    if (best != result.permutation) {
+        result.permutation = best;
+        result.nest = permuteLoops(nest, best);
+        result.costAfter = best_cost;
+        result.changed = true;
+    }
+    return result;
+}
+
+} // namespace ujam

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Loop interchange (permutation) with model-driven order selection.
+ *
+ * The paper considers unroll-and-jam alone; Wolf, Maydan & Chen [2]
+ * combine it with permutation and tiling. This module supplies the
+ * permutation half so the combination can be reproduced: legality
+ * from the dependence graph (a permuted direction vector must stay
+ * lexicographically non-negative), and order selection by the same
+ * Eq. 1 memory-cost model the optimizer uses (pick the innermost
+ * loop that makes the localized-space cost smallest).
+ */
+
+#ifndef UJAM_TRANSFORM_INTERCHANGE_HH
+#define UJAM_TRANSFORM_INTERCHANGE_HH
+
+#include "deps/analyzer.hh"
+#include "reuse/locality.hh"
+
+namespace ujam
+{
+
+/**
+ * Reorder a nest's loops.
+ *
+ * @param nest A perfect nest without pre/postheaders.
+ * @param perm perm[new_position] == old_position; a permutation of
+ *             0..depth-1.
+ * @return The nest with loops reordered and every reference's
+ *         subscript matrix columns permuted to match.
+ */
+LoopNest permuteLoops(const LoopNest &nest,
+                      const std::vector<std::size_t> &perm);
+
+/**
+ * Is the permutation legal for this nest?
+ *
+ * Legal iff every non-input, non-reduction dependence's direction
+ * vector stays lexicographically non-negative after permutation
+ * (a Star component at the deciding position is conservatively
+ * illegal).
+ *
+ * @param graph The nest's dependence graph (input deps may be absent).
+ */
+bool interchangeLegal(const DependenceGraph &graph,
+                      const std::vector<std::size_t> &perm);
+
+/** Outcome of order selection. */
+struct InterchangeResult
+{
+    std::vector<std::size_t> permutation; //!< chosen order
+    double costBefore = 0.0;              //!< Eq. 1 cost, original
+    double costAfter = 0.0;               //!< Eq. 1 cost, chosen
+    bool changed = false;                 //!< permutation is not identity
+    LoopNest nest;                        //!< the permuted nest
+};
+
+/**
+ * Choose the legal loop order with the lowest Eq. 1 memory cost (the
+ * memory-order heuristic of Wolf & Lam / McKinley-Carr-Tseng).
+ *
+ * Enumerates all depth! permutations (depth <= 4 in practice), keeps
+ * the original on ties or when nothing is legal/improving.
+ */
+InterchangeResult chooseLoopOrder(const LoopNest &nest,
+                                  const LocalityParams &params);
+
+} // namespace ujam
+
+#endif // UJAM_TRANSFORM_INTERCHANGE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Loop normalization.
+ *
+ * The reuse analyses and unroll-and-jam assume step-1 loops (the
+ * paper's iteration-space convention). Normalization rewrites a loop
+ *
+ *     do i = lb, ub, s
+ *
+ * with constant lb and s into
+ *
+ *     do i' = 1, trip
+ *
+ * substituting i = lb + (i' - 1) * s into every subscript: a
+ * coefficient a*i becomes (a*s)*i' with offset a*(lb - s) folded into
+ * the reference's constant vector. Symbolic lower bounds cannot be
+ * folded into the integer offset vectors, so such loops are left
+ * unchanged (reported to the caller).
+ */
+
+#ifndef UJAM_TRANSFORM_NORMALIZE_HH
+#define UJAM_TRANSFORM_NORMALIZE_HH
+
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/** Outcome of normalizing one nest. */
+struct NormalizeResult
+{
+    LoopNest nest;                     //!< the rewritten nest
+    std::vector<bool> normalized;      //!< per loop: was it rewritten?
+
+    /** @return True iff every loop now has step 1. */
+    bool
+    fullyNormalized() const
+    {
+        return all_step_one;
+    }
+
+    bool all_step_one = false;
+};
+
+/**
+ * Normalize every loop of a nest that has constant lower bound and a
+ * step other than 1 (loops already at step 1 are untouched even with
+ * symbolic bounds).
+ *
+ * @param nest A perfect nest without pre/postheaders.
+ * @return The rewritten nest plus per-loop status.
+ */
+NormalizeResult normalizeNest(const LoopNest &nest);
+
+} // namespace ujam
+
+#endif // UJAM_TRANSFORM_NORMALIZE_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Software-prefetch insertion (paper sections 3.2 and 6).
+ *
+ * For every uniformly generated set whose innermost-loop reuse cannot
+ * keep it in registers or cache (no self-temporal reuse, not
+ * innermost-invariant), insert one prefetch per group-spatial stream,
+ * addressed `distance` innermost iterations ahead of the leader.
+ * The balance model's p (prefetches needed) and b (issue bandwidth)
+ * then play out literally in the simulator: prefetch instructions
+ * consume issue slots and memory-port bandwidth, their misses fill
+ * the cache without stalling, and later demand accesses hit.
+ */
+
+#ifndef UJAM_TRANSFORM_PREFETCH_INSERTION_HH
+#define UJAM_TRANSFORM_PREFETCH_INSERTION_HH
+
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/** Prefetch insertion knobs. */
+struct PrefetchConfig
+{
+    /**
+     * How many innermost iterations ahead to fetch. Must stay within
+     * the interpreter's guard halo for references whose innermost
+     * coefficient is 1; larger distances are clamped to the halo.
+     */
+    std::int64_t distanceIters = 8;
+};
+
+/** Outcome of prefetch insertion. */
+struct PrefetchResult
+{
+    LoopNest nest;                   //!< the rewritten nest
+    std::size_t prefetchesInserted = 0; //!< per body execution
+};
+
+/**
+ * Insert prefetches into a nest body (typically after unroll-and-jam
+ * and scalar replacement, so the streams are final).
+ */
+PrefetchResult insertPrefetches(const LoopNest &nest,
+                                const PrefetchConfig &config = {});
+
+} // namespace ujam
+
+#endif // UJAM_TRANSFORM_PREFETCH_INSERTION_HH

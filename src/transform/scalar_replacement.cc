@@ -1,0 +1,299 @@
+#include "transform/scalar_replacement.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/rrs.hh"
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+/** Replacement plan entry for one access ordinal. */
+struct ReadPlan
+{
+    std::string temp; //!< scalar that now supplies the value
+};
+
+struct StorePlan
+{
+    std::string temp;      //!< scalar capturing the stored value (t0)
+    bool dropStore = false; //!< hoisted store: omit it from the body
+};
+
+/** One replaceable chain, ready to rank against the budget. */
+struct Candidate
+{
+    std::size_t ugs = 0;          //!< index into the UGS partition
+    RegisterReuseSet set;         //!< the chain (copied)
+    bool invariant = false;       //!< innermost-invariant chain
+    bool mayHoistStore = false;   //!< invariant store may defer
+    int innerDim = -1;            //!< flow geometry of the UGS
+    std::int64_t innerCoeff = 0;
+    std::int64_t registers = 0;   //!< temporaries this chain needs
+    std::size_t loadsRemoved = 0; //!< body loads it eliminates
+};
+
+/**
+ * Rewrite the body according to per-ordinal plans. Ordinals follow
+ * LoopNest::accesses(): per statement, RHS reads in source order,
+ * then the LHS write.
+ */
+std::vector<Stmt>
+rewriteBody(const std::vector<Stmt> &body,
+            const std::map<std::size_t, ReadPlan> &reads,
+            const std::map<std::size_t, StorePlan> &stores,
+            const std::map<std::size_t, std::vector<Stmt>> &inserts_before)
+{
+    std::vector<Stmt> result;
+    std::size_t ordinal = 0;
+    for (std::size_t s = 0; s < body.size(); ++s) {
+        auto ins = inserts_before.find(s);
+        if (ins != inserts_before.end()) {
+            for (const Stmt &stmt : ins->second)
+                result.push_back(stmt);
+        }
+
+        const Stmt &stmt = body[s];
+        if (stmt.isPrefetch()) {
+            result.push_back(stmt);
+            continue;
+        }
+        ExprPtr rhs = stmt.rhs()->rewriteArrayReads(
+            [&](const ArrayRef &) -> ExprPtr {
+                std::size_t my_ordinal = ordinal++;
+                auto it = reads.find(my_ordinal);
+                if (it == reads.end())
+                    return nullptr;
+                return Expr::scalar(it->second.temp);
+            });
+
+        if (!stmt.lhsIsArray()) {
+            result.push_back(Stmt::assignScalar(stmt.lhsScalar(), rhs));
+            continue;
+        }
+        std::size_t write_ordinal = ordinal++;
+        auto it = stores.find(write_ordinal);
+        if (it == stores.end()) {
+            result.push_back(Stmt::assignArray(stmt.lhsRef(), rhs));
+            continue;
+        }
+        // Capture the stored value in t0; keep the store unless it
+        // was hoisted to the postheader.
+        result.push_back(Stmt::assignScalar(it->second.temp, rhs));
+        if (!it->second.dropStore) {
+            result.push_back(Stmt::assignArray(
+                stmt.lhsRef(), Expr::scalar(it->second.temp)));
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+ScalarReplacementResult
+scalarReplace(const LoopNest &nest, const ScalarReplacementConfig &config)
+{
+    ScalarReplacementResult result;
+    result.nest = nest;
+    if (nest.depth() == 0 || !nest.preheader().empty())
+        return result;
+
+    const std::size_t depth = nest.depth();
+    const std::vector<Access> accesses = nest.accesses();
+    std::vector<UniformlyGeneratedSet> sets = partitionUGS(accesses);
+
+    // Arrays whose writes are spread over several UGSs (or sit in a
+    // non-analyzable one) could clobber a chain mid-flight; skip them.
+    std::map<std::string, std::set<std::size_t>> writer_sets;
+    std::set<std::string> unsafe;
+    for (std::size_t s = 0; s < sets.size(); ++s) {
+        for (const Access &access : sets[s].members) {
+            if (!access.isWrite)
+                continue;
+            writer_sets[sets[s].array].insert(s);
+            if (!sets[s].analyzable())
+                unsafe.insert(sets[s].array);
+        }
+    }
+    for (const auto &[array, writers] : writer_sets) {
+        if (writers.size() > 1)
+            unsafe.insert(array);
+    }
+
+    // Arrays touched by more than one UGS cannot have their stores
+    // deferred past the innermost loop: another reference pattern
+    // might observe the memory mid-sweep.
+    std::map<std::string, std::size_t> sets_touching;
+    for (const UniformlyGeneratedSet &set : sets)
+        ++sets_touching[set.array];
+
+    // Phase 1: collect every replaceable chain with its price.
+    std::vector<Candidate> candidates;
+    for (std::size_t u = 0; u < sets.size(); ++u) {
+        const UniformlyGeneratedSet &ugs = sets[u];
+        if (!ugs.analyzable() || unsafe.count(ugs.array))
+            continue;
+        RrsAnalysis analysis = computeRegisterReuseSets(ugs);
+
+        for (const RegisterReuseSet &set : analysis.sets) {
+            Candidate candidate;
+            candidate.ugs = u;
+            candidate.set = set;
+            candidate.innerDim = analysis.innerDim;
+            candidate.innerCoeff = analysis.innerCoeff;
+
+            if (analysis.innerDim < 0) {
+                bool has_def = false;
+                std::size_t reads = 0;
+                for (std::size_t m : set.members) {
+                    has_def |= ugs.members[m].isWrite;
+                    reads += !ugs.members[m].isWrite;
+                }
+                if (set.members.size() < 2 && !has_def)
+                    continue; // a lone load: nothing to gain
+                candidate.invariant = true;
+                candidate.mayHoistStore =
+                    sets_touching.at(ugs.array) == 1;
+                candidate.registers = 1;
+                candidate.loadsRemoved = reads;
+            } else {
+                if (set.members.size() < 2)
+                    continue; // nothing to replace
+                candidate.registers = set.registersNeeded;
+                candidate.loadsRemoved = set.members.size() - 1;
+            }
+            candidates.push_back(std::move(candidate));
+        }
+    }
+
+    // Phase 2: greedy by loads removed per register, then by size.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate &a, const Candidate &b) {
+                         double ra = static_cast<double>(a.loadsRemoved) /
+                                     static_cast<double>(a.registers);
+                         double rb = static_cast<double>(b.loadsRemoved) /
+                                     static_cast<double>(b.registers);
+                         if (ra != rb)
+                             return ra > rb;
+                         return a.registers < b.registers;
+                     });
+
+    std::map<std::size_t, ReadPlan> reads;
+    std::map<std::size_t, StorePlan> stores;
+    std::map<std::size_t, std::vector<Stmt>> inserts_before;
+    std::vector<Stmt> preheader;
+    std::vector<Stmt> postheader;
+    std::vector<Stmt> rotations;
+    std::size_t temp_counter = 0;
+    std::int64_t budget = config.maxRegisters;
+
+    for (const Candidate &candidate : candidates) {
+        if (candidate.registers > budget)
+            continue;
+        budget -= candidate.registers;
+        const UniformlyGeneratedSet &ugs = sets[candidate.ugs];
+        const RegisterReuseSet &set = candidate.set;
+
+        if (candidate.invariant) {
+            std::string temp = concat("sr", temp_counter++, "_0");
+            const Access &first = ugs.members[set.members.front()];
+            bool has_def = false;
+            preheader.push_back(
+                Stmt::assignScalar(temp, Expr::arrayRead(first.ref)));
+            for (std::size_t m : set.members) {
+                const Access &member = ugs.members[m];
+                if (member.isWrite) {
+                    has_def = true;
+                    stores[member.ordinal] =
+                        StorePlan{temp, candidate.mayHoistStore};
+                } else {
+                    reads[member.ordinal] = ReadPlan{temp};
+                    ++result.loadsRemoved;
+                }
+            }
+            if (has_def && candidate.mayHoistStore) {
+                postheader.push_back(
+                    Stmt::assignArray(first.ref, Expr::scalar(temp)));
+            }
+            result.registersUsed += 1;
+            ++result.chainsReplaced;
+            continue;
+        }
+
+        std::int64_t span = set.registersNeeded - 1;
+        std::string base = concat("sr", temp_counter++);
+        auto temp_name = [&](std::int64_t j) {
+            return concat(base, "_", j);
+        };
+
+        const Access &generator = ugs.members[set.generator];
+        Rational gen_phase =
+            touchPhase(generator.ref.offset(), candidate.innerDim,
+                       candidate.innerCoeff);
+
+        // Plan the generator: a load becomes "t0 = A(...)" inserted
+        // before its statement; a store captures its value into t0.
+        if (generator.isWrite) {
+            stores[generator.ordinal] = StorePlan{temp_name(0)};
+        } else {
+            inserts_before[generator.stmt].push_back(Stmt::assignScalar(
+                temp_name(0), Expr::arrayRead(generator.ref)));
+        }
+
+        // Every member (including a generator load) now reads its
+        // distance-j temporary.
+        for (std::size_t m : set.members) {
+            const Access &member = ugs.members[m];
+            if (member.isWrite)
+                continue; // only the generator can be a write
+            Rational distance =
+                touchPhase(member.ref.offset(), candidate.innerDim,
+                           candidate.innerCoeff) -
+                gen_phase;
+            UJAM_ASSERT(distance.isInteger() && distance >= Rational(0),
+                        "non-integral flow distance in RRS");
+            std::int64_t j = distance.toInteger();
+            reads[member.ordinal] = ReadPlan{temp_name(j)};
+            if (m != set.generator)
+                ++result.loadsRemoved;
+        }
+
+        // Rotation: t_span..t_1 shift down at the end of the body.
+        for (std::int64_t j = span; j >= 1; --j) {
+            rotations.push_back(Stmt::assignScalar(
+                temp_name(j), Expr::scalar(temp_name(j - 1))));
+        }
+
+        // Preheader: t_j preloads the value generated j innermost
+        // iterations before the first one, i.e. the generator's
+        // address shifted by -j along the innermost loop.
+        for (std::int64_t j = 1; j <= span; ++j) {
+            IntVector shift(depth);
+            shift[depth - 1] = -j;
+            preheader.push_back(Stmt::assignScalar(
+                temp_name(j),
+                Expr::arrayRead(generator.ref.shifted(shift))));
+        }
+
+        result.registersUsed += set.registersNeeded;
+        ++result.chainsReplaced;
+    }
+
+    if (result.chainsReplaced == 0)
+        return result;
+
+    std::vector<Stmt> body =
+        rewriteBody(nest.body(), reads, stores, inserts_before);
+    body.insert(body.end(), rotations.begin(), rotations.end());
+    result.nest.body() = std::move(body);
+    result.nest.preheader() = std::move(preheader);
+    result.nest.postheader() = std::move(postheader);
+    return result;
+}
+
+} // namespace ujam

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Scalar replacement (Callahan/Carr/Kennedy [12], paper section 4.3).
+ *
+ * Loads whose values were produced earlier in the innermost loop --
+ * by a store or an earlier load of the same location -- are replaced
+ * by scalar temporaries. A value crossing d innermost iterations
+ * lives in a rotating chain of d+1 temporaries: the generator fills
+ * t0, uses at distance j read tj, and the body ends with the shifts
+ * tj = t(j-1). Initializing loads go to the nest preheader.
+ *
+ * Safety: replacement is restricted to arrays whose every write is in
+ * the same SIV-separable uniformly generated set as the reuse chain;
+ * the group-temporal structure then guarantees no intervening clobber
+ * within an innermost sweep.
+ */
+
+#ifndef UJAM_TRANSFORM_SCALAR_REPLACEMENT_HH
+#define UJAM_TRANSFORM_SCALAR_REPLACEMENT_HH
+
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/** Scalar replacement knobs. */
+struct ScalarReplacementConfig
+{
+    /**
+     * Register budget for temporaries. Chains are ranked by loads
+     * removed per register and replaced greedily until the budget is
+     * spent; the default is effectively unlimited.
+     */
+    std::int64_t maxRegisters = 1 << 30;
+};
+
+/** Outcome of scalar replacement on one nest. */
+struct ScalarReplacementResult
+{
+    LoopNest nest;                 //!< the rewritten nest
+    std::size_t chainsReplaced = 0; //!< RRSs that got temporaries
+    std::size_t loadsRemoved = 0;  //!< body loads eliminated
+    std::int64_t registersUsed = 0; //!< temporaries introduced
+};
+
+/**
+ * Apply scalar replacement to a nest.
+ *
+ * @param nest   A perfect nest (possibly already unroll-and-jammed)
+ *               with no preheader.
+ * @param config Register budget and other knobs.
+ * @return The rewritten nest and statistics; the nest is returned
+ *         unchanged when nothing is replaceable.
+ */
+ScalarReplacementResult scalarReplace(
+    const LoopNest &nest, const ScalarReplacementConfig &config = {});
+
+} // namespace ujam
+
+#endif // UJAM_TRANSFORM_SCALAR_REPLACEMENT_HH

@@ -1,0 +1,130 @@
+#include "transform/unroll_and_jam.hh"
+
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+/** Shift every array reference of a statement by H * offset. */
+Stmt
+shiftStmt(const Stmt &stmt, const IntVector &offset)
+{
+    if (stmt.isPrefetch())
+        return Stmt::prefetch(stmt.prefetchRef().shifted(offset));
+    ExprPtr rhs = stmt.rhs()->rewriteArrayReads(
+        [&](const ArrayRef &ref) {
+            return Expr::arrayRead(ref.shifted(offset));
+        });
+    if (stmt.lhsIsArray())
+        return Stmt::assignArray(stmt.lhsRef().shifted(offset), rhs);
+    return Stmt::assignScalar(stmt.lhsScalar(), rhs);
+}
+
+/**
+ * Unroll one loop of one nest by u; returns {main, fringe}. The
+ * fringe covers the remainder iterations with the nest's original
+ * body and is dropped by the caller when trip counts are known
+ * divisible.
+ */
+std::pair<LoopNest, LoopNest>
+unrollOneLoop(const LoopNest &nest, std::size_t k, std::int64_t u)
+{
+    UJAM_ASSERT(k < nest.depth(), "loop index out of range");
+    const Loop &loop = nest.loop(k);
+    UJAM_ASSERT(loop.step == 1,
+                "unroll-and-jam requires a step-1 loop (loop '", loop.iv,
+                "')");
+    std::int64_t factor = u + 1;
+
+    // Main nest: step u+1 up to the aligned bound, body replicated for
+    // every offset 0..u along loop k.
+    LoopNest main = nest;
+    main.loop(k).upper =
+        Bound::alignedUpper(loop.lower, loop.upper, factor);
+    main.loop(k).step = factor;
+
+    std::vector<Stmt> body;
+    for (std::int64_t copy = 0; copy <= u; ++copy) {
+        IntVector offset(nest.depth());
+        offset[k] = copy;
+        for (const Stmt &stmt : nest.body())
+            body.push_back(shiftStmt(stmt, offset));
+    }
+    main.body() = std::move(body);
+
+    // Fringe nest: remainder iterations, original body.
+    LoopNest fringe = nest;
+    fringe.loop(k).lower =
+        Bound::alignedUpper(loop.lower, loop.upper, factor).plus(1);
+    fringe.setName(nest.name().empty() ? "fringe"
+                                       : nest.name() + ".fringe");
+    return {std::move(main), std::move(fringe)};
+}
+
+} // namespace
+
+std::vector<LoopNest>
+unrollInnermost(const LoopNest &nest, std::int64_t unroll)
+{
+    UJAM_ASSERT(nest.depth() > 0, "unrolling an empty nest");
+    UJAM_ASSERT(unroll >= 0, "negative unroll amount");
+    UJAM_ASSERT(nest.preheader().empty() && nest.postheader().empty(),
+                "unroll before scalar replacement only");
+    if (unroll == 0)
+        return {nest};
+    auto [main, fringe] = unrollOneLoop(nest, nest.depth() - 1, unroll);
+    return {std::move(main), std::move(fringe)};
+}
+
+std::vector<LoopNest>
+unrollAndJamNest(const LoopNest &nest, const IntVector &unroll)
+{
+    UJAM_ASSERT(unroll.size() == nest.depth(),
+                "unroll vector depth mismatch");
+    UJAM_ASSERT(nest.preheader().empty() && nest.postheader().empty(),
+                "unroll-and-jam before scalar replacement only");
+    if (nest.depth() > 0) {
+        UJAM_ASSERT(unroll[nest.depth() - 1] == 0,
+                    "the innermost loop is never unrolled");
+    }
+    UJAM_ASSERT(unroll.allNonNegative(), "negative unroll amount");
+
+    std::vector<LoopNest> result{nest};
+    if (unroll.isZero())
+        return result;
+
+    for (std::size_t k = 0; k < nest.depth(); ++k) {
+        if (unroll[k] == 0)
+            continue;
+        std::vector<LoopNest> next;
+        for (const LoopNest &current : result) {
+            auto [main, fringe] = unrollOneLoop(current, k, unroll[k]);
+            next.push_back(std::move(main));
+            next.push_back(std::move(fringe));
+        }
+        result = std::move(next);
+    }
+    return result;
+}
+
+Program
+unrollAndJam(const Program &program, std::size_t nest_index,
+             const IntVector &unroll)
+{
+    UJAM_ASSERT(nest_index < program.nests().size(),
+                "nest index out of range");
+    Program result = program;
+    std::vector<LoopNest> expanded =
+        unrollAndJamNest(program.nests()[nest_index], unroll);
+    result.nests().erase(result.nests().begin() +
+                         static_cast<std::ptrdiff_t>(nest_index));
+    result.nests().insert(result.nests().begin() +
+                              static_cast<std::ptrdiff_t>(nest_index),
+                          expanded.begin(), expanded.end());
+    return result;
+}
+
+} // namespace ujam

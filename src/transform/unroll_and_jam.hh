@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The unroll-and-jam transformation (paper section 3.3).
+ *
+ * Unroll-and-jam by u replicates the loop body for every copy offset
+ * u' <= u (shifting references by H u'), steps each unrolled loop by
+ * u_k + 1, and emits fringe nests covering remainder iterations when
+ * trip counts are not divisible. The caller is responsible for
+ * legality (safeUnrollBounds); the interpreter-equivalence tests
+ * verify the mechanics.
+ */
+
+#ifndef UJAM_TRANSFORM_UNROLL_AND_JAM_HH
+#define UJAM_TRANSFORM_UNROLL_AND_JAM_HH
+
+#include "ir/loop_nest.hh"
+#include "linalg/int_vector.hh"
+
+namespace ujam
+{
+
+/**
+ * Unroll-and-jam one nest.
+ *
+ * @param nest   A perfect nest with step-1 loops and no preheader.
+ * @param unroll Per-loop unroll amounts; the innermost entry must be
+ *               0.
+ * @return The transformed nests, main nest first, fringe nests (which
+ *         execute afterwards) following. A zero vector returns the
+ *         nest unchanged.
+ */
+std::vector<LoopNest> unrollAndJamNest(const LoopNest &nest,
+                                       const IntVector &unroll);
+
+/**
+ * Plain unrolling of the innermost loop (no jam involved): body
+ * copies follow each other exactly as the original iterations did, so
+ * this is legal for every nest. Used to lengthen bodies for
+ * scheduling once unroll-and-jam has set the cross-iteration shape.
+ *
+ * @param nest   A perfect nest without pre/postheaders.
+ * @param unroll Extra copies of the body (0 returns the nest as is).
+ * @return Main nest (+ fringe when trip counts may not divide).
+ */
+std::vector<LoopNest> unrollInnermost(const LoopNest &nest,
+                                      std::int64_t unroll);
+
+/**
+ * Unroll-and-jam a nest of a program, replacing it in place by the
+ * main + fringe nests.
+ *
+ * @param program   The program.
+ * @param nest_index Index of the nest to transform.
+ * @param unroll    Per-loop unroll amounts.
+ * @return The transformed program.
+ */
+Program unrollAndJam(const Program &program, std::size_t nest_index,
+                     const IntVector &unroll);
+
+} // namespace ujam
+
+#endif // UJAM_TRANSFORM_UNROLL_AND_JAM_HH

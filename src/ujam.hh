@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Umbrella header for the ujam library.
+ *
+ * ujam reproduces Carr & Guan, "Unroll-and-Jam Using Uniformly
+ * Generated Sets" (MICRO-30, 1997): unroll-and-jam amount selection
+ * from linear-algebra reuse analysis, with the dependence-based and
+ * brute-force baselines, the transformations themselves, and a
+ * cache + pipeline simulator for end-to-end evaluation.
+ *
+ * Typical flow:
+ *
+ *   Program program = parseProgram(source);             // parser/
+ *   UnrollDecision d = chooseUnrollAmounts(             // core/
+ *       program.nests()[0], MachineModel::decAlpha21064());
+ *   Program fast = unrollAndJam(program, 0, d.unroll);  // transform/
+ *   for (auto &nest : fast.nests())
+ *       nest = scalarReplace(nest).nest;
+ *   SimResult r = simulateProgram(fast, machine);       // sim/
+ */
+
+#ifndef UJAM_UJAM_HH
+#define UJAM_UJAM_HH
+
+#include "baseline/brute_force.hh"
+#include "baseline/dep_based.hh"
+#include "baseline/exact_counts.hh"
+#include "core/optimizer.hh"
+#include "core/rrs.hh"
+#include "core/set_tables.hh"
+#include "core/tables.hh"
+#include "core/unroll_space.hh"
+#include "deps/analyzer.hh"
+#include "deps/dependence.hh"
+#include "deps/graph.hh"
+#include "deps/subscript_tests.hh"
+#include "deps/update.hh"
+#include "driver/driver.hh"
+#include "ir/array_ref.hh"
+#include "ir/bound.hh"
+#include "ir/builder.hh"
+#include "ir/expr.hh"
+#include "ir/interp.hh"
+#include "ir/loop_nest.hh"
+#include "ir/printer.hh"
+#include "ir/stmt.hh"
+#include "ir/validation.hh"
+#include "linalg/int_vector.hh"
+#include "linalg/merge_solver.hh"
+#include "linalg/rat_matrix.hh"
+#include "linalg/subspace.hh"
+#include "model/balance.hh"
+#include "model/machine.hh"
+#include "parser/lexer.hh"
+#include "parser/parser.hh"
+#include "report/report.hh"
+#include "reuse/group_reuse.hh"
+#include "reuse/locality.hh"
+#include "reuse/ugs.hh"
+#include "sim/cache.hh"
+#include "sim/modulo_schedule.hh"
+#include "sim/pipeline.hh"
+#include "sim/reuse_distance.hh"
+#include "sim/simulator.hh"
+#include "support/diagnostics.hh"
+#include "support/rational.hh"
+#include "support/rng.hh"
+#include "support/string_utils.hh"
+#include "transform/distribution.hh"
+#include "transform/fusion.hh"
+#include "transform/interchange.hh"
+#include "transform/normalize.hh"
+#include "transform/prefetch_insertion.hh"
+#include "transform/scalar_replacement.hh"
+#include "transform/unroll_and_jam.hh"
+#include "workloads/corpus.hh"
+#include "workloads/suite.hh"
+
+#endif // UJAM_UJAM_HH

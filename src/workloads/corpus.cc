@@ -1,0 +1,329 @@
+#include "workloads/corpus.hh"
+
+#include <cmath>
+
+#include "deps/analyzer.hh"
+#include "ir/builder.hh"
+#include "support/diagnostics.hh"
+#include "support/rng.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+/** Per-routine generation style, drawn once per routine. */
+struct Style
+{
+    double readDensity;   //!< expected reads per statement
+    double shareProb;     //!< chance a read hits an already-used array
+    double stencilProb;   //!< chance a read is a shifted self-stencil
+    double invariantProb; //!< chance a subscript drops its loop
+    double sourceStencilProb; //!< chance reads cluster on one source
+    bool pureStencil;     //!< gather/interpolation routine: read-only
+                          //!< sources, fresh targets (mostly input deps)
+    bool writeHeavy;      //!< recurrence/update routine: single reads
+                          //!< of written arrays (no input deps at all)
+    bool independent;     //!< every array referenced once: no deps
+    int maxDepth;         //!< nest depth cap
+    int nests;            //!< nests in the routine
+};
+
+Style
+drawStyle(Rng &rng)
+{
+    Style style;
+    // Nearly half of the paper's routines (538 of 1187) had no
+    // dependences at all: straight initialization and copy code where
+    // no array is touched twice.
+    style.independent = rng.chance(0.45);
+    // Wide spreads on purpose: the paper reports a 33.6-point standard
+    // deviation across routines. Scientific Fortran is read-dominated:
+    // stencil and interpolation kernels read the same arrays many
+    // times per statement, which is where the quadratic population of
+    // input dependences comes from.
+    style.readDensity = 1.0 + rng.uniform() * 6.0;
+    style.shareProb = 0.3 + rng.uniform() * 0.65;
+    style.stencilProb = rng.uniform() * 0.6;
+    style.invariantProb = rng.uniform() * 0.5;
+    style.sourceStencilProb = rng.uniform() * 0.9;
+    // About a third of scientific routines are pure gather/stencil
+    // sweeps (smoothers, flux evaluation, interpolation): they write
+    // fresh result arrays from heavily re-read inputs, so nearly all
+    // of their dependences are input dependences (the paper's
+    // 90%-100% bucket holds a quarter of all routines).
+    style.pureStencil = !style.independent && rng.chance(0.42);
+    // And roughly a tenth are first-order recurrences or in-place
+    // updates (LU sweeps, scans): one read per write, so their graphs
+    // hold no input dependence whatsoever (the paper's 0% bucket).
+    style.writeHeavy =
+        !style.independent && !style.pureStencil && rng.chance(0.25);
+    if (style.writeHeavy) {
+        style.readDensity = 0.0;
+        style.stencilProb = 1.0;
+        style.sourceStencilProb = 0.0;
+        style.shareProb = 0.0;
+        style.invariantProb = 0.0;
+    }
+    style.maxDepth = static_cast<int>(rng.range(1, 3));
+    style.nests = static_cast<int>(rng.range(1, 5));
+    if (style.pureStencil) {
+        style.sourceStencilProb = 0.9 + rng.uniform() * 0.1;
+        style.stencilProb = rng.uniform() * 0.1;
+        style.readDensity = 4.5 + rng.uniform() * 6.0;
+        style.shareProb = 0.7 + rng.uniform() * 0.3;
+        // Gather routines tend to be the larger ones (whole smoothing
+        // passes), which is how input dependences dominate the global
+        // count more strongly than the per-routine mean.
+        style.nests = static_cast<int>(rng.range(3, 8));
+    }
+    return style;
+}
+
+const char *kIvNames[3] = {"i1", "i2", "i3"};
+
+/** A random affine subscript over the nest's loops. */
+Subscript
+drawSubscript(Rng &rng, const Style &style, int depth, int dim,
+              bool allow_offset)
+{
+    // Prefer the conventional dim<->loop pairing (column-major arrays
+    // indexed innermost-first), occasionally permuted.
+    int loop = depth - 1 - dim;
+    if (loop < 0 || rng.chance(0.12))
+        loop = static_cast<int>(rng.range(0, depth - 1));
+    if (rng.chance(style.invariantProb) && dim > 0)
+        return Subscript::constant(rng.range(1, 4));
+    std::int64_t offset =
+        allow_offset ? rng.range(-2, 2) : 0;
+    return idx(kIvNames[loop], offset);
+}
+
+LoopNest
+drawNest(Rng &rng, const Style &style, int routine_arrays, int nest_id)
+{
+    int depth = static_cast<int>(rng.range(1, style.maxDepth));
+    NestBuilder builder;
+    for (int k = 0; k < depth; ++k) {
+        builder.loop(kIvNames[k], 1,
+                     rng.range(16, 256)); // bounds are irrelevant to deps
+    }
+
+    int stmts = static_cast<int>(rng.range(1, 3));
+    // Arrays keep one rank for the whole nest, like real declarations.
+    std::vector<std::pair<std::string, int>> used_arrays;
+    auto pick_array = [&](bool prefer_shared) {
+        if (prefer_shared && !used_arrays.empty() &&
+            rng.chance(style.shareProb)) {
+            return used_arrays[static_cast<std::size_t>(rng.range(
+                0,
+                static_cast<std::int64_t>(used_arrays.size()) - 1))];
+        }
+        std::string name =
+            concat("arr", nest_id, "_", rng.range(0, routine_arrays - 1));
+        for (const auto &known : used_arrays) {
+            if (known.first == name)
+                return known;
+        }
+        std::pair<std::string, int> entry{
+            name, static_cast<int>(rng.range(1, std::max(1, depth)))};
+        used_arrays.push_back(entry);
+        return entry;
+    };
+
+    if (style.independent) {
+        // Initialization/copy code: every array appears exactly once
+        // and uses every loop (no invariant self reuse).
+        for (int s = 0; s < stmts; ++s) {
+            int rank = depth;
+            std::vector<Subscript> lhs_subs;
+            for (int d = 0; d < rank; ++d)
+                lhs_subs.push_back(idx(kIvNames[depth - 1 - d]));
+            ExprPtr rhs = rng.chance(0.5)
+                              ? lit(0.0)
+                              : builder.read(
+                                    concat("src", nest_id, "_", s),
+                                    lhs_subs);
+            builder.assign(concat("dst", nest_id, "_", s), lhs_subs,
+                           rhs);
+        }
+        return builder.name(concat("nest", nest_id)).build();
+    }
+
+    for (int s = 0; s < stmts; ++s) {
+        auto [target, rank] = pick_array(false);
+        if (style.writeHeavy) {
+            // Distinct update targets: the graph stays free of
+            // read-read pairs (flow/anti/output only).
+            target = concat("upd", nest_id, "_", s);
+        }
+        if (style.pureStencil) {
+            // Gather routines write fresh result arrays that nothing
+            // reads back: the write contributes no dependence at all.
+            target = concat("out", nest_id, "_", s);
+        }
+        std::vector<Subscript> lhs_subs;
+        for (int d = 0; d < rank; ++d)
+            lhs_subs.push_back(
+                drawSubscript(rng, style, depth, d, false));
+
+        int reads = 1 + static_cast<int>(rng.uniform() *
+                                         style.readDensity);
+        // Stencil kernels cluster their reads on one read-only source
+        // array (jacobi, flux differences, interpolation): every pair
+        // of those reads is an input dependence.
+        bool clustered = rng.chance(style.sourceStencilProb);
+        auto [source, source_rank] = pick_array(true);
+        std::vector<Subscript> source_subs;
+        for (int d = 0; d < source_rank; ++d)
+            source_subs.push_back(
+                drawSubscript(rng, style, depth, d, false));
+
+        ExprPtr rhs;
+        for (int r = 0; r < reads; ++r) {
+            ExprPtr read;
+            if (clustered && source != target &&
+                rng.chance(style.pureStencil ? 0.95 : 0.8)) {
+                std::vector<Subscript> subs = source_subs;
+                std::size_t d = static_cast<std::size_t>(
+                    rng.range(0, source_rank - 1));
+                subs[d].offset += rng.range(-2, 2);
+                read = builder.read(source, subs);
+            } else if (rng.chance(style.stencilProb)) {
+                // Shifted reference to the written array: flow/anti
+                // dependences (and input deps among themselves).
+                std::vector<Subscript> subs = lhs_subs;
+                std::size_t d = static_cast<std::size_t>(
+                    rng.range(0, rank - 1));
+                subs[d].offset += rng.range(-2, 2);
+                read = builder.read(target, subs);
+            } else {
+                auto [other, other_rank] = pick_array(true);
+                std::vector<Subscript> subs;
+                for (int d = 0; d < other_rank; ++d)
+                    subs.push_back(
+                        drawSubscript(rng, style, depth, d, true));
+                read = builder.read(other, subs);
+            }
+            rhs = rhs ? add(rhs, read) : read;
+        }
+        if (rng.chance(0.3))
+            rhs = mul(rhs, lit(0.5));
+        builder.assign(target, lhs_subs, rhs);
+    }
+    return builder.name(concat("nest", nest_id)).build();
+}
+
+} // namespace
+
+double
+CorpusStats::totalInputPercent() const
+{
+    if (totalDeps == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(totalInputDeps) /
+           static_cast<double>(totalDeps);
+}
+
+const std::vector<std::string> &
+corpusBucketLabels()
+{
+    static const std::vector<std::string> labels = {
+        "0%",      "1%-32%",  "33%-39%", "40%-49%", "50%-59%",
+        "60%-69%", "70%-79%", "80%-89%", "90%-100%"};
+    return labels;
+}
+
+std::vector<CorpusRoutine>
+generateCorpus(const CorpusConfig &config)
+{
+    Rng rng(config.seed);
+    std::vector<CorpusRoutine> corpus;
+    corpus.reserve(config.routines);
+    for (std::size_t r = 0; r < config.routines; ++r) {
+        Style style = drawStyle(rng);
+        CorpusRoutine routine;
+        routine.name = concat("routine", r);
+        int arrays = static_cast<int>(rng.range(2, 6));
+        for (int n = 0; n < style.nests; ++n)
+            routine.nests.push_back(drawNest(rng, style, arrays, n));
+        corpus.push_back(std::move(routine));
+    }
+    return corpus;
+}
+
+CorpusStats
+analyzeCorpus(const std::vector<CorpusRoutine> &corpus)
+{
+    CorpusStats stats;
+    stats.routinesTotal = corpus.size();
+    stats.histogram.assign(corpusBucketLabels().size(), 0);
+
+    std::vector<double> percents;
+    std::vector<double> input_counts;
+
+    for (const CorpusRoutine &routine : corpus) {
+        std::size_t deps = 0;
+        std::size_t input = 0;
+        for (const LoopNest &nest : routine.nests) {
+            DependenceGraph graph = analyzeDependences(nest);
+            deps += graph.size();
+            input += graph.inputCount();
+            stats.graphBytes += graph.storageBytes();
+            stats.graphBytesNoInput += graph.storageBytesWithoutInput();
+        }
+        if (deps == 0)
+            continue; // the paper bases its statistics on 649 of 1187
+        ++stats.routinesWithDeps;
+        stats.totalDeps += deps;
+        stats.totalInputDeps += input;
+        double percent = 100.0 * static_cast<double>(input) /
+                         static_cast<double>(deps);
+        percents.push_back(percent);
+        input_counts.push_back(static_cast<double>(input));
+
+        std::size_t bucket = 0;
+        if (percent == 0.0)
+            bucket = 0;
+        else if (percent < 33.0)
+            bucket = 1;
+        else if (percent < 40.0)
+            bucket = 2;
+        else if (percent < 50.0)
+            bucket = 3;
+        else if (percent < 60.0)
+            bucket = 4;
+        else if (percent < 70.0)
+            bucket = 5;
+        else if (percent < 80.0)
+            bucket = 6;
+        else if (percent < 90.0)
+            bucket = 7;
+        else
+            bucket = 8;
+        ++stats.histogram[bucket];
+    }
+
+    if (!percents.empty()) {
+        double sum = 0.0;
+        for (double p : percents)
+            sum += p;
+        stats.meanInputPercent = sum / static_cast<double>(percents.size());
+        double var = 0.0;
+        for (double p : percents) {
+            double d = p - stats.meanInputPercent;
+            var += d * d;
+        }
+        stats.stddevInputPercent =
+            std::sqrt(var / static_cast<double>(percents.size()));
+        double count_sum = 0.0;
+        for (double c : input_counts)
+            count_sum += c;
+        stats.meanInputCount =
+            count_sum / static_cast<double>(input_counts.size());
+    }
+    return stats;
+}
+
+} // namespace ujam

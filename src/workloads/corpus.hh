@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Synthetic routine corpus for the Table 1 experiment.
+ *
+ * The paper ran 1187 routines from SPEC92/Perfect/NAS/local suites
+ * through Memoria and measured what fraction of each routine's
+ * dependences were input (read-read) dependences. We regenerate a
+ * corpus of the same size whose loop and reference statistics are
+ * modeled on scientific Fortran: per-routine style parameters (read
+ * density, array sharing, write density, nest depth) are drawn from
+ * wide ranges so the per-routine input fraction spreads the way the
+ * paper's Table 1 does. The input fraction itself is emergent -- it
+ * is never set directly.
+ */
+
+#ifndef UJAM_WORKLOADS_CORPUS_HH
+#define UJAM_WORKLOADS_CORPUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/** One synthetic routine: a handful of loop nests. */
+struct CorpusRoutine
+{
+    std::string name;
+    std::vector<LoopNest> nests;
+};
+
+/** Corpus generation parameters. */
+struct CorpusConfig
+{
+    std::size_t routines = 1187; //!< paper section 5.1
+    std::uint64_t seed = 9717;   //!< MICRO-30 vintage
+};
+
+/** Aggregate dependence statistics over a corpus (paper 5.1). */
+struct CorpusStats
+{
+    std::size_t routinesTotal = 0;
+    std::size_t routinesWithDeps = 0;
+
+    std::size_t totalDeps = 0;
+    std::size_t totalInputDeps = 0;
+
+    double meanInputPercent = 0.0;   //!< mean over routines with deps
+    double stddevInputPercent = 0.0;
+    double meanInputCount = 0.0;     //!< mean input deps per routine
+
+    /**
+     * Routine counts per Table 1 bucket: 0%, 1-32%, 33-39%, 40-49%,
+     * 50-59%, 60-69%, 70-79%, 80-89%, 90-100%.
+     */
+    std::vector<std::size_t> histogram;
+
+    std::size_t graphBytes = 0;        //!< full graphs
+    std::size_t graphBytesNoInput = 0; //!< graphs without input deps
+
+    /** @return Input deps as a share of all deps, in percent. */
+    double totalInputPercent() const;
+};
+
+/** Bucket labels matching CorpusStats::histogram. */
+const std::vector<std::string> &corpusBucketLabels();
+
+/** Generate the corpus deterministically. */
+std::vector<CorpusRoutine> generateCorpus(const CorpusConfig &config = {});
+
+/** Run dependence analysis over every routine and aggregate. */
+CorpusStats analyzeCorpus(const std::vector<CorpusRoutine> &corpus);
+
+} // namespace ujam
+
+#endif // UJAM_WORKLOADS_CORPUS_HH

@@ -1,0 +1,323 @@
+#include "workloads/suite.hh"
+
+#include "ir/validation.hh"
+#include "parser/parser.hh"
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+std::vector<SuiteLoop>
+buildSuite()
+{
+    std::vector<SuiteLoop> suite;
+
+    suite.push_back({1, "jacobi", "Compute Jacobian of a Matrix", R"(
+param n = 144
+real a(n + 2, n + 2)
+real b(n + 2, n + 2)
+! nest: jacobi
+do j = 2, n
+  do i = 2, n
+    b(i, j) = 0.25 * (a(i-1, j) + a(i+1, j) + a(i, j-1) + a(i, j+1))
+  end do
+end do
+)"});
+
+    suite.push_back({2, "afold", "Adjoint Convolution", R"(
+param n = 144
+param m = 144
+real a(n)
+real b(n + m)
+real c(m)
+! nest: afold
+do j = 1, m
+  do i = 1, n
+    a(i) = a(i) + b(i + j) * c(j)
+  end do
+end do
+)"});
+
+    suite.push_back({3, "btrix.1", "SPEC/NASA7/BTRIX", R"(
+param n = 64
+param m = 64
+real s(m, n + 1, n)
+real r(m, n + 1)
+! nest: btrix.1
+do j = 1, n
+  do k = 2, n
+    do i = 1, m
+      s(i, k, j) = s(i, k, j) - r(i, k) * s(i, k-1, j)
+    end do
+  end do
+end do
+)"});
+
+    suite.push_back({4, "btrix.2", "SPEC/NASA7/BTRIX", R"(
+param n = 64
+param m = 64
+real x(m, n)
+real c(m, n)
+real y(n, n)
+! nest: btrix.2
+do k = 1, n
+  do j = 1, n
+    do i = 1, m
+      x(i, j) = x(i, j) + c(i, k) * y(k, j)
+    end do
+  end do
+end do
+)"});
+
+    suite.push_back({5, "btrix.7", "SPEC/NASA7/BTRIX", R"(
+param n = 64
+param m = 64
+real v(m, n + 1)
+real u(m, n + 1)
+real w(n + 1, n)
+! nest: btrix.7
+do j = 1, n
+  do k = 2, n
+    do i = 1, m
+      v(i, k) = v(i, k) - u(i, k-1) * w(k, j)
+    end do
+  end do
+end do
+)"});
+
+    suite.push_back({6, "collc.2", "Perfect/FLO52/COLLC", R"(
+param n = 144
+param m = 144
+real fs(m + 1, n + 1)
+real dw(m + 1, n + 1)
+! nest: collc.2
+do j = 2, n
+  do i = 2, m
+    fs(i, j) = 0.5 * (dw(i, j) + dw(i-1, j)) + 0.25 * (dw(i, j-1) + dw(i-1, j-1))
+  end do
+end do
+)"});
+
+    suite.push_back({7, "cond.7", "local/SIMPLE/CONDUCT", R"(
+param n = 144
+param m = 144
+real sigv(m + 1, n + 1)
+real sigh(m + 1, n + 1)
+real e(m + 1, n + 1)
+real t(m + 1, n + 1)
+! nest: cond.7
+do j = 2, n
+  do i = 2, m
+    e(i, j) = sigv(i, j) * (t(i, j-1) - t(i, j)) + sigh(i, j) * (t(i-1, j) - t(i, j))
+  end do
+end do
+)"});
+
+    suite.push_back({8, "cond.9", "local/SIMPLE/CONDUCT", R"(
+param n = 144
+param m = 144
+real t(m + 2, n + 2)
+real d(m + 2, n + 2)
+real e(m + 2, n + 2)
+! nest: cond.9
+do j = 2, n
+  do i = 2, m
+    t(i, j) = t(i, j) + d(i, j) * (e(i+1, j) - e(i, j) + e(i, j+1) - e(i, j))
+  end do
+end do
+)"});
+
+    suite.push_back({9, "dflux.16", "Perfect/FLO52/DFLUX", R"(
+param n = 144
+param m = 144
+real fs(m + 2, n)
+real w(m + 2, n)
+! nest: dflux.16
+do j = 1, n
+  do i = 2, m
+    fs(i, j) = w(i+1, j) - w(i, j)
+  end do
+end do
+)"});
+
+    suite.push_back({10, "dflux.17", "Perfect/FLO52/DFLUX", R"(
+param n = 144
+param m = 144
+real dw(m + 2, n)
+real fs(m + 2, n)
+real rad(m + 2, n)
+! nest: dflux.17
+do j = 1, n
+  do i = 2, m
+    dw(i, j) = dw(i, j) + rad(i, j) * (fs(i, j) - fs(i-1, j))
+  end do
+end do
+)"});
+
+    suite.push_back({11, "dflux.20", "Perfect/FLO52/DFLUX", R"(
+param n = 144
+param m = 144
+real dw(m, n + 2)
+real gs(m, n + 2)
+real rad(m, n + 2)
+! nest: dflux.20
+do j = 2, n
+  do i = 1, m
+    dw(i, j) = dw(i, j) + rad(i, j) * (gs(i, j+1) - gs(i, j)) - rad(i, j-1) * (gs(i, j) - gs(i, j-1))
+  end do
+end do
+)"});
+
+    suite.push_back({12, "dmxpy0", "Vector-Matrix Multiply", R"(
+param n = 144
+param m = 144
+real y(m)
+real x(n)
+real mat(m, n)
+! nest: dmxpy0
+do j = 1, n
+  do i = 1, m
+    y(i) = y(i) + x(j) * mat(i, j)
+  end do
+end do
+)"});
+
+    suite.push_back({13, "dmxpy1", "Vector-Matrix Multiply", R"(
+param n = 144
+param m = 144
+real y(m)
+real x(n)
+real mat(n, m)
+! nest: dmxpy1
+do i = 1, m
+  do j = 1, n
+    y(i) = y(i) + x(j) * mat(j, i)
+  end do
+end do
+)"});
+
+    suite.push_back({14, "gmtry.3", "SPEC/NASA7/GMTRY", R"(
+param n = 128
+real rmatrx(n, n)
+real xmat(n)
+! nest: gmtry.3
+do k = 1, n
+  do i = 1, n
+    rmatrx(i, k) = rmatrx(i, k) - xmat(i) * rmatrx(i, k-1)
+  end do
+end do
+)"});
+
+    suite.push_back({15, "mmjik", "Matrix-Matrix Multiply", R"(
+param n = 72
+real c(n, n)
+real a(n, n)
+real b(n, n)
+! nest: mmjik
+do j = 1, n
+  do i = 1, n
+    do k = 1, n
+      c(i, j) = c(i, j) + a(i, k) * b(k, j)
+    end do
+  end do
+end do
+)"});
+
+    suite.push_back({16, "mmjki", "Matrix-Matrix Multiply", R"(
+param n = 72
+real c(n, n)
+real a(n, n)
+real b(n, n)
+! nest: mmjki
+do j = 1, n
+  do k = 1, n
+    do i = 1, n
+      c(i, j) = c(i, j) + a(i, k) * b(k, j)
+    end do
+  end do
+end do
+)"});
+
+    suite.push_back({17, "vpenta.7", "SPEC/NASA7/VPENTA", R"(
+param n = 144
+param m = 144
+real f(m, n + 2)
+real x(m, n + 2)
+real y(m, n + 2)
+! nest: vpenta.7
+do j = 3, n
+  do i = 1, m
+    f(i, j) = f(i, j) - x(i, j) * f(i, j-1) - y(i, j) * f(i, j-2)
+  end do
+end do
+)"});
+
+    suite.push_back({18, "sor", "Successive Over Relaxation", R"(
+param n = 144
+real a(n + 2, n + 2)
+! nest: sor
+do j = 2, n
+  do i = 2, n
+    a(i, j) = 0.2 * a(i, j) + 0.2 * (a(i-1, j) + a(i+1, j) + a(i, j-1) + a(i, j+1))
+  end do
+end do
+)"});
+
+    suite.push_back({19, "shal", "Shallow Water Kernel", R"(
+param n = 128
+real cu(n + 1, n + 1)
+real cv(n + 1, n + 1)
+real z(n + 1, n + 1)
+real h(n + 1, n + 1)
+real p(n + 1, n + 1)
+real u(n + 1, n + 1)
+real v(n + 1, n + 1)
+! nest: shal
+do j = 2, n
+  do i = 2, n
+    cu(i, j) = 0.5 * (p(i, j) + p(i-1, j)) * u(i, j)
+    cv(i, j) = 0.5 * (p(i, j) + p(i, j-1)) * v(i, j)
+    z(i, j) = (v(i, j) - v(i-1, j) + u(i, j) - u(i, j-1)) / (p(i-1, j-1) + p(i, j))
+    h(i, j) = p(i, j) + 0.25 * (u(i, j) * u(i, j) + v(i, j) * v(i, j))
+  end do
+end do
+)"});
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<SuiteLoop> &
+testSuite()
+{
+    static const std::vector<SuiteLoop> suite = buildSuite();
+    return suite;
+}
+
+const SuiteLoop &
+suiteLoop(const std::string &name)
+{
+    for (const SuiteLoop &loop : testSuite()) {
+        if (loop.name == name)
+            return loop;
+    }
+    fatal("unknown suite loop '", name, "'");
+}
+
+Program
+loadSuiteProgram(const SuiteLoop &loop)
+{
+    Program program = parseProgram(loop.source);
+    std::vector<std::string> problems = validateProgram(program);
+    if (!problems.empty())
+        panic("suite loop ", loop.name, " is invalid: ", problems[0]);
+    UJAM_ASSERT(program.nests().size() == 1,
+                "suite loop must contain exactly one nest");
+    return program;
+}
+
+} // namespace ujam

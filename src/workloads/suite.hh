@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The evaluation suite (paper Table 2).
+ *
+ * Nineteen loops drawn from SPEC92 (NASA7: BTRIX, GMTRY, VPENTA),
+ * Perfect (FLO52: COLLC, DFLUX), NAS, and local kernels (SIMPLE
+ * conduct, jacobi, adjoint convolution, DMXPY, matrix multiply, SOR,
+ * shallow water). The loop bodies are re-expressed in the ujam DSL
+ * from their published descriptions (see the substitution notes in
+ * DESIGN.md); the array reference patterns -- which are all the
+ * analyses consume -- match the originals.
+ */
+
+#ifndef UJAM_WORKLOADS_SUITE_HH
+#define UJAM_WORKLOADS_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/** One suite entry. */
+struct SuiteLoop
+{
+    int number = 0;           //!< Table 2 loop number
+    std::string name;         //!< e.g. "dflux.16"
+    std::string description;  //!< suite/benchmark/subroutine
+    std::string source;       //!< DSL text (params, arrays, one nest)
+};
+
+/** @return All nineteen loops in Table 2 order. */
+const std::vector<SuiteLoop> &testSuite();
+
+/** @return The suite entry by name; fatal if unknown. */
+const SuiteLoop &suiteLoop(const std::string &name);
+
+/** @return The entry parsed into a Program (validated). */
+Program loadSuiteProgram(const SuiteLoop &loop);
+
+} // namespace ujam
+
+#endif // UJAM_WORKLOADS_SUITE_HH

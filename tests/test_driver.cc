@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the one-call optimization pipeline: stage toggles, the
+ * per-nest log, and full-suite semantic equivalence with every stage
+ * enabled at once.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/driver.hh"
+#include "ir/interp.hh"
+#include "ir/validation.hh"
+#include "parser/parser.hh"
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace ujam
+{
+namespace
+{
+
+TEST(Driver, PaperIntroThroughThePipeline)
+{
+    Program program = parseProgram(R"(
+param n = 40
+param m = 32
+real a(2*n + 2)
+real b(m)
+! nest: intro
+do j = 1, 2*n
+  do i = 1, m
+    a(j) = a(j) + b(i)
+  end do
+end do
+)");
+    PipelineConfig config;
+    config.optimizer.useCacheModel = false;
+    PipelineResult result =
+        optimizeProgram(program, MachineModel::hpPa7100(), config);
+
+    ASSERT_EQ(result.outcomes.size(), 1u);
+    EXPECT_EQ(result.outcomes[0].decision.unroll, (IntVector{1, 0}));
+    EXPECT_GT(result.outcomes[0].loadsRemoved, 0u);
+    // Main + fringe nests in the output program.
+    EXPECT_EQ(result.program.nests().size(), 2u);
+    EXPECT_TRUE(validateProgram(result.program).empty());
+
+    std::string summary = result.summary();
+    EXPECT_NE(summary.find("intro"), std::string::npos);
+    EXPECT_NE(summary.find("unroll=(1, 0)"), std::string::npos);
+}
+
+TEST(Driver, StageTogglesHonored)
+{
+    Program program = parseProgram(R"(
+param n = 24
+real a(n + 2, n + 2)
+real b(n + 2, n + 2)
+do j = 1, n
+  do i = 1, n
+    b(i, j) = a(i, j) + a(i, j-1)
+  end do
+end do
+)");
+    MachineModel machine = MachineModel::wideIlp();
+
+    PipelineConfig bare;
+    bare.scalarReplace = false;
+    bare.prefetch = false;
+    PipelineResult plain = optimizeProgram(program, machine, bare);
+    EXPECT_EQ(plain.outcomes[0].loadsRemoved, 0u);
+    EXPECT_EQ(plain.outcomes[0].prefetches, 0u);
+
+    PipelineConfig full;
+    full.prefetch = true;
+    PipelineResult rich = optimizeProgram(program, machine, full);
+    EXPECT_GT(rich.outcomes[0].loadsRemoved, 0u);
+    EXPECT_GT(rich.outcomes[0].prefetches, 0u);
+}
+
+TEST(Driver, NormalizesSteppedLoopsBeforeUnrolling)
+{
+    Program program = parseProgram(R"(
+param m = 32
+real a(80, m)
+real b(m)
+do j = 1, 79, 2
+  do i = 1, m
+    a(j, i) = a(j, i) + b(i)
+  end do
+end do
+)");
+    MachineModel machine = MachineModel::hpPa7100();
+    PipelineConfig config;
+    config.optimizer.useCacheModel = false;
+    PipelineResult result = optimizeProgram(program, machine, config);
+    EXPECT_TRUE(result.outcomes[0].normalized);
+    // Once normalized, the stepped loop unrolls like any other.
+    EXPECT_TRUE(result.outcomes[0].decision.transforms());
+
+    Interpreter a(program);
+    Interpreter b(result.program);
+    a.seedArrays(21);
+    b.seedArrays(21);
+    a.run();
+    b.run();
+    EXPECT_EQ(a.compareArrays(b, 1e-9), "");
+}
+
+TEST(Driver, InterchangeStageFindsMatmulOrder)
+{
+    Program program = loadSuiteProgram(suiteLoop("mmjik"));
+    PipelineConfig config;
+    config.interchange = true;
+    PipelineResult result = optimizeProgram(
+        program, MachineModel::decAlpha21064(), config);
+    EXPECT_TRUE(result.outcomes[0].interchanged);
+
+    Interpreter x(program, {{"n", 15}});
+    Interpreter y(result.program, {{"n", 15}});
+    x.seedArrays(4);
+    y.seedArrays(4);
+    x.run();
+    y.run();
+    EXPECT_EQ(x.compareArrays(y, 1e-9), "");
+}
+
+/** Everything on, whole suite: semantics must hold. */
+class DriverSuite : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DriverSuite, FullPipelinePreservesSemantics)
+{
+    const SuiteLoop &loop =
+        testSuite()[static_cast<std::size_t>(GetParam())];
+    Program program = loadSuiteProgram(loop);
+
+    PipelineConfig config;
+    config.interchange = true;
+    config.prefetch = true;
+    config.optimizer.maxUnroll = 3;
+    PipelineResult result =
+        optimizeProgram(program, MachineModel::wideIlp(), config);
+    EXPECT_TRUE(validateProgram(result.program).empty()) << loop.name;
+
+    ParamBindings small{{"n", 21}, {"m", 17}};
+    Interpreter a(program, small);
+    Interpreter b(result.program, small);
+    a.seedArrays(loop.number);
+    b.seedArrays(loop.number);
+    a.run();
+    b.run();
+    EXPECT_EQ(a.compareArrays(b, 1e-9), "") << loop.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLoops, DriverSuite, ::testing::Range(0, 19));
+
+TEST(Driver, FusionStageMergesProducerConsumer)
+{
+    Program program = parseProgram(R"(
+param n = 16
+real a(n + 2, n + 2)
+real b(n + 2, n + 2)
+real c(n + 2, n + 2)
+do j = 1, n
+  do i = 1, n
+    a(i, j) = c(i, j) * 2.0
+  end do
+end do
+do j = 1, n
+  do i = 1, n
+    b(i, j) = a(i, j) + 1.0
+  end do
+end do
+)");
+    PipelineConfig config;
+    config.fuse = true;
+    PipelineResult result =
+        optimizeProgram(program, MachineModel::hpPa7100(), config);
+    EXPECT_EQ(result.fusions, 1u);
+    EXPECT_EQ(result.outcomes.size(), 1u);
+    // The forwarded a(i,j) load disappears after fusion + scalar
+    // replacement.
+    EXPECT_GT(result.outcomes[0].loadsRemoved, 0u);
+
+    Interpreter x(program);
+    Interpreter y(result.program);
+    x.seedArrays(6);
+    y.seedArrays(6);
+    x.run();
+    y.run();
+    EXPECT_EQ(x.compareArrays(y, 1e-9), "");
+}
+
+TEST(Driver, DistributionStageSplitsShal)
+{
+    Program program = loadSuiteProgram(suiteLoop("shal"));
+    PipelineConfig config;
+    config.distribute = true;
+    config.optimizer.maxUnroll = 2;
+    PipelineResult result =
+        optimizeProgram(program, MachineModel::decAlpha21064(), config);
+    ASSERT_EQ(result.outcomes.size(), 1u);
+    EXPECT_EQ(result.outcomes[0].pieces, 4u);
+
+    ParamBindings small{{"n", 19}};
+    Interpreter x(program, small);
+    Interpreter y(result.program, small);
+    x.seedArrays(9);
+    y.seedArrays(9);
+    x.run();
+    y.run();
+    EXPECT_EQ(x.compareArrays(y, 1e-9), "");
+}
+
+TEST(Driver, MultiNestProgram)
+{
+    Program program = parseProgram(R"(
+param n = 20
+real a(n + 2, n + 2)
+real b(n + 2, n + 2)
+! nest: first
+do j = 1, n
+  do i = 1, n
+    a(i, j) = b(i, j) + b(i, j-1)
+  end do
+end do
+! nest: second
+do j = 1, n
+  do i = 1, n
+    b(i, j) = a(i, j) * 0.5
+  end do
+end do
+)");
+    MachineModel machine = MachineModel::hpPa7100();
+    PipelineResult result = optimizeProgram(program, machine, {});
+    ASSERT_EQ(result.outcomes.size(), 2u);
+    EXPECT_EQ(result.outcomes[0].name, "first");
+    EXPECT_EQ(result.outcomes[1].name, "second");
+
+    Interpreter x(program);
+    Interpreter y(result.program);
+    x.seedArrays(1);
+    y.seedArrays(1);
+    x.run();
+    y.run();
+    EXPECT_EQ(x.compareArrays(y, 1e-9), "");
+}
+
+} // namespace
+} // namespace ujam

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the modulo scheduler: graph construction, MII bounds,
+ * schedule validity (every edge and resource constraint verified),
+ * and the software-pipelining interactions with unroll-and-jam.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "parser/parser.hh"
+#include "sim/modulo_schedule.hh"
+#include "sim/pipeline.hh"
+#include "support/rng.hh"
+#include "transform/scalar_replacement.hh"
+#include "transform/unroll_and_jam.hh"
+
+namespace ujam
+{
+namespace
+{
+
+/** Assert every edge and modulo-resource constraint holds. */
+void
+verifySchedule(const OpGraph &graph, const MachineModel &machine,
+               const ModuloScheduleResult &result)
+{
+    ASSERT_GT(result.achievedII, 0);
+    ASSERT_EQ(result.startCycle.size(), graph.nodes.size());
+    for (const OpEdge &edge : graph.edges) {
+        EXPECT_GE(result.startCycle[edge.dst],
+                  result.startCycle[edge.src] + edge.latency -
+                      result.achievedII * edge.distance)
+            << "edge " << edge.src << "->" << edge.dst;
+    }
+    std::vector<int> mem(static_cast<std::size_t>(result.achievedII), 0);
+    std::vector<int> issue(static_cast<std::size_t>(result.achievedII),
+                           0);
+    std::vector<int> fp(static_cast<std::size_t>(result.achievedII), 0);
+    for (std::size_t v = 0; v < graph.nodes.size(); ++v) {
+        std::size_t slot = static_cast<std::size_t>(
+            result.startCycle[v] % result.achievedII);
+        ++issue[slot];
+        switch (graph.nodes[v].kind) {
+          case OpNode::Kind::Load:
+          case OpNode::Kind::Store:
+          case OpNode::Kind::Prefetch:
+            ++mem[slot];
+            break;
+          case OpNode::Kind::Fp:
+            ++fp[slot];
+            break;
+          default:
+            break;
+        }
+    }
+    for (std::size_t s = 0;
+         s < static_cast<std::size_t>(result.achievedII); ++s) {
+        EXPECT_LE(issue[s], machine.issueWidth);
+        EXPECT_LE(mem[s], machine.memPorts);
+        EXPECT_LE(fp[s], static_cast<int>(machine.flopsPerCycle));
+    }
+}
+
+ModuloScheduleResult
+scheduleBody(const char *source, const MachineModel &machine,
+             OpGraph *graph_out = nullptr)
+{
+    LoopNest nest = parseSingleNest(source);
+    OpGraph graph = OpGraph::fromBody(nest, machine);
+    ModuloScheduleResult result = moduloSchedule(graph, machine);
+    verifySchedule(graph, machine, result);
+    if (graph_out)
+        *graph_out = graph;
+    return result;
+}
+
+TEST(ModuloSchedule, StreamingBodyIsResourceBound)
+{
+    // 3 memory ops, 1 flop, one port: II = 3, no recurrence.
+    MachineModel machine = MachineModel::decAlpha21064();
+    ModuloScheduleResult result = scheduleBody(R"(
+do j = 1, 8
+  do i = 1, 8
+    c(i, j) = a(i, j) + b(i, j)
+  end do
+end do
+)",
+                                               machine);
+    EXPECT_EQ(result.resourceMii, 3);
+    EXPECT_EQ(result.recurrenceMii, 1);
+    EXPECT_EQ(result.achievedII, 3);
+    // The schedule still pays latencies inside one iteration.
+    EXPECT_GE(result.scheduleLength, machine.loadLatency + 1);
+}
+
+TEST(ModuloSchedule, AccumulatorBoundByFpLatency)
+{
+    // t = t + a(i,j): the FP latency chains iterations.
+    MachineModel machine = MachineModel::decAlpha21064(); // fpLat 6
+    ModuloScheduleResult result = scheduleBody(R"(
+do j = 1, 8
+  do i = 1, 8
+    t = t + a(i, j)
+  end do
+end do
+)",
+                                               machine);
+    EXPECT_EQ(result.recurrenceMii, machine.fpLatency);
+    EXPECT_EQ(result.achievedII, machine.fpLatency);
+}
+
+TEST(ModuloSchedule, UnrollAndJamBreaksTheAccumulatorWall)
+{
+    // The paper's future-work synergy: one accumulator is latency
+    // bound; unroll-and-jam creates independent accumulators, so the
+    // II per ORIGINAL iteration falls until resources bind.
+    Program program = parseProgram(R"(
+param n = 32
+real a(n + 2)
+real b(n + 2)
+do j = 1, n
+  do i = 1, n
+    a(j) = a(j) + b(i)
+  end do
+end do
+)");
+    MachineModel machine = MachineModel::decAlpha21064();
+
+    LoopNest original =
+        scalarReplace(program.nests()[0]).nest;
+    double ii1 = softwarePipelinedII(original, machine);
+    EXPECT_DOUBLE_EQ(ii1, machine.fpLatency); // one chained sum
+
+    LoopNest unrolled =
+        unrollAndJamNest(program.nests()[0], IntVector{3, 0}).front();
+    LoopNest replaced = scalarReplace(unrolled).nest;
+    double ii4 = softwarePipelinedII(replaced, machine);
+    // Four independent accumulators share the same 6-cycle window.
+    EXPECT_LE(ii4 / 4.0, ii1 / 2.0);
+}
+
+TEST(ModuloSchedule, MemoryCarriedRecurrence)
+{
+    // a(i) = a(i-1)*0.5: store -> next-iteration load closes a cycle
+    // through the multiply.
+    MachineModel machine = MachineModel::decAlpha21064();
+    ModuloScheduleResult result = scheduleBody(R"(
+do j = 1, 8
+  do i = 2, 8
+    a(i, j) = a(i-1, j) * 0.5
+  end do
+end do
+)",
+                                               machine);
+    // Cycle: load(3) + fp(6) + store->load(1) over distance 1.
+    EXPECT_GE(result.recurrenceMii, machine.fpLatency);
+    EXPECT_EQ(result.achievedII, result.mii());
+}
+
+TEST(ModuloSchedule, DistanceRelaxesRecurrence)
+{
+    // a(i) = a(i-3)*0.5: the same cycle spread over 3 iterations.
+    MachineModel machine = MachineModel::decAlpha21064();
+    ModuloScheduleResult near = scheduleBody(R"(
+do j = 1, 8
+  do i = 2, 8
+    a(i, j) = a(i-1, j) * 0.5
+  end do
+end do
+)",
+                                             machine);
+    ModuloScheduleResult far = scheduleBody(R"(
+do j = 1, 8
+  do i = 4, 8
+    a(i, j) = a(i-3, j) * 0.5
+  end do
+end do
+)",
+                                            machine);
+    EXPECT_LT(far.recurrenceMii, near.recurrenceMii);
+}
+
+TEST(ModuloSchedule, RotationChainsDoNotInflateII)
+{
+    // Scalar-replaced stencil: rotations are cross-iteration moves
+    // but form no arithmetic cycle; II stays resource bound.
+    Program program = parseProgram(R"(
+param n = 16
+real a(n + 2, n + 2)
+real b(n + 2, n + 2)
+do j = 1, n
+  do i = 1, n
+    b(i, j) = a(i, j) + a(i-1, j) + a(i-2, j)
+  end do
+end do
+)");
+    MachineModel machine = MachineModel::decAlpha21064();
+    LoopNest replaced = scalarReplace(program.nests()[0]).nest;
+    OpGraph graph = OpGraph::fromBody(replaced, machine);
+    ModuloScheduleResult result = moduloSchedule(graph, machine);
+    verifySchedule(graph, machine, result);
+    // 6 ops (load, 2 fp, store, 2 rotation moves) on a 2-wide issue:
+    // resource MII 3; the rotations carry values but close no
+    // arithmetic cycle, so recurrence does not bind.
+    EXPECT_EQ(result.resourceMii, 3);
+    EXPECT_EQ(result.recurrenceMii, 1);
+    // The simplified IMS has no ejection step: allow a small gap
+    // above the lower bound.
+    EXPECT_LE(result.achievedII, result.mii() + 2);
+}
+
+TEST(ModuloSchedule, PipelineHeuristicIsALowerEnvelope)
+{
+    // The cheap steady-state model never exceeds the scheduled II.
+    const char *sources[] = {
+        R"(
+do j = 1, 8
+  do i = 1, 8
+    c(i, j) = a(i, j) + b(i, j)
+  end do
+end do
+)",
+        R"(
+do j = 1, 8
+  do i = 1, 8
+    s(j) = s(j) + a(i, j) * b(i, j)
+  end do
+end do
+)",
+    };
+    MachineModel machine = MachineModel::hpPa7100();
+    for (const char *source : sources) {
+        LoopNest nest = parseSingleNest(source);
+        double heuristic = steadyStateCyclesPerIteration(nest, machine);
+        double scheduled = softwarePipelinedII(nest, machine);
+        EXPECT_LE(heuristic, scheduled + 1e-9) << source;
+    }
+}
+
+class ModuloScheduleRandom : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ModuloScheduleRandom, RandomBodiesScheduleValidly)
+{
+    Rng rng(17000 + GetParam());
+    std::ostringstream src;
+    src << "do j = 1, 8\n  do i = 2, 8\n";
+    int stmts = static_cast<int>(rng.range(1, 3));
+    for (int s = 0; s < stmts; ++s) {
+        const char *target = (s == 0) ? "a" : (s == 1) ? "b" : "c";
+        src << "    " << target << "(i, j) = " << target << "(i"
+            << -rng.range(1, 2) << ", j) * 0.5 + "
+            << ((s % 2) ? "a" : "b") << "(i, j"
+            << (rng.chance(0.5) ? "-1" : "") << ")\n";
+    }
+    src << "  end do\nend do\n";
+    LoopNest nest = parseSingleNest(src.str());
+    MachineModel machine = rng.chance(0.5)
+                               ? MachineModel::decAlpha21064()
+                               : MachineModel::wideIlp();
+    OpGraph graph = OpGraph::fromBody(nest, machine);
+    ModuloScheduleResult result = moduloSchedule(graph, machine);
+    verifySchedule(graph, machine, result);
+    EXPECT_GE(result.achievedII, result.mii());
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ModuloScheduleRandom,
+                         ::testing::Range(0, 20));
+
+} // namespace
+} // namespace ujam

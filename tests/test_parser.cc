@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Unit tests for the DSL lexer and parser, including print/parse
+ * round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/interp.hh"
+#include "ir/printer.hh"
+#include "ir/validation.hh"
+#include "parser/lexer.hh"
+#include "parser/parser.hh"
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+namespace
+{
+
+TEST(Lexer, TokenizesBasics)
+{
+    auto tokens = tokenize("do i = 1, n\n  a(i) = 2.5 * b(i-1)\nend do\n");
+    ASSERT_GT(tokens.size(), 10u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::Ident);
+    EXPECT_EQ(tokens[0].text, "do");
+    EXPECT_EQ(tokens[1].text, "i");
+    EXPECT_EQ(tokens[2].kind, TokenKind::Equals);
+    EXPECT_EQ(tokens[3].kind, TokenKind::Integer);
+    EXPECT_EQ(tokens[3].intValue, 1);
+    EXPECT_EQ(tokens.back().kind, TokenKind::End);
+}
+
+TEST(Lexer, FloatsAndCase)
+{
+    auto tokens = tokenize("X = 2.5");
+    EXPECT_EQ(tokens[0].text, "x"); // case folded
+    EXPECT_EQ(tokens[2].kind, TokenKind::Float);
+    EXPECT_DOUBLE_EQ(tokens[2].floatValue, 2.5);
+}
+
+TEST(Lexer, CommentsAndNestNames)
+{
+    auto tokens = tokenize("! plain comment\n! nest: mm_jik\ndo i = 1, 2\n");
+    EXPECT_EQ(tokens[0].kind, TokenKind::NestName);
+    EXPECT_EQ(tokens[0].text, "mm_jik");
+}
+
+TEST(Lexer, TracksLineNumbers)
+{
+    auto tokens = tokenize("a = 1\nb = 2\n");
+    // find token 'b'
+    bool found = false;
+    for (const Token &t : tokens) {
+        if (t.kind == TokenKind::Ident && t.text == "b") {
+            EXPECT_EQ(t.line, 2);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Lexer, RejectsStrayCharacters)
+{
+    EXPECT_THROW(tokenize("a = 1 @ 2"), FatalError);
+}
+
+const char *kSaxpySource = R"(
+param n = 8
+param m = 4
+real a(n)
+real b(m)
+
+! nest: sum
+do j = 1, n
+  do i = 1, m
+    a(j) = a(j) + b(i)
+  end do
+end do
+)";
+
+TEST(Parser, ParsesProgram)
+{
+    Program program = parseProgram(kSaxpySource);
+    EXPECT_EQ(program.paramDefaults().at("n"), 8);
+    EXPECT_EQ(program.paramDefaults().at("m"), 4);
+    ASSERT_EQ(program.nests().size(), 1u);
+    const LoopNest &nest = program.nests()[0];
+    EXPECT_EQ(nest.name(), "sum");
+    EXPECT_EQ(nest.depth(), 2u);
+    EXPECT_EQ(nest.loop(0).iv, "j");
+    EXPECT_EQ(nest.loop(1).iv, "i");
+    ASSERT_EQ(nest.body().size(), 1u);
+    EXPECT_TRUE(nest.body()[0].isReduction());
+    EXPECT_TRUE(validateProgram(program).empty());
+}
+
+TEST(Parser, SubscriptForms)
+{
+    LoopNest nest = parseSingleNest(R"(
+do j = 1, 10
+  do i = 1, 10
+    a(2*i-1, j+2) = b(i, 3) + c(4)
+  end do
+end do
+)");
+    auto accesses = nest.accesses();
+    ASSERT_EQ(accesses.size(), 3u);
+    // b(i, 3)
+    EXPECT_EQ(accesses[0].ref.array(), "b");
+    EXPECT_EQ(accesses[0].ref.row(0), (IntVector{0, 1}));
+    EXPECT_EQ(accesses[0].ref.offset(), (IntVector{0, 3}));
+    // c(4): depth matches nest, all-zero row.
+    EXPECT_EQ(accesses[1].ref.row(0), (IntVector{0, 0}));
+    EXPECT_EQ(accesses[1].ref.offset(), (IntVector{4}));
+    // a(2*i-1, j+2) write
+    EXPECT_TRUE(accesses[2].isWrite);
+    EXPECT_EQ(accesses[2].ref.row(0), (IntVector{0, 2}));
+    EXPECT_EQ(accesses[2].ref.offset(), (IntVector{-1, 2}));
+}
+
+TEST(Parser, ExpressionPrecedence)
+{
+    LoopNest nest = parseSingleNest(R"(
+do i = 1, 4
+  x = 1 + 2 * 3 - 4 / 2
+end do
+)");
+    // Evaluate via interpreter to confirm shape: 1 + 6 - 2 = 5.
+    Program program;
+    program.addNest(nest);
+    Interpreter interp(program);
+    interp.run();
+    EXPECT_DOUBLE_EQ(interp.scalar("x"), 5.0);
+}
+
+TEST(Parser, UnaryMinusAndParens)
+{
+    LoopNest nest = parseSingleNest(R"(
+do i = 1, 1
+  x = -(2 + 3) * -2.0
+end do
+)");
+    Program program;
+    program.addNest(nest);
+    Interpreter interp(program);
+    interp.run();
+    EXPECT_DOUBLE_EQ(interp.scalar("x"), 10.0);
+}
+
+TEST(Parser, TripleNestAndStep)
+{
+    LoopNest nest = parseSingleNest(R"(
+do k = 1, 10, 2
+  do j = 1, 10
+    do i = 1, 10
+      a(i, j, k) = 0
+    end do
+  end do
+end do
+)");
+    EXPECT_EQ(nest.depth(), 3u);
+    EXPECT_EQ(nest.loop(0).step, 2);
+    EXPECT_EQ(nest.loop(2).iv, "i");
+}
+
+TEST(Parser, SymbolicBounds)
+{
+    Program program = parseProgram(R"(
+param n = 20
+real a(2*n + 1)
+do i = 2, 2*n - 1
+  a(i) = 0
+end do
+)");
+    const Loop &loop = program.nests()[0].loop(0);
+    EXPECT_EQ(loop.lower.evaluate(program.paramDefaults()), 2);
+    EXPECT_EQ(loop.upper.evaluate(program.paramDefaults()), 39);
+    EXPECT_EQ(program.array("a").extents[0].evaluate(
+                  program.paramDefaults()),
+              41);
+}
+
+TEST(Parser, AlignBoundsAndPre)
+{
+    Program program = parseProgram(R"(
+param n = 10
+real a(n)
+real b(n)
+do j = 1, align(1, n, 3), 3
+  do i = 1, n
+    pre t0 = a(j)
+    b(i) = t0 + b(i)
+  end do
+end do
+)");
+    const LoopNest &nest = program.nests()[0];
+    EXPECT_EQ(nest.loop(0).upper.evaluate(program.paramDefaults()), 9);
+    ASSERT_EQ(nest.preheader().size(), 1u);
+    EXPECT_FALSE(nest.preheader()[0].lhsIsArray());
+    EXPECT_EQ(nest.preheader()[0].lhsScalar(), "t0");
+}
+
+TEST(Parser, ScalarAssignment)
+{
+    LoopNest nest = parseSingleNest(R"(
+do i = 1, 5
+  t = a(i)
+  a(i) = t * t
+end do
+)");
+    ASSERT_EQ(nest.body().size(), 2u);
+    EXPECT_FALSE(nest.body()[0].lhsIsArray());
+    EXPECT_TRUE(nest.body()[1].lhsIsArray());
+}
+
+TEST(Parser, ErrorsCarryLineNumbers)
+{
+    try {
+        parseProgram("do i = 1, 5\n  a(i = 2\nend do\n");
+        FAIL() << "expected syntax error";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(Parser, RejectsUnknownIvInSubscript)
+{
+    EXPECT_THROW(parseSingleNest("do i = 1, 5\n  a(q) = 0\nend do\n"),
+                 FatalError);
+}
+
+TEST(Parser, RejectsImperfectNest)
+{
+    // A statement between the loops is not part of the grammar unless
+    // marked 'pre'.
+    EXPECT_THROW(parseProgram(R"(
+do j = 1, 5
+  x = 0
+  do i = 1, 5
+    a(i, j) = x
+  end do
+end do
+)"),
+                 FatalError);
+}
+
+TEST(Parser, RejectsMissingEnd)
+{
+    EXPECT_THROW(parseProgram("do i = 1, 5\n  a(i) = 0\n"), FatalError);
+}
+
+TEST(Parser, MultipleNests)
+{
+    Program program = parseProgram(R"(
+real a(10)
+! nest: first
+do i = 1, 10
+  a(i) = 1
+end do
+! nest: second
+do i = 1, 10
+  a(i) = a(i) + 1
+end do
+)");
+    ASSERT_EQ(program.nests().size(), 2u);
+    EXPECT_EQ(program.nests()[0].name(), "first");
+    EXPECT_EQ(program.nests()[1].name(), "second");
+}
+
+TEST(Parser, PrintParseRoundTrip)
+{
+    Program program = parseProgram(kSaxpySource);
+    std::string printed = renderProgram(program);
+    Program reparsed = parseProgram(printed);
+    ASSERT_EQ(reparsed.nests().size(), 1u);
+
+    // Semantics must survive the round trip.
+    Interpreter a(program);
+    Interpreter b(reparsed);
+    a.seedArrays(3);
+    b.seedArrays(3);
+    a.run();
+    b.run();
+    EXPECT_EQ(a.compareArrays(b, 0.0), "");
+}
+
+TEST(Parser, RoundTripWithPreheaderAndStep)
+{
+    const char *source = R"(
+param n = 9
+real a(n)
+real b(n)
+do j = 1, align(1, n, 2), 2
+  do i = 1, n
+    pre t0 = a(j)
+    b(i) = t0 + b(i) + a(j+1)
+  end do
+end do
+)";
+    Program program = parseProgram(source);
+    Program reparsed = parseProgram(renderProgram(program));
+    Interpreter x(program);
+    Interpreter y(reparsed);
+    x.seedArrays(11);
+    y.seedArrays(11);
+    x.run();
+    y.run();
+    EXPECT_EQ(x.compareArrays(y, 0.0), "");
+    EXPECT_EQ(reparsed.nests()[0].preheader().size(), 1u);
+    EXPECT_EQ(reparsed.nests()[0].loop(0).step, 2);
+}
+
+} // namespace
+} // namespace ujam

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Cross-cutting property tests: linear-algebra invariants on random
+ * matrices, parser robustness on hostile input, and randomized
+ * full-pipeline equivalence on deeper nests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/driver.hh"
+#include "ir/interp.hh"
+#include "ir/printer.hh"
+#include "linalg/rat_matrix.hh"
+#include "linalg/subspace.hh"
+#include "parser/parser.hh"
+#include "support/diagnostics.hh"
+#include "support/rng.hh"
+
+namespace ujam
+{
+namespace
+{
+
+// --- linear algebra invariants -------------------------------------------
+
+class LinalgProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LinalgProperty, KernelAnnihilatesAndRankNullity)
+{
+    Rng rng(2200 + GetParam());
+    std::size_t rows = static_cast<std::size_t>(rng.range(1, 4));
+    std::size_t cols = static_cast<std::size_t>(rng.range(1, 5));
+    RatMatrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c)
+            m.at(r, c) = Rational(rng.range(-3, 3));
+    }
+    RatMatrix kernel = m.kernelBasis();
+    // rank + nullity == cols
+    EXPECT_EQ(m.rank() + kernel.rows(), cols);
+    // A x == 0 for every basis vector
+    for (std::size_t k = 0; k < kernel.rows(); ++k) {
+        RatVector image = m.apply(kernel.row(k));
+        for (const Rational &x : image)
+            EXPECT_TRUE(x.isZero());
+    }
+    // Basis vectors are independent.
+    EXPECT_EQ(kernel.rank(), kernel.rows());
+}
+
+TEST_P(LinalgProperty, SolveResidualIsZero)
+{
+    Rng rng(3300 + GetParam());
+    std::size_t rows = static_cast<std::size_t>(rng.range(1, 4));
+    std::size_t cols = static_cast<std::size_t>(rng.range(1, 4));
+    RatMatrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c)
+            m.at(r, c) = Rational(rng.range(-3, 3));
+    }
+    // Build a certainly-consistent RHS: b = A * x0.
+    RatVector x0(cols);
+    for (std::size_t c = 0; c < cols; ++c)
+        x0[c] = Rational(rng.range(-4, 4), rng.range(1, 3));
+    RatVector b = m.apply(x0);
+
+    auto solution = m.solve(b);
+    ASSERT_TRUE(solution.has_value());
+    RatVector residual = m.apply(*solution);
+    for (std::size_t r = 0; r < rows; ++r)
+        EXPECT_EQ(residual[r], b[r]);
+}
+
+TEST_P(LinalgProperty, IntersectionIsContainedInBoth)
+{
+    Rng rng(4400 + GetParam());
+    std::size_t n = static_cast<std::size_t>(rng.range(2, 4));
+    auto random_space = [&]() {
+        std::vector<IntVector> vecs;
+        std::size_t count = static_cast<std::size_t>(rng.range(0, 2));
+        for (std::size_t v = 0; v < count; ++v) {
+            IntVector vec(n);
+            for (std::size_t k = 0; k < n; ++k)
+                vec[k] = rng.range(-2, 2);
+            vecs.push_back(std::move(vec));
+        }
+        return Subspace::spanOf(n, vecs);
+    };
+    Subspace a = random_space();
+    Subspace b = random_space();
+    Subspace meet = a.intersect(b);
+    EXPECT_TRUE(a.containsSubspace(meet));
+    EXPECT_TRUE(b.containsSubspace(meet));
+    // dim(meet) >= dim a + dim b - n (dimension formula bound).
+    std::size_t lower =
+        a.dim() + b.dim() >= n ? a.dim() + b.dim() - n : 0;
+    EXPECT_GE(meet.dim(), lower);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, LinalgProperty, ::testing::Range(0, 30));
+
+// --- parser robustness -----------------------------------------------------
+
+class ParserFuzz : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ParserFuzz, HostileInputNeverCrashes)
+{
+    Rng rng(5500 + GetParam());
+    // Token soup drawn from the DSL's own vocabulary: close enough to
+    // real programs to reach deep parser states.
+    static const char *pieces[] = {
+        "do",   "end",  "real", "param", "pre",  "post", "prefetch",
+        "align", "i",   "j",    "n",     "a",    "(",    ")",
+        ",",    "=",    "+",    "-",     "*",    "/",    "1",
+        "2.5",  "\n",   "!",    "0",     "do i = 1, 4\n",
+        "a(i) = 1\n",   "end do\n"};
+    std::ostringstream src;
+    int count = static_cast<int>(rng.range(1, 60));
+    for (int t = 0; t < count; ++t) {
+        src << pieces[rng.range(0, std::size(pieces) - 1)];
+        if (rng.chance(0.3))
+            src << " ";
+    }
+    try {
+        Program program = parseProgram(src.str());
+        // If it parsed, it must at least re-render without crashing.
+        renderProgram(program);
+    } catch (const FatalError &) {
+        // Expected for malformed input: a diagnostic, not a crash.
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TokenSoup, ParserFuzz, ::testing::Range(0, 60));
+
+// --- randomized full-pipeline equivalence ----------------------------------
+
+class PipelineProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(PipelineProperty, ThreeDeepRandomNests)
+{
+    Rng rng(6600 + GetParam());
+    std::ostringstream src;
+    std::int64_t n = rng.range(5, 9);
+    src << "param n = " << n << "\n";
+    src << "real a(n + 10, n + 10, n + 10)\n";
+    src << "real b(n + 10, n + 10)\n";
+    src << "real c(n + 10)\n";
+    src << "do i = 1, n\n  do j = 1, n\n    do k = 1, n\n";
+    src << "      a(k, j, i) = ";
+    int reads = static_cast<int>(rng.range(1, 3));
+    for (int r = 0; r < reads; ++r) {
+        if (r > 0)
+            src << " + ";
+        switch (rng.range(0, 3)) {
+          case 0:
+            src << "a(k, j, i" << (rng.chance(0.5) ? "-1" : "-2")
+                << ")";
+            break;
+          case 1:
+            src << "b(k, j" << (rng.chance(0.5) ? "-1" : "")
+                << ")";
+            break;
+          case 2:
+            src << "c(k)";
+            break;
+          default:
+            src << "b(k, i)";
+            break;
+        }
+    }
+    src << " * 0.5\n";
+    src << "    end do\n  end do\nend do\n";
+
+    Program program = parseProgram(src.str());
+    PipelineConfig config;
+    config.interchange = rng.chance(0.5);
+    config.prefetch = rng.chance(0.5);
+    config.optimizer.maxUnroll = 3;
+    const MachineModel machine = rng.chance(0.5)
+                                     ? MachineModel::decAlpha21064()
+                                     : MachineModel::wideIlp();
+    PipelineResult result = optimizeProgram(program, machine, config);
+
+    Interpreter x(program);
+    Interpreter y(result.program);
+    x.seedArrays(77);
+    y.seedArrays(77);
+    x.run();
+    y.run();
+    EXPECT_EQ(x.compareArrays(y, 1e-9), "")
+        << src.str() << "\n---\n"
+        << renderProgram(result.program);
+
+    // The transformed program (align bounds, pre/post headers,
+    // prefetches, steps) must survive a print/parse round trip with
+    // identical semantics -- the printer and parser cover the whole
+    // output language.
+    Program reparsed = parseProgram(renderProgram(result.program));
+    Interpreter z(reparsed);
+    z.seedArrays(77);
+    z.run();
+    EXPECT_EQ(y.compareArrays(z, 0.0), "")
+        << renderProgram(result.program);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PipelineProperty,
+                         ::testing::Range(0, 30));
+
+} // namespace
+} // namespace ujam

@@ -1,0 +1,456 @@
+/**
+ * @file
+ * Tests for loop distribution, loop fusion and innermost unrolling --
+ * the restructuring companions of unroll-and-jam -- anchored as
+ * always by interpreter equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/interp.hh"
+#include "ir/printer.hh"
+#include "parser/parser.hh"
+#include "support/diagnostics.hh"
+#include "support/rng.hh"
+#include "transform/distribution.hh"
+#include "transform/fusion.hh"
+#include "transform/scalar_replacement.hh"
+#include "transform/unroll_and_jam.hh"
+#include "workloads/suite.hh"
+
+namespace ujam
+{
+namespace
+{
+
+void
+expectSame(const Program &a, const Program &b, double tol,
+           const char *label)
+{
+    Interpreter x(a);
+    Interpreter y(b);
+    x.seedArrays(8);
+    y.seedArrays(8);
+    x.run();
+    y.run();
+    EXPECT_EQ(x.compareArrays(y, tol), "")
+        << label << "\n"
+        << renderProgram(b);
+}
+
+// --- distribution ----------------------------------------------------------
+
+TEST(Distribution, IndependentStatementsSplit)
+{
+    Program program = parseProgram(R"(
+param n = 14
+real a(n, n)
+real b(n, n)
+real c(n, n)
+real d(n, n)
+! nest: two
+do j = 1, n
+  do i = 1, n
+    a(i, j) = c(i, j) * 2.0
+    b(i, j) = d(i, j) + 1.0
+  end do
+end do
+)");
+    DistributionResult result =
+        distributeNest(program.nests()[0]);
+    EXPECT_TRUE(result.changed);
+    ASSERT_EQ(result.nests.size(), 2u);
+    EXPECT_EQ(result.nests[0].body().size(), 1u);
+    EXPECT_EQ(result.nests[0].name(), "two.0");
+
+    Program transformed = program;
+    transformed.nests().clear();
+    for (LoopNest &nest : result.nests)
+        transformed.addNest(std::move(nest));
+    expectSame(program, transformed, 0.0, "independent split");
+}
+
+TEST(Distribution, ForwardDependenceOrdersGroups)
+{
+    // Producer a, consumer b: both split, producer first.
+    Program program = parseProgram(R"(
+param n = 12
+real a(n + 2, n + 2)
+real b(n + 2, n + 2)
+real c(n + 2, n + 2)
+do j = 1, n
+  do i = 1, n
+    a(i, j) = c(i, j) * 2.0
+    b(i, j) = a(i, j-1) + 1.0
+  end do
+end do
+)");
+    DistributionResult result =
+        distributeNest(program.nests()[0]);
+    EXPECT_TRUE(result.changed);
+    ASSERT_EQ(result.nests.size(), 2u);
+    // The producer of 'a' must run first.
+    EXPECT_EQ(result.nests[0].body()[0].lhsRef().array(), "a");
+
+    Program transformed = program;
+    transformed.nests().clear();
+    for (LoopNest &nest : result.nests)
+        transformed.addNest(std::move(nest));
+    expectSame(program, transformed, 0.0, "producer first");
+}
+
+TEST(Distribution, CycleStaysTogether)
+{
+    // a feeds b in the same iteration; b feeds a one iteration later:
+    // a genuine recurrence cycle, must not split.
+    Program program = parseProgram(R"(
+param n = 12
+real a(n + 2, n + 2)
+real b(n + 2, n + 2)
+do j = 2, n
+  do i = 1, n
+    a(i, j) = b(i, j-1) * 0.5
+    b(i, j) = a(i, j) + 1.0
+  end do
+end do
+)");
+    DistributionResult result =
+        distributeNest(program.nests()[0]);
+    EXPECT_FALSE(result.changed);
+    ASSERT_EQ(result.nests.size(), 1u);
+    EXPECT_EQ(result.groupOf[0], result.groupOf[1]);
+}
+
+TEST(Distribution, ScalarTemporariesBindStatements)
+{
+    Program program = parseProgram(R"(
+param n = 10
+real a(n, n)
+real b(n, n)
+do j = 1, n
+  do i = 1, n
+    t = a(i, j) * 2.0
+    b(i, j) = t + 1.0
+  end do
+end do
+)");
+    DistributionResult result =
+        distributeNest(program.nests()[0]);
+    EXPECT_FALSE(result.changed);
+}
+
+TEST(Distribution, ShallowWaterSplitsIntoFourGroups)
+{
+    // shal's four statements are mutually independent (each writes a
+    // distinct array from shared read-only inputs).
+    Program program = loadSuiteProgram(suiteLoop("shal"));
+    DistributionResult result =
+        distributeNest(program.nests()[0]);
+    EXPECT_TRUE(result.changed);
+    EXPECT_EQ(result.nests.size(), 4u);
+
+    Program transformed = program;
+    transformed.nests().clear();
+    for (LoopNest &nest : result.nests)
+        transformed.addNest(std::move(nest));
+    Interpreter x(program, {{"n", 19}});
+    Interpreter y(transformed, {{"n", 19}});
+    x.seedArrays(2);
+    y.seedArrays(2);
+    x.run();
+    y.run();
+    EXPECT_EQ(x.compareArrays(y, 0.0), "");
+}
+
+// --- fusion ----------------------------------------------------------------
+
+const char *kProducerConsumer = R"(
+param n = 16
+real a(n + 2, n + 2)
+real b(n + 2, n + 2)
+real c(n + 2, n + 2)
+! nest: produce
+do j = 1, n
+  do i = 1, n
+    a(i, j) = c(i, j) * 2.0
+  end do
+end do
+! nest: consume
+do j = 1, n
+  do i = 1, n
+    b(i, j) = a(i, j) + 1.0
+  end do
+end do
+)";
+
+TEST(Fusion, ProducerConsumerFuses)
+{
+    Program program = parseProgram(kProducerConsumer);
+    ASSERT_TRUE(fusionLegal(program.nests()[0], program.nests()[1]));
+
+    auto [fused, count] = fuseProgram(program);
+    EXPECT_EQ(count, 1u);
+    ASSERT_EQ(fused.nests().size(), 1u);
+    EXPECT_EQ(fused.nests()[0].body().size(), 2u);
+    EXPECT_EQ(fused.nests()[0].name(), "produce+consume");
+    expectSame(program, fused, 0.0, "producer-consumer fusion");
+}
+
+TEST(Fusion, FusionEnablesScalarForwarding)
+{
+    Program program = parseProgram(kProducerConsumer);
+    auto [fused, count] = fuseProgram(program);
+    ASSERT_EQ(count, 1u);
+    // After fusion, a(i,j) is written then read in one iteration:
+    // scalar replacement forwards it and the body load disappears.
+    ScalarReplacementResult replaced =
+        scalarReplace(fused.nests()[0]);
+    EXPECT_GE(replaced.loadsRemoved, 1u);
+    Program final_program = fused;
+    final_program.nests()[0] = replaced.nest;
+    expectSame(program, final_program, 0.0, "fusion + forwarding");
+}
+
+TEST(Fusion, BackwardDependenceBlocks)
+{
+    // The first nest reads a(i, j-1); fused, the second nest's write
+    // to a(i, j-1) would land one iteration EARLIER than that read --
+    // the read would suddenly see the new value.
+    Program program = parseProgram(R"(
+param n = 12
+real a(n + 2, n + 2)
+real b(n + 2, n + 2)
+do j = 2, n
+  do i = 1, n
+    b(i, j) = a(i, j-1) * 2.0
+  end do
+end do
+do j = 2, n
+  do i = 1, n
+    a(i, j) = b(i, j) + 1.0
+  end do
+end do
+)");
+    EXPECT_FALSE(fusionLegal(program.nests()[0], program.nests()[1]));
+    auto [fused, count] = fuseProgram(program);
+    EXPECT_EQ(count, 0u);
+    EXPECT_EQ(fused.nests().size(), 2u);
+}
+
+TEST(Fusion, ForwardCrossIterationDependenceIsFine)
+{
+    // Reading a(i, j+1) against a later write stays forward after
+    // fusion: the read at iteration j precedes the write at j+1.
+    Program program = parseProgram(R"(
+param n = 12
+real a(n + 2, n + 2)
+real b(n + 2, n + 2)
+do j = 1, n
+  do i = 1, n
+    b(i, j) = a(i, j+1) * 2.0
+  end do
+end do
+do j = 1, n
+  do i = 1, n
+    a(i, j) = b(i, j) + 1.0
+  end do
+end do
+)");
+    ASSERT_TRUE(fusionLegal(program.nests()[0], program.nests()[1]));
+    auto [fused, count] = fuseProgram(program);
+    EXPECT_EQ(count, 1u);
+    expectSame(program, fused, 0.0, "forward cross-iteration fusion");
+}
+
+TEST(Fusion, MismatchedHeadersBlock)
+{
+    Program program = parseProgram(R"(
+param n = 12
+real a(n, n)
+do j = 1, n
+  do i = 1, n
+    a(i, j) = 1.0
+  end do
+end do
+do j = 2, n
+  do i = 1, n
+    a(i, j) = a(i, j) * 2.0
+  end do
+end do
+)");
+    EXPECT_FALSE(fusionLegal(program.nests()[0], program.nests()[1]));
+}
+
+TEST(Fusion, ChainOfThreeFusesGreedily)
+{
+    Program program = parseProgram(R"(
+param n = 10
+real a(n, n)
+real b(n, n)
+real c(n, n)
+real d(n, n)
+do j = 1, n
+  do i = 1, n
+    b(i, j) = a(i, j) * 2.0
+  end do
+end do
+do j = 1, n
+  do i = 1, n
+    c(i, j) = b(i, j) + 1.0
+  end do
+end do
+do j = 1, n
+  do i = 1, n
+    d(i, j) = c(i, j) * 0.5
+  end do
+end do
+)");
+    auto [fused, count] = fuseProgram(program);
+    EXPECT_EQ(count, 2u);
+    EXPECT_EQ(fused.nests().size(), 1u);
+    expectSame(program, fused, 0.0, "three-way fusion");
+}
+
+TEST(Fusion, DistributionRoundTrip)
+{
+    // distribute then fuse returns to one nest with equal semantics.
+    Program program = loadSuiteProgram(suiteLoop("shal"));
+    DistributionResult distributed =
+        distributeNest(program.nests()[0]);
+    ASSERT_TRUE(distributed.changed);
+    Program pieces = program;
+    pieces.nests().clear();
+    for (LoopNest &nest : distributed.nests)
+        pieces.addNest(std::move(nest));
+    auto [fused, count] = fuseProgram(pieces);
+    EXPECT_GE(count, 1u);
+    Interpreter x(program, {{"n", 17}});
+    Interpreter y(fused, {{"n", 17}});
+    x.seedArrays(3);
+    y.seedArrays(3);
+    x.run();
+    y.run();
+    EXPECT_EQ(x.compareArrays(y, 0.0), "");
+}
+
+// --- innermost unrolling -----------------------------------------------------
+
+TEST(InnerUnroll, EquivalenceWithFringe)
+{
+    Program program = parseProgram(R"(
+param n = 13
+real a(n + 2, n + 2)
+do j = 1, n
+  do i = 2, n
+    a(i, j) = a(i-1, j) * 0.5 + 1.0
+  end do
+end do
+)");
+    for (std::int64_t u : {1, 2, 3, 5}) {
+        std::vector<LoopNest> unrolled =
+            unrollInnermost(program.nests()[0], u);
+        ASSERT_EQ(unrolled.size(), 2u);
+        EXPECT_EQ(unrolled[0].loop(1).step, u + 1);
+        EXPECT_EQ(unrolled[0].body().size(),
+                  static_cast<std::size_t>(u + 1));
+        Program transformed = program;
+        transformed.nests().clear();
+        for (LoopNest &nest : unrolled)
+            transformed.addNest(std::move(nest));
+        expectSame(program, transformed, 0.0,
+                   "inner unroll with recurrence");
+    }
+}
+
+TEST(InnerUnroll, LegalEvenWhereJamIsNot)
+{
+    // The (1,-1) dependence forbids unroll-and-jam of j but plain
+    // inner unrolling is always safe.
+    Program program = parseProgram(R"(
+param n = 12
+real a(n + 2, n + 2)
+do j = 1, n
+  do i = 1, n
+    a(i, j) = a(i+1, j-1) + 1.0
+  end do
+end do
+)");
+    std::vector<LoopNest> unrolled =
+        unrollInnermost(program.nests()[0], 3);
+    Program transformed = program;
+    transformed.nests().clear();
+    for (LoopNest &nest : unrolled)
+        transformed.addNest(std::move(nest));
+    expectSame(program, transformed, 0.0, "inner unroll safety");
+}
+
+TEST(InnerUnroll, ComposesWithUnrollAndJam)
+{
+    Program program = parseProgram(R"(
+param n = 18
+real a(n + 2)
+real b(n + 2)
+do j = 1, n
+  do i = 1, n
+    a(j) = a(j) + b(i)
+  end do
+end do
+)");
+    std::vector<LoopNest> jammed =
+        unrollAndJamNest(program.nests()[0], IntVector{1, 0});
+    std::vector<LoopNest> all;
+    for (const LoopNest &nest : jammed) {
+        for (LoopNest &piece : unrollInnermost(nest, 2))
+            all.push_back(std::move(piece));
+    }
+    Program transformed = program;
+    transformed.nests().clear();
+    for (LoopNest &nest : all)
+        transformed.addNest(std::move(nest));
+    expectSame(program, transformed, 1e-9, "uj + inner unroll");
+}
+
+// --- randomized ------------------------------------------------------------
+
+class RestructureProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RestructureProperty, DistributeFuseUnrollEquivalence)
+{
+    Rng rng(8800 + GetParam());
+    std::ostringstream src;
+    std::int64_t n = rng.range(6, 12);
+    src << "param n = " << n << "\n";
+    for (char name : {'a', 'b', 'c', 'd'})
+        src << "real " << name << "(n + 8, n + 8)\n";
+    src << "do j = 1, n\n  do i = 1, n\n";
+    int stmts = static_cast<int>(rng.range(2, 4));
+    const char *targets[] = {"a", "b", "c", "d"};
+    for (int s = 0; s < stmts; ++s) {
+        src << "    " << targets[s] << "(i, j) = "
+            << targets[rng.range(0, 3)] << "(i, j"
+            << (rng.chance(0.5) ? "-1" : "") << ") + "
+            << targets[rng.range(0, 3)] << "(i"
+            << (rng.chance(0.5) ? "-1" : "") << ", j) * 0.5\n";
+    }
+    src << "  end do\nend do\n";
+    Program program = parseProgram(src.str());
+
+    // distribute -> inner unroll each piece -> compare.
+    DistributionResult distributed =
+        distributeNest(program.nests()[0]);
+    Program transformed = program;
+    transformed.nests().clear();
+    for (const LoopNest &piece : distributed.nests) {
+        for (LoopNest &bit :
+             unrollInnermost(piece, rng.range(0, 3)))
+            transformed.addNest(std::move(bit));
+    }
+    expectSame(program, transformed, 0.0, src.str().c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RestructureProperty,
+                         ::testing::Range(0, 25));
+
+} // namespace
+} // namespace ujam

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Unit tests for UGS partitioning, group reuse and the Eq. 1 cost
+ * model, including the paper's own worked examples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.hh"
+#include "reuse/locality.hh"
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+namespace
+{
+
+std::vector<UniformlyGeneratedSet>
+ugsOf(const char *source)
+{
+    return partitionUGS(parseSingleNest(source).accesses());
+}
+
+TEST(Ugs, PaperSection34Example)
+{
+    // do i / do j: a(i,j) + a(i,j+1) + a(i,j+2): one UGS, H = I.
+    auto sets = ugsOf(R"(
+do i = 1, 10
+  do j = 1, 10
+    x = a(i, j) + a(i, j+1) + a(i, j+2)
+  end do
+end do
+)");
+    ASSERT_EQ(sets.size(), 1u);
+    EXPECT_EQ(sets[0].members.size(), 3u);
+    EXPECT_EQ(sets[0].subscript, RatMatrix::identity(2));
+}
+
+TEST(Ugs, DifferentArraysAndMatricesSeparate)
+{
+    auto sets = ugsOf(R"(
+do i = 1, 10
+  do j = 1, 10
+    a(i, j) = a(j, i) + b(i, j) + 2.0 * b(i, j-4)
+  end do
+end do
+)");
+    // a(i,j) and a(j,i): two different H -> two sets; both b
+    // references share one set. Textual order: a(j,i) read first,
+    // then the two b reads, then the a(i,j) write.
+    ASSERT_EQ(sets.size(), 3u);
+    EXPECT_EQ(sets[0].array, "a");
+    EXPECT_EQ(sets[0].members.size(), 1u); // a(j,i)
+    EXPECT_EQ(sets[1].array, "b");
+    EXPECT_EQ(sets[1].members.size(), 2u);
+    EXPECT_EQ(sets[2].array, "a");
+    EXPECT_EQ(sets[2].members.size(), 1u); // a(i,j) write
+}
+
+TEST(Ugs, MembersKeepTextualOrderAndWrites)
+{
+    auto sets = ugsOf(R"(
+do j = 1, 10
+  do i = 1, 10
+    a(i, j) = a(i-1, j) + a(i, j)
+  end do
+end do
+)");
+    ASSERT_EQ(sets.size(), 1u);
+    ASSERT_EQ(sets[0].members.size(), 3u);
+    EXPECT_FALSE(sets[0].members[0].isWrite);
+    EXPECT_TRUE(sets[0].members[2].isWrite);
+}
+
+TEST(SelfReuse, TemporalFromKernel)
+{
+    // b(i) in a (j, i) nest: ker H = span{e_j}.
+    auto sets = ugsOf(R"(
+do j = 1, 10
+  do i = 1, 10
+    a(i, j) = b(i)
+  end do
+end do
+)");
+    const UniformlyGeneratedSet *b_set = nullptr;
+    for (const auto &set : sets) {
+        if (set.array == "b")
+            b_set = &set;
+    }
+    ASSERT_NE(b_set, nullptr);
+    Subspace rst = b_set->selfTemporalSpace();
+    EXPECT_EQ(rst.dim(), 1u);
+    EXPECT_TRUE(rst.contains(IntVector{1, 0}));
+}
+
+TEST(SelfReuse, SpatialAlongContiguousDimension)
+{
+    // a(i, j) with i innermost: RSS = ker Hs = span{e_i}; RST = 0.
+    auto sets = ugsOf(R"(
+do j = 1, 10
+  do i = 1, 10
+    a(i, j) = 1.0
+  end do
+end do
+)");
+    ASSERT_EQ(sets.size(), 1u);
+    EXPECT_TRUE(sets[0].selfTemporalSpace().isZero());
+    Subspace rss = sets[0].selfSpatialSpace();
+    EXPECT_EQ(rss.dim(), 1u);
+    EXPECT_TRUE(rss.contains(IntVector{0, 1}));
+
+    Subspace inner = Subspace::coordinate(2, {1});
+    EXPECT_EQ(classifySelfReuse(sets[0], inner), SelfReuse::Spatial);
+}
+
+TEST(GroupReuse, TemporalPartitionInnermostLocalized)
+{
+    // Paper Fig. 1 shape: a(i,j) and a(i-2,j), localized = {j}:
+    // two GTSs before unrolling.
+    auto sets = ugsOf(R"(
+do i = 1, 10
+  do j = 1, 10
+    a(i, j) = a(i-2, j) + 1.0
+  end do
+end do
+)");
+    ASSERT_EQ(sets.size(), 1u);
+    Subspace inner = Subspace::coordinate(2, {1});
+    auto gts = groupTemporalSets(sets[0], inner);
+    EXPECT_EQ(gts.size(), 2u);
+    // Localizing i as well merges them.
+    auto gts_both =
+        groupTemporalSets(sets[0], Subspace::coordinate(2, {0, 1}));
+    EXPECT_EQ(gts_both.size(), 1u);
+}
+
+TEST(GroupReuse, InnermostDifferencesMerge)
+{
+    // a(i,j), a(i,j+1), a(i,j+2) with j innermost: one GTS.
+    auto sets = ugsOf(R"(
+do i = 1, 10
+  do j = 1, 10
+    x = a(i, j) + a(i, j+1) + a(i, j+2)
+  end do
+end do
+)");
+    Subspace inner = Subspace::coordinate(2, {1});
+    auto gts = groupTemporalSets(sets[0], inner);
+    ASSERT_EQ(gts.size(), 1u);
+    EXPECT_EQ(gts[0].members.size(), 3u);
+    // Leader is the lex-smallest offset: a(i, j).
+    EXPECT_EQ(sets[0].members[gts[0].leader].ref.offset(),
+              (IntVector{0, 0}));
+}
+
+TEST(GroupReuse, SpatialMergesAcrossFirstDimension)
+{
+    // a(i,j) and a(i+1,j) (i contiguous): different GTS (localized j)
+    // but same GSS.
+    auto sets = ugsOf(R"(
+do i = 1, 10
+  do j = 1, 10
+    x = a(i, j) + a(i+1, j)
+  end do
+end do
+)");
+    Subspace inner = Subspace::coordinate(2, {1});
+    EXPECT_EQ(groupTemporalSets(sets[0], inner).size(), 2u);
+    EXPECT_EQ(groupSpatialSets(sets[0], inner).size(), 1u);
+}
+
+TEST(GroupReuse, SpatialDoesNotMergeAcrossOtherDimensions)
+{
+    auto sets = ugsOf(R"(
+do i = 1, 10
+  do j = 1, 10
+    x = a(i, j) + a(i, j+5)
+  end do
+end do
+)");
+    // j is innermost-localized, so j+5 merges temporally anyway; use
+    // outer-dim difference instead with localized = innermost only.
+    // Here instead check a(i,j) vs a(i,j+5) under localized {i}: the
+    // +5 in a non-contiguous dim must not be spatial-merged.
+    Subspace li = Subspace::coordinate(2, {0});
+    EXPECT_EQ(groupTemporalSets(sets[0], li).size(), 2u);
+    EXPECT_EQ(groupSpatialSets(sets[0], li).size(), 2u);
+}
+
+TEST(EquationOne, StreamCounts)
+{
+    LocalityParams params;
+    params.cacheLineElems = 4;
+    // No reuse at all: 2 spatial streams + 1 extra temporal leader.
+    double a = equationOneAccesses(3, 2, SelfReuse::None, 0, params);
+    EXPECT_DOUBLE_EQ(a, 2.0 + 1.0 / 4.0);
+    // Self-spatial scales by 1/line.
+    double b = equationOneAccesses(3, 2, SelfReuse::Spatial, 0, params);
+    EXPECT_DOUBLE_EQ(b, (2.0 + 0.25) / 4.0);
+    // Self-temporal amortizes over the localized trip count.
+    params.localizedTrip = 50;
+    double c = equationOneAccesses(1, 1, SelfReuse::Temporal, 1, params);
+    EXPECT_DOUBLE_EQ(c, 1.0 / 50.0);
+}
+
+TEST(EquationOne, GssCoarserThanGtsEnforced)
+{
+    LocalityParams params;
+    EXPECT_THROW(equationOneAccesses(1, 2, SelfReuse::None, 0, params),
+                 PanicError);
+}
+
+TEST(NestCost, StencilCostDropsWhenOuterLoopLocalized)
+{
+    LoopNest nest = parseSingleNest(R"(
+do j = 1, 10
+  do i = 1, 10
+    a(i, j) = a(i, j-1) + a(i, j-2)
+  end do
+end do
+)");
+    LocalityParams params;
+    Subspace inner = Subspace::coordinate(2, {1});
+    Subspace both = Subspace::coordinate(2, {0, 1});
+    double inner_cost = nestMemoryCost(nest, inner, params);
+    double both_cost = nestMemoryCost(nest, both, params);
+    EXPECT_GT(inner_cost, both_cost);
+}
+
+TEST(RankCandidates, PrefersLoopCarryingReuse)
+{
+    // Reuse of a(i, j-1) is carried by j (outer); b(i) is invariant
+    // in j. Unrolling j (loop 0) pays off.
+    LoopNest nest = parseSingleNest(R"(
+do j = 1, 10
+  do i = 1, 10
+    a(i, j) = a(i, j-1) + b(i)
+  end do
+end do
+)");
+    LocalityParams params;
+    auto ranked = rankUnrollCandidates(nest, params, 2);
+    ASSERT_EQ(ranked.size(), 1u); // only one outer loop exists
+    EXPECT_EQ(ranked[0], 0u);
+}
+
+TEST(RankCandidates, ThreeDeepOrdersByBenefit)
+{
+    // c(j,k) invariant in i (outermost); a(i,k) invariant in j.
+    // Localizing j helps a; localizing i helps c.
+    LoopNest nest = parseSingleNest(R"(
+do i = 1, 10
+  do j = 1, 10
+    do k = 1, 10
+      x = a(i, k) * c(j, k)
+    end do
+  end do
+end do
+)");
+    LocalityParams params;
+    auto ranked = rankUnrollCandidates(nest, params, 2);
+    ASSERT_EQ(ranked.size(), 2u);
+    // Both outer loops carry one invariant stream each; both must be
+    // offered to the optimizer.
+    EXPECT_NE(ranked[0], ranked[1]);
+    EXPECT_LT(ranked[0], 2u);
+    EXPECT_LT(ranked[1], 2u);
+}
+
+TEST(NonSeparable, PessimisticCost)
+{
+    LoopNest nest = parseSingleNest(R"(
+do j = 1, 10
+  do i = 1, 10
+    a(i+j) = a(i+j) + 1.0
+  end do
+end do
+)");
+    auto sets = partitionUGS(nest.accesses());
+    ASSERT_EQ(sets.size(), 1u);
+    EXPECT_FALSE(sets[0].analyzable());
+    LocalityParams params;
+    Subspace inner = Subspace::coordinate(2, {1});
+    // Pessimistic: one access per member per iteration.
+    EXPECT_DOUBLE_EQ(ugsAccessesPerIteration(sets[0], inner, params), 2.0);
+}
+
+} // namespace
+} // namespace ujam

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the reuse-distance profiler, including a brute-force
+ * stack-distance oracle and the link to LRU hit ratios.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "parser/parser.hh"
+#include "sim/cache.hh"
+#include "sim/reuse_distance.hh"
+#include "support/rng.hh"
+#include "transform/scalar_replacement.hh"
+
+namespace ujam
+{
+namespace
+{
+
+/** O(n^2) oracle: distinct lines since the previous same-line access. */
+std::vector<std::int64_t>
+bruteDistances(const std::vector<std::int64_t> &lines)
+{
+    std::vector<std::int64_t> result;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::int64_t distance = ReuseDistanceProfiler::coldMiss;
+        for (std::size_t j = i; j > 0; --j) {
+            if (lines[j - 1] == lines[i]) {
+                std::set<std::int64_t> between(lines.begin() + j,
+                                               lines.begin() + i);
+                between.erase(lines[i]);
+                distance = static_cast<std::int64_t>(between.size());
+                break;
+            }
+        }
+        result.push_back(distance);
+    }
+    return result;
+}
+
+TEST(ReuseDistance, SimpleStream)
+{
+    ReuseDistanceProfiler profiler(1);
+    // a b a  -> a: cold, b: cold, a: one distinct line (b) between.
+    EXPECT_EQ(profiler.access(10), ReuseDistanceProfiler::coldMiss);
+    EXPECT_EQ(profiler.access(20), ReuseDistanceProfiler::coldMiss);
+    EXPECT_EQ(profiler.access(10), 1);
+    // immediate repeat: distance 0.
+    EXPECT_EQ(profiler.access(10), 0);
+    EXPECT_EQ(profiler.coldMisses(), 2u);
+    EXPECT_EQ(profiler.accesses(), 4u);
+}
+
+TEST(ReuseDistance, LineGranularity)
+{
+    ReuseDistanceProfiler profiler(4);
+    EXPECT_EQ(profiler.access(0), ReuseDistanceProfiler::coldMiss);
+    EXPECT_EQ(profiler.access(3), 0);  // same line
+    EXPECT_EQ(profiler.access(4), ReuseDistanceProfiler::coldMiss);
+    EXPECT_EQ(profiler.access(1), 1);  // line 0 again, past line 1
+}
+
+class ReuseDistanceOracle : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ReuseDistanceOracle, MatchesBruteForce)
+{
+    Rng rng(9900 + GetParam());
+    std::vector<std::int64_t> stream;
+    std::size_t n = static_cast<std::size_t>(rng.range(50, 400));
+    for (std::size_t i = 0; i < n; ++i)
+        stream.push_back(rng.range(0, 30));
+
+    ReuseDistanceProfiler profiler(1);
+    std::vector<std::int64_t> got;
+    for (std::int64_t addr : stream)
+        got.push_back(profiler.access(addr));
+    EXPECT_EQ(got, bruteDistances(stream));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ReuseDistanceOracle,
+                         ::testing::Range(0, 15));
+
+TEST(ReuseDistance, PredictsFullyAssociativeLruHits)
+{
+    // The defining property: hitFractionBelow(C) equals the hit ratio
+    // of a fully-associative LRU cache with C lines (cold misses
+    // excluded on the profiler side, included in the cache, so
+    // compare on warm accesses).
+    Rng rng(123);
+    std::vector<std::int64_t> stream;
+    for (int i = 0; i < 4000; ++i)
+        stream.push_back(rng.range(0, 299));
+
+    const std::int64_t lines = 64;
+    ReuseDistanceProfiler profiler(1);
+    CacheSim cache(lines * 8, 8, lines, 8); // fully associative
+    std::uint64_t warm_hits = 0;
+    std::uint64_t warm = 0;
+    for (std::int64_t addr : stream) {
+        std::int64_t d = profiler.access(addr);
+        bool hit = cache.access(addr, false);
+        if (d != ReuseDistanceProfiler::coldMiss) {
+            ++warm;
+            warm_hits += hit;
+            EXPECT_EQ(hit, d < lines);
+        }
+    }
+    EXPECT_NEAR(profiler.hitFractionBelow(lines),
+                static_cast<double>(warm_hits) /
+                    static_cast<double>(warm),
+                1e-12);
+}
+
+TEST(ReuseDistance, ProgramProfileShowsStencilLocality)
+{
+    Program program = parseProgram(R"(
+param n = 48
+real a(n + 2, n + 2)
+real b(n + 2, n + 2)
+do j = 1, n
+  do i = 1, n
+    b(i, j) = a(i, j) + a(i, j-1) + a(i, j-2)
+  end do
+end do
+)");
+    ReuseDistanceProfiler profiler = profileReuseDistances(program, 4);
+    // The a(i,j-1)/a(i,j-2) reuse spans about one column of lines:
+    // nearly everything hits within a few hundred lines.
+    EXPECT_GT(profiler.hitFractionBelow(256), 0.95);
+    // Almost nothing is reused within a handful of lines except the
+    // same-iteration b/a line neighbours.
+    EXPECT_LT(profiler.hitFractionBelow(2), 0.9);
+}
+
+TEST(ReuseDistance, ScalarReplacementShrinksTheStream)
+{
+    Program program = parseProgram(R"(
+param n = 48
+real a(n + 2, n + 2)
+real b(n + 2, n + 2)
+do j = 1, n
+  do i = 1, n
+    b(i, j) = a(i, j) + a(i-1, j) + a(i-2, j)
+  end do
+end do
+)");
+    ReuseDistanceProfiler before = profileReuseDistances(program, 4);
+
+    Program replaced = program;
+    replaced.nests()[0] = scalarReplace(program.nests()[0]).nest;
+    ReuseDistanceProfiler after = profileReuseDistances(replaced, 4);
+
+    // The register-forwarded loads vanish from the address stream.
+    EXPECT_LT(after.accesses(), before.accesses() * 2 / 3);
+    // What remains keeps its cold-footprint (same data touched).
+    EXPECT_EQ(after.coldMisses(), before.coldMisses());
+}
+
+} // namespace
+} // namespace ujam

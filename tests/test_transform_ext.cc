@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Tests for the extension transforms: loop normalization, loop
+ * interchange with model-driven order selection, and software
+ * prefetch insertion -- all anchored by interpreter equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/interp.hh"
+#include "ir/printer.hh"
+#include "ir/validation.hh"
+#include "parser/parser.hh"
+#include "sim/simulator.hh"
+#include "support/diagnostics.hh"
+#include "transform/interchange.hh"
+#include "transform/normalize.hh"
+#include "transform/prefetch_insertion.hh"
+#include "transform/scalar_replacement.hh"
+#include "transform/unroll_and_jam.hh"
+#include "workloads/suite.hh"
+
+namespace ujam
+{
+namespace
+{
+
+void
+expectSameResults(const Program &a, const Program &b, double tol,
+                  const char *label)
+{
+    Interpreter ia(a);
+    Interpreter ib(b);
+    ia.seedArrays(5);
+    ib.seedArrays(5);
+    ia.run();
+    ib.run();
+    EXPECT_EQ(ia.compareArrays(ib, tol), "") << label;
+}
+
+// --- normalization -------------------------------------------------------
+
+TEST(Normalize, SteppedLoopBecomesUnit)
+{
+    Program program = parseProgram(R"(
+real a(64)
+do i = 3, 41, 2
+  a(i) = a(i) + 1.0
+end do
+)");
+    NormalizeResult result = normalizeNest(program.nests()[0]);
+    EXPECT_TRUE(result.fullyNormalized());
+    EXPECT_TRUE(result.normalized[0]);
+    EXPECT_EQ(result.nest.loop(0).step, 1);
+    EXPECT_EQ(result.nest.loop(0).lower.evaluate({}), 1);
+    EXPECT_EQ(result.nest.loop(0).upper.evaluate({}), 20);
+
+    Program transformed = program;
+    transformed.nests()[0] = result.nest;
+    expectSameResults(program, transformed, 0.0, "stepped 1-deep");
+}
+
+TEST(Normalize, SubscriptCoefficientsScale)
+{
+    Program program = parseProgram(R"(
+real a(64)
+real b(64)
+do i = 1, 61, 3
+  b(i) = a(i + 2)
+end do
+)");
+    NormalizeResult result = normalizeNest(program.nests()[0]);
+    ASSERT_TRUE(result.fullyNormalized());
+    // i = 1 + (i'-1)*3: coefficient 3, offset folds to (1-3) = -2.
+    const ArrayRef &lhs = result.nest.body()[0].lhsRef();
+    EXPECT_EQ(lhs.row(0), (IntVector{3}));
+    EXPECT_EQ(lhs.offset(), (IntVector{-2}));
+
+    Program transformed = program;
+    transformed.nests()[0] = result.nest;
+    expectSameResults(program, transformed, 0.0, "scaled subscripts");
+}
+
+TEST(Normalize, MixedNestOnlyTouchesSteppedLoops)
+{
+    Program program = parseProgram(R"(
+param n = 20
+real a(n, n)
+do j = 2, 20, 2
+  do i = 1, n
+    a(i, j) = a(i, j) * 0.5
+  end do
+end do
+)");
+    NormalizeResult result = normalizeNest(program.nests()[0]);
+    EXPECT_TRUE(result.fullyNormalized());
+    EXPECT_TRUE(result.normalized[0]);
+    EXPECT_FALSE(result.normalized[1]); // already step 1
+    EXPECT_EQ(result.nest.loop(1).upper.toString(), "n");
+
+    Program transformed = program;
+    transformed.nests()[0] = result.nest;
+    expectSameResults(program, transformed, 0.0, "mixed nest");
+}
+
+TEST(Normalize, SymbolicBoundsReported)
+{
+    Program program = parseProgram(R"(
+param n = 21
+real a(n)
+do i = 1, n, 2
+  a(i) = 0.0
+end do
+)");
+    NormalizeResult result = normalizeNest(program.nests()[0]);
+    EXPECT_FALSE(result.fullyNormalized());
+    EXPECT_FALSE(result.normalized[0]);
+    EXPECT_EQ(result.nest.loop(0).step, 2); // untouched
+}
+
+TEST(Normalize, EnablesUnrollAndJam)
+{
+    // A stepped outer loop normalizes, then unroll-and-jam applies.
+    Program program = parseProgram(R"(
+param m = 16
+real a(40, m)
+real b(m)
+do j = 1, 39, 2
+  do i = 1, m
+    a(j, i) = a(j, i) + b(i)
+  end do
+end do
+)");
+    NormalizeResult normalized = normalizeNest(program.nests()[0]);
+    ASSERT_TRUE(normalized.fullyNormalized());
+    Program staged = program;
+    staged.nests()[0] = normalized.nest;
+    Program transformed = unrollAndJam(staged, 0, IntVector{3, 0});
+    expectSameResults(program, transformed, 1e-9, "normalize+ujam");
+}
+
+// --- interchange ---------------------------------------------------------
+
+TEST(Interchange, PermuteLoopsRewritesSubscripts)
+{
+    LoopNest nest = parseSingleNest(R"(
+do j = 1, 8
+  do i = 1, 16
+    a(i, j) = a(i, j) + 1.0
+  end do
+end do
+)");
+    LoopNest permuted = permuteLoops(nest, {1, 0});
+    EXPECT_EQ(permuted.loop(0).iv, "i");
+    EXPECT_EQ(permuted.loop(1).iv, "j");
+    EXPECT_EQ(permuted.loop(0).upper.evaluate({}), 16);
+    // a(i, j): the i coefficient moves from column 1 to column 0.
+    const ArrayRef &ref = permuted.body()[0].lhsRef();
+    EXPECT_EQ(ref.row(0), (IntVector{1, 0}));
+    EXPECT_EQ(ref.row(1), (IntVector{0, 1}));
+}
+
+TEST(Interchange, EquivalenceWhenLegal)
+{
+    Program program = parseProgram(R"(
+param n = 12
+real a(n, n)
+real b(n, n)
+do j = 1, n
+  do i = 1, n
+    b(i, j) = a(i, j) * 2.0 + a(i, j-1)
+  end do
+end do
+)");
+    Program transformed = program;
+    transformed.nests()[0] = permuteLoops(program.nests()[0], {1, 0});
+    expectSameResults(program, transformed, 0.0, "legal interchange");
+}
+
+TEST(Interchange, LegalityFromDirections)
+{
+    // Distance (1, -1): interchange would reverse it.
+    LoopNest blocked = parseSingleNest(R"(
+do j = 1, 10
+  do i = 1, 10
+    a(i, j) = a(i+1, j-1)
+  end do
+end do
+)");
+    DepOptions options;
+    options.includeInput = false;
+    DependenceGraph graph = analyzeDependences(blocked, options);
+    EXPECT_FALSE(interchangeLegal(graph, {1, 0}));
+    EXPECT_TRUE(interchangeLegal(graph, {0, 1})); // identity
+
+    // Distance (1, 1) stays lexicographically positive either way.
+    LoopNest fine = parseSingleNest(R"(
+do j = 1, 10
+  do i = 1, 10
+    a(i, j) = a(i-1, j-1)
+  end do
+end do
+)");
+    DependenceGraph graph2 = analyzeDependences(fine, options);
+    EXPECT_TRUE(interchangeLegal(graph2, {1, 0}));
+}
+
+TEST(Interchange, ChoosesMemoryOrderForMatmul)
+{
+    // mmjik walks a(i,k) along k (stride n) in the innermost loop;
+    // the model must discover the jki order (i innermost, stride 1).
+    Program program = loadSuiteProgram(suiteLoop("mmjik"));
+    LocalityParams params;
+    InterchangeResult result =
+        chooseLoopOrder(program.nests()[0], params);
+    EXPECT_TRUE(result.changed);
+    EXPECT_LT(result.costAfter, result.costBefore);
+    EXPECT_EQ(result.nest.loop(2).iv, "i"); // i moved innermost
+
+    Program transformed = program;
+    transformed.nests()[0] = result.nest;
+    expectSameResults(program, transformed, 1e-9, "matmul interchange");
+}
+
+TEST(Interchange, KeepsGoodOrders)
+{
+    // mmjki already has i innermost: nothing to gain.
+    Program program = loadSuiteProgram(suiteLoop("mmjki"));
+    LocalityParams params;
+    InterchangeResult result =
+        chooseLoopOrder(program.nests()[0], params);
+    EXPECT_EQ(result.nest.loop(2).iv, "i");
+    EXPECT_LE(result.costAfter, result.costBefore + 1e-12);
+}
+
+TEST(Interchange, RespectsBlockingDependence)
+{
+    // Profitable but illegal: the (1,-1) dependence pins the order.
+    Program program = parseProgram(R"(
+param n = 16
+real a(n + 2, n + 2)
+do i = 2, n
+  do j = 2, n
+    a(i, j) = a(i-1, j+1) + 1.0
+  end do
+end do
+)");
+    LocalityParams params;
+    InterchangeResult result =
+        chooseLoopOrder(program.nests()[0], params);
+    EXPECT_FALSE(result.changed);
+}
+
+TEST(Interchange, InterchangePlusUnrollAndJam)
+{
+    // The Wolf/Maydan/Chen combination: permute first, then
+    // unroll-and-jam the permuted nest, still semantics-preserving.
+    Program program = loadSuiteProgram(suiteLoop("mmjik"));
+    LocalityParams params;
+    InterchangeResult order =
+        chooseLoopOrder(program.nests()[0], params);
+    Program staged = program;
+    staged.nests()[0] = order.nest;
+    Program transformed = unrollAndJam(staged, 0, IntVector{2, 1, 0});
+    for (LoopNest &nest : transformed.nests())
+        nest = scalarReplace(nest).nest;
+
+    Interpreter a(program, {{"n", 17}});
+    Interpreter b(transformed, {{"n", 17}});
+    a.seedArrays(3);
+    b.seedArrays(3);
+    a.run();
+    b.run();
+    EXPECT_EQ(a.compareArrays(b, 1e-9), "");
+}
+
+// --- prefetch insertion ---------------------------------------------------
+
+TEST(Prefetch, StmtAndRoundTrip)
+{
+    Program program = parseProgram(R"(
+param n = 16
+real a(n, n)
+real b(n, n)
+do j = 1, n
+  do i = 1, n
+    prefetch a(i+4, j)
+    b(i, j) = a(i, j) * 2.0
+  end do
+end do
+)");
+    const Stmt &stmt = program.nests()[0].body()[0];
+    ASSERT_TRUE(stmt.isPrefetch());
+    EXPECT_EQ(stmt.prefetchRef().array(), "a");
+    EXPECT_TRUE(validateProgram(program).empty());
+
+    // Print/parse round trip keeps the prefetch.
+    Program reparsed = parseProgram(renderProgram(program));
+    EXPECT_TRUE(reparsed.nests()[0].body()[0].isPrefetch());
+}
+
+TEST(Prefetch, DoesNotChangeSemantics)
+{
+    Program plain = parseProgram(R"(
+param n = 24
+real a(n, n)
+real b(n, n)
+do j = 1, n
+  do i = 1, n
+    b(i, j) = a(i, j) * 2.0
+  end do
+end do
+)");
+    PrefetchResult inserted =
+        insertPrefetches(plain.nests()[0], PrefetchConfig{6});
+    EXPECT_GT(inserted.prefetchesInserted, 0u);
+    Program transformed = plain;
+    transformed.nests()[0] = inserted.nest;
+    expectSameResults(plain, transformed, 0.0, "prefetch semantics");
+}
+
+TEST(Prefetch, SkipsRegisterAndCacheResidentSets)
+{
+    // b(i) is invariant in j (register resident); c(j) is
+    // self-temporal in... c(j) varies innermost; a(j) is invariant.
+    LoopNest nest = parseSingleNest(R"(
+do j = 1, 16
+  do i = 1, 16
+    a(j) = a(j) + b(i)
+  end do
+end do
+)");
+    PrefetchResult result = insertPrefetches(nest, PrefetchConfig{4});
+    // a(j) is innermost-invariant: skipped. b(i) streams: prefetched.
+    EXPECT_EQ(result.prefetchesInserted, 1u);
+    ASSERT_TRUE(result.nest.body()[0].isPrefetch());
+    EXPECT_EQ(result.nest.body()[0].prefetchRef().array(), "b");
+}
+
+TEST(Prefetch, OutOfRangeIsDroppedSilently)
+{
+    Program program = parseProgram(R"(
+param n = 12
+real a(n)
+real b(n)
+do i = 1, n
+  prefetch a(i + 100)
+  b(i) = a(i)
+end do
+)");
+    Interpreter interp(program);
+    EXPECT_NO_THROW(interp.run());
+    EXPECT_EQ(interp.prefetchCount(), 12u);
+}
+
+TEST(Prefetch, HidesMissLatencyInSimulator)
+{
+    Program plain = parseProgram(R"(
+param n = 160
+real a(n, n)
+real b(n, n)
+do j = 1, n
+  do i = 1, n
+    b(i, j) = a(i, j) * 2.0 + 1.0
+  end do
+end do
+)");
+    Program prefetched = plain;
+    prefetched.nests()[0] =
+        insertPrefetches(plain.nests()[0], PrefetchConfig{8}).nest;
+
+    // A machine with spare bandwidth (2 ports): prefetching wins.
+    MachineModel machine = MachineModel::wideIlp();
+    SimResult without = simulateProgram(plain, machine);
+    SimResult with = simulateProgram(prefetched, machine);
+    EXPECT_GT(with.prefetches, 0u);
+    EXPECT_LT(with.demandMisses, without.demandMisses / 2);
+    EXPECT_LT(with.cycles, without.cycles);
+}
+
+TEST(Prefetch, CostsBandwidthOnNarrowMachines)
+{
+    // One memory port: the prefetch instructions halve the memory
+    // issue rate; the pipeline model must charge for them.
+    LoopNest nest = parseSingleNest(R"(
+do j = 1, 8
+  do i = 1, 8
+    b(i, j) = a(i, j) * 2.0
+  end do
+end do
+)");
+    MachineModel machine = MachineModel::decAlpha21064();
+    double before = steadyStateCyclesPerIteration(nest, machine);
+    LoopNest with = insertPrefetches(nest, PrefetchConfig{4}).nest;
+    double after = steadyStateCyclesPerIteration(with, machine);
+    EXPECT_GT(after, before);
+}
+
+TEST(Prefetch, SurvivesUnrollAndJamAndScalarReplacement)
+{
+    Program program = parseProgram(R"(
+param n = 20
+real a(n + 2, n + 2)
+real b(n + 2, n + 2)
+do j = 1, n
+  do i = 1, n
+    b(i, j) = a(i, j) + a(i, j-1)
+  end do
+end do
+)");
+    Program staged = program;
+    staged.nests()[0] =
+        insertPrefetches(program.nests()[0], PrefetchConfig{4}).nest;
+    Program transformed = unrollAndJam(staged, 0, IntVector{2, 0});
+    for (LoopNest &nest : transformed.nests())
+        nest = scalarReplace(nest).nest;
+    expectSameResults(program, transformed, 1e-9, "prefetch pipeline");
+}
+
+} // namespace
+} // namespace ujam
