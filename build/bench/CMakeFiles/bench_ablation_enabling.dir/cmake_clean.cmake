@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_enabling.dir/bench_ablation_enabling.cpp.o"
+  "CMakeFiles/bench_ablation_enabling.dir/bench_ablation_enabling.cpp.o.d"
+  "bench_ablation_enabling"
+  "bench_ablation_enabling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_enabling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

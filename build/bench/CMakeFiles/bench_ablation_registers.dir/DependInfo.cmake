@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_registers.cpp" "bench/CMakeFiles/bench_ablation_registers.dir/bench_ablation_registers.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_registers.dir/bench_ablation_registers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/ujam_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/ujam_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ujam_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ujam_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ujam_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/ujam_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ujam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ujam_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/reuse/CMakeFiles/ujam_reuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/ujam_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/ujam_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ujam_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ujam_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ujam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_registers.dir/bench_ablation_registers.cpp.o"
+  "CMakeFiles/bench_ablation_registers.dir/bench_ablation_registers.cpp.o.d"
+  "bench_ablation_registers"
+  "bench_ablation_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

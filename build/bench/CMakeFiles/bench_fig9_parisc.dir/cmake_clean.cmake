@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_parisc.dir/bench_fig9_parisc.cpp.o"
+  "CMakeFiles/bench_fig9_parisc.dir/bench_fig9_parisc.cpp.o.d"
+  "bench_fig9_parisc"
+  "bench_fig9_parisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_parisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

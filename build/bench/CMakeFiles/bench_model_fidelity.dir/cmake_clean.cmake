@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_fidelity.dir/bench_model_fidelity.cpp.o"
+  "CMakeFiles/bench_model_fidelity.dir/bench_model_fidelity.cpp.o.d"
+  "bench_model_fidelity"
+  "bench_model_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

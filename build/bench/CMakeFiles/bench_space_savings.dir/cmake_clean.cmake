@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_space_savings.dir/bench_space_savings.cpp.o"
+  "CMakeFiles/bench_space_savings.dir/bench_space_savings.cpp.o.d"
+  "bench_space_savings"
+  "bench_space_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_space_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

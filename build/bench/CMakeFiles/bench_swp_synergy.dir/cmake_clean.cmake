@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_swp_synergy.dir/bench_swp_synergy.cpp.o"
+  "CMakeFiles/bench_swp_synergy.dir/bench_swp_synergy.cpp.o.d"
+  "bench_swp_synergy"
+  "bench_swp_synergy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_swp_synergy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

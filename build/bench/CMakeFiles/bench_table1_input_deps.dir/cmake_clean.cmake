@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_input_deps.dir/bench_table1_input_deps.cpp.o"
+  "CMakeFiles/bench_table1_input_deps.dir/bench_table1_input_deps.cpp.o.d"
+  "bench_table1_input_deps"
+  "bench_table1_input_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_input_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_pipeline.dir/flux_pipeline.cpp.o"
+  "CMakeFiles/flux_pipeline.dir/flux_pipeline.cpp.o.d"
+  "flux_pipeline"
+  "flux_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

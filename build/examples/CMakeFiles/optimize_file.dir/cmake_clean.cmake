@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_file.dir/optimize_file.cpp.o"
+  "CMakeFiles/optimize_file.dir/optimize_file.cpp.o.d"
+  "optimize_file"
+  "optimize_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

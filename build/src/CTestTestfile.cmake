@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("linalg")
+subdirs("ir")
+subdirs("parser")
+subdirs("deps")
+subdirs("reuse")
+subdirs("model")
+subdirs("core")
+subdirs("transform")
+subdirs("baseline")
+subdirs("sim")
+subdirs("workloads")
+subdirs("report")
+subdirs("driver")

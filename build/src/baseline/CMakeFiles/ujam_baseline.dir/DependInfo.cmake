@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/brute_force.cc" "src/baseline/CMakeFiles/ujam_baseline.dir/brute_force.cc.o" "gcc" "src/baseline/CMakeFiles/ujam_baseline.dir/brute_force.cc.o.d"
+  "/root/repo/src/baseline/dep_based.cc" "src/baseline/CMakeFiles/ujam_baseline.dir/dep_based.cc.o" "gcc" "src/baseline/CMakeFiles/ujam_baseline.dir/dep_based.cc.o.d"
+  "/root/repo/src/baseline/exact_counts.cc" "src/baseline/CMakeFiles/ujam_baseline.dir/exact_counts.cc.o" "gcc" "src/baseline/CMakeFiles/ujam_baseline.dir/exact_counts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ujam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/ujam_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/reuse/CMakeFiles/ujam_reuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ujam_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/ujam_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ujam_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ujam_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ujam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

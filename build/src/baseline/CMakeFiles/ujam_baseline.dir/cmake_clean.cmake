@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujam_baseline.dir/brute_force.cc.o"
+  "CMakeFiles/ujam_baseline.dir/brute_force.cc.o.d"
+  "CMakeFiles/ujam_baseline.dir/dep_based.cc.o"
+  "CMakeFiles/ujam_baseline.dir/dep_based.cc.o.d"
+  "CMakeFiles/ujam_baseline.dir/exact_counts.cc.o"
+  "CMakeFiles/ujam_baseline.dir/exact_counts.cc.o.d"
+  "libujam_baseline.a"
+  "libujam_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujam_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

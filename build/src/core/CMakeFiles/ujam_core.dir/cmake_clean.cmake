@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujam_core.dir/optimizer.cc.o"
+  "CMakeFiles/ujam_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/ujam_core.dir/rrs.cc.o"
+  "CMakeFiles/ujam_core.dir/rrs.cc.o.d"
+  "CMakeFiles/ujam_core.dir/set_tables.cc.o"
+  "CMakeFiles/ujam_core.dir/set_tables.cc.o.d"
+  "CMakeFiles/ujam_core.dir/tables.cc.o"
+  "CMakeFiles/ujam_core.dir/tables.cc.o.d"
+  "CMakeFiles/ujam_core.dir/unroll_space.cc.o"
+  "CMakeFiles/ujam_core.dir/unroll_space.cc.o.d"
+  "libujam_core.a"
+  "libujam_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujam_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

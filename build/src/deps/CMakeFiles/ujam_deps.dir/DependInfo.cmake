@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deps/analyzer.cc" "src/deps/CMakeFiles/ujam_deps.dir/analyzer.cc.o" "gcc" "src/deps/CMakeFiles/ujam_deps.dir/analyzer.cc.o.d"
+  "/root/repo/src/deps/dependence.cc" "src/deps/CMakeFiles/ujam_deps.dir/dependence.cc.o" "gcc" "src/deps/CMakeFiles/ujam_deps.dir/dependence.cc.o.d"
+  "/root/repo/src/deps/graph.cc" "src/deps/CMakeFiles/ujam_deps.dir/graph.cc.o" "gcc" "src/deps/CMakeFiles/ujam_deps.dir/graph.cc.o.d"
+  "/root/repo/src/deps/subscript_tests.cc" "src/deps/CMakeFiles/ujam_deps.dir/subscript_tests.cc.o" "gcc" "src/deps/CMakeFiles/ujam_deps.dir/subscript_tests.cc.o.d"
+  "/root/repo/src/deps/update.cc" "src/deps/CMakeFiles/ujam_deps.dir/update.cc.o" "gcc" "src/deps/CMakeFiles/ujam_deps.dir/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ujam_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ujam_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ujam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujam_deps.dir/analyzer.cc.o"
+  "CMakeFiles/ujam_deps.dir/analyzer.cc.o.d"
+  "CMakeFiles/ujam_deps.dir/dependence.cc.o"
+  "CMakeFiles/ujam_deps.dir/dependence.cc.o.d"
+  "CMakeFiles/ujam_deps.dir/graph.cc.o"
+  "CMakeFiles/ujam_deps.dir/graph.cc.o.d"
+  "CMakeFiles/ujam_deps.dir/subscript_tests.cc.o"
+  "CMakeFiles/ujam_deps.dir/subscript_tests.cc.o.d"
+  "CMakeFiles/ujam_deps.dir/update.cc.o"
+  "CMakeFiles/ujam_deps.dir/update.cc.o.d"
+  "libujam_deps.a"
+  "libujam_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujam_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

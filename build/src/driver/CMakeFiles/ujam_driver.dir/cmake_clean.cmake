@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujam_driver.dir/driver.cc.o"
+  "CMakeFiles/ujam_driver.dir/driver.cc.o.d"
+  "libujam_driver.a"
+  "libujam_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujam_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/array_ref.cc" "src/ir/CMakeFiles/ujam_ir.dir/array_ref.cc.o" "gcc" "src/ir/CMakeFiles/ujam_ir.dir/array_ref.cc.o.d"
+  "/root/repo/src/ir/bound.cc" "src/ir/CMakeFiles/ujam_ir.dir/bound.cc.o" "gcc" "src/ir/CMakeFiles/ujam_ir.dir/bound.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/ujam_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/ujam_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/expr.cc" "src/ir/CMakeFiles/ujam_ir.dir/expr.cc.o" "gcc" "src/ir/CMakeFiles/ujam_ir.dir/expr.cc.o.d"
+  "/root/repo/src/ir/interp.cc" "src/ir/CMakeFiles/ujam_ir.dir/interp.cc.o" "gcc" "src/ir/CMakeFiles/ujam_ir.dir/interp.cc.o.d"
+  "/root/repo/src/ir/loop_nest.cc" "src/ir/CMakeFiles/ujam_ir.dir/loop_nest.cc.o" "gcc" "src/ir/CMakeFiles/ujam_ir.dir/loop_nest.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/ujam_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/ujam_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/stmt.cc" "src/ir/CMakeFiles/ujam_ir.dir/stmt.cc.o" "gcc" "src/ir/CMakeFiles/ujam_ir.dir/stmt.cc.o.d"
+  "/root/repo/src/ir/validation.cc" "src/ir/CMakeFiles/ujam_ir.dir/validation.cc.o" "gcc" "src/ir/CMakeFiles/ujam_ir.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ujam_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ujam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujam_ir.dir/array_ref.cc.o"
+  "CMakeFiles/ujam_ir.dir/array_ref.cc.o.d"
+  "CMakeFiles/ujam_ir.dir/bound.cc.o"
+  "CMakeFiles/ujam_ir.dir/bound.cc.o.d"
+  "CMakeFiles/ujam_ir.dir/builder.cc.o"
+  "CMakeFiles/ujam_ir.dir/builder.cc.o.d"
+  "CMakeFiles/ujam_ir.dir/expr.cc.o"
+  "CMakeFiles/ujam_ir.dir/expr.cc.o.d"
+  "CMakeFiles/ujam_ir.dir/interp.cc.o"
+  "CMakeFiles/ujam_ir.dir/interp.cc.o.d"
+  "CMakeFiles/ujam_ir.dir/loop_nest.cc.o"
+  "CMakeFiles/ujam_ir.dir/loop_nest.cc.o.d"
+  "CMakeFiles/ujam_ir.dir/printer.cc.o"
+  "CMakeFiles/ujam_ir.dir/printer.cc.o.d"
+  "CMakeFiles/ujam_ir.dir/stmt.cc.o"
+  "CMakeFiles/ujam_ir.dir/stmt.cc.o.d"
+  "CMakeFiles/ujam_ir.dir/validation.cc.o"
+  "CMakeFiles/ujam_ir.dir/validation.cc.o.d"
+  "libujam_ir.a"
+  "libujam_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujam_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/int_vector.cc" "src/linalg/CMakeFiles/ujam_linalg.dir/int_vector.cc.o" "gcc" "src/linalg/CMakeFiles/ujam_linalg.dir/int_vector.cc.o.d"
+  "/root/repo/src/linalg/merge_solver.cc" "src/linalg/CMakeFiles/ujam_linalg.dir/merge_solver.cc.o" "gcc" "src/linalg/CMakeFiles/ujam_linalg.dir/merge_solver.cc.o.d"
+  "/root/repo/src/linalg/rat_matrix.cc" "src/linalg/CMakeFiles/ujam_linalg.dir/rat_matrix.cc.o" "gcc" "src/linalg/CMakeFiles/ujam_linalg.dir/rat_matrix.cc.o.d"
+  "/root/repo/src/linalg/subspace.cc" "src/linalg/CMakeFiles/ujam_linalg.dir/subspace.cc.o" "gcc" "src/linalg/CMakeFiles/ujam_linalg.dir/subspace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ujam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujam_linalg.dir/int_vector.cc.o"
+  "CMakeFiles/ujam_linalg.dir/int_vector.cc.o.d"
+  "CMakeFiles/ujam_linalg.dir/merge_solver.cc.o"
+  "CMakeFiles/ujam_linalg.dir/merge_solver.cc.o.d"
+  "CMakeFiles/ujam_linalg.dir/rat_matrix.cc.o"
+  "CMakeFiles/ujam_linalg.dir/rat_matrix.cc.o.d"
+  "CMakeFiles/ujam_linalg.dir/subspace.cc.o"
+  "CMakeFiles/ujam_linalg.dir/subspace.cc.o.d"
+  "libujam_linalg.a"
+  "libujam_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujam_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujam_model.dir/balance.cc.o"
+  "CMakeFiles/ujam_model.dir/balance.cc.o.d"
+  "CMakeFiles/ujam_model.dir/machine.cc.o"
+  "CMakeFiles/ujam_model.dir/machine.cc.o.d"
+  "libujam_model.a"
+  "libujam_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujam_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

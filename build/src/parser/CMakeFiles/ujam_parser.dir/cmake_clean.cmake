@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujam_parser.dir/lexer.cc.o"
+  "CMakeFiles/ujam_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/ujam_parser.dir/parser.cc.o"
+  "CMakeFiles/ujam_parser.dir/parser.cc.o.d"
+  "libujam_parser.a"
+  "libujam_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujam_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujam_report.dir/report.cc.o"
+  "CMakeFiles/ujam_report.dir/report.cc.o.d"
+  "libujam_report.a"
+  "libujam_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujam_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

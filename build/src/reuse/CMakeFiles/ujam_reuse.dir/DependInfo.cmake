@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reuse/group_reuse.cc" "src/reuse/CMakeFiles/ujam_reuse.dir/group_reuse.cc.o" "gcc" "src/reuse/CMakeFiles/ujam_reuse.dir/group_reuse.cc.o.d"
+  "/root/repo/src/reuse/locality.cc" "src/reuse/CMakeFiles/ujam_reuse.dir/locality.cc.o" "gcc" "src/reuse/CMakeFiles/ujam_reuse.dir/locality.cc.o.d"
+  "/root/repo/src/reuse/ugs.cc" "src/reuse/CMakeFiles/ujam_reuse.dir/ugs.cc.o" "gcc" "src/reuse/CMakeFiles/ujam_reuse.dir/ugs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ujam_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ujam_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ujam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

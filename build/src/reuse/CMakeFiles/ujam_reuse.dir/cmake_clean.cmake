@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujam_reuse.dir/group_reuse.cc.o"
+  "CMakeFiles/ujam_reuse.dir/group_reuse.cc.o.d"
+  "CMakeFiles/ujam_reuse.dir/locality.cc.o"
+  "CMakeFiles/ujam_reuse.dir/locality.cc.o.d"
+  "CMakeFiles/ujam_reuse.dir/ugs.cc.o"
+  "CMakeFiles/ujam_reuse.dir/ugs.cc.o.d"
+  "libujam_reuse.a"
+  "libujam_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujam_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

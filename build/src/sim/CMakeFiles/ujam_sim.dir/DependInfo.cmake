@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/ujam_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/ujam_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/modulo_schedule.cc" "src/sim/CMakeFiles/ujam_sim.dir/modulo_schedule.cc.o" "gcc" "src/sim/CMakeFiles/ujam_sim.dir/modulo_schedule.cc.o.d"
+  "/root/repo/src/sim/pipeline.cc" "src/sim/CMakeFiles/ujam_sim.dir/pipeline.cc.o" "gcc" "src/sim/CMakeFiles/ujam_sim.dir/pipeline.cc.o.d"
+  "/root/repo/src/sim/reuse_distance.cc" "src/sim/CMakeFiles/ujam_sim.dir/reuse_distance.cc.o" "gcc" "src/sim/CMakeFiles/ujam_sim.dir/reuse_distance.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/ujam_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/ujam_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ujam_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ujam_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/reuse/CMakeFiles/ujam_reuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ujam_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ujam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

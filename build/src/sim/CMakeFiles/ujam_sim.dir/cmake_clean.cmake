@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujam_sim.dir/cache.cc.o"
+  "CMakeFiles/ujam_sim.dir/cache.cc.o.d"
+  "CMakeFiles/ujam_sim.dir/modulo_schedule.cc.o"
+  "CMakeFiles/ujam_sim.dir/modulo_schedule.cc.o.d"
+  "CMakeFiles/ujam_sim.dir/pipeline.cc.o"
+  "CMakeFiles/ujam_sim.dir/pipeline.cc.o.d"
+  "CMakeFiles/ujam_sim.dir/reuse_distance.cc.o"
+  "CMakeFiles/ujam_sim.dir/reuse_distance.cc.o.d"
+  "CMakeFiles/ujam_sim.dir/simulator.cc.o"
+  "CMakeFiles/ujam_sim.dir/simulator.cc.o.d"
+  "libujam_sim.a"
+  "libujam_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujam_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujam_support.dir/diagnostics.cc.o"
+  "CMakeFiles/ujam_support.dir/diagnostics.cc.o.d"
+  "CMakeFiles/ujam_support.dir/rational.cc.o"
+  "CMakeFiles/ujam_support.dir/rational.cc.o.d"
+  "CMakeFiles/ujam_support.dir/rng.cc.o"
+  "CMakeFiles/ujam_support.dir/rng.cc.o.d"
+  "CMakeFiles/ujam_support.dir/string_utils.cc.o"
+  "CMakeFiles/ujam_support.dir/string_utils.cc.o.d"
+  "libujam_support.a"
+  "libujam_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujam_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

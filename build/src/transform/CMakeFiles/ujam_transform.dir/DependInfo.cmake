@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/distribution.cc" "src/transform/CMakeFiles/ujam_transform.dir/distribution.cc.o" "gcc" "src/transform/CMakeFiles/ujam_transform.dir/distribution.cc.o.d"
+  "/root/repo/src/transform/fusion.cc" "src/transform/CMakeFiles/ujam_transform.dir/fusion.cc.o" "gcc" "src/transform/CMakeFiles/ujam_transform.dir/fusion.cc.o.d"
+  "/root/repo/src/transform/interchange.cc" "src/transform/CMakeFiles/ujam_transform.dir/interchange.cc.o" "gcc" "src/transform/CMakeFiles/ujam_transform.dir/interchange.cc.o.d"
+  "/root/repo/src/transform/normalize.cc" "src/transform/CMakeFiles/ujam_transform.dir/normalize.cc.o" "gcc" "src/transform/CMakeFiles/ujam_transform.dir/normalize.cc.o.d"
+  "/root/repo/src/transform/prefetch_insertion.cc" "src/transform/CMakeFiles/ujam_transform.dir/prefetch_insertion.cc.o" "gcc" "src/transform/CMakeFiles/ujam_transform.dir/prefetch_insertion.cc.o.d"
+  "/root/repo/src/transform/scalar_replacement.cc" "src/transform/CMakeFiles/ujam_transform.dir/scalar_replacement.cc.o" "gcc" "src/transform/CMakeFiles/ujam_transform.dir/scalar_replacement.cc.o.d"
+  "/root/repo/src/transform/unroll_and_jam.cc" "src/transform/CMakeFiles/ujam_transform.dir/unroll_and_jam.cc.o" "gcc" "src/transform/CMakeFiles/ujam_transform.dir/unroll_and_jam.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ujam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/ujam_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ujam_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/reuse/CMakeFiles/ujam_reuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ujam_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ujam_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ujam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujam_transform.dir/distribution.cc.o"
+  "CMakeFiles/ujam_transform.dir/distribution.cc.o.d"
+  "CMakeFiles/ujam_transform.dir/fusion.cc.o"
+  "CMakeFiles/ujam_transform.dir/fusion.cc.o.d"
+  "CMakeFiles/ujam_transform.dir/interchange.cc.o"
+  "CMakeFiles/ujam_transform.dir/interchange.cc.o.d"
+  "CMakeFiles/ujam_transform.dir/normalize.cc.o"
+  "CMakeFiles/ujam_transform.dir/normalize.cc.o.d"
+  "CMakeFiles/ujam_transform.dir/prefetch_insertion.cc.o"
+  "CMakeFiles/ujam_transform.dir/prefetch_insertion.cc.o.d"
+  "CMakeFiles/ujam_transform.dir/scalar_replacement.cc.o"
+  "CMakeFiles/ujam_transform.dir/scalar_replacement.cc.o.d"
+  "CMakeFiles/ujam_transform.dir/unroll_and_jam.cc.o"
+  "CMakeFiles/ujam_transform.dir/unroll_and_jam.cc.o.d"
+  "libujam_transform.a"
+  "libujam_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujam_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujam_workloads.dir/corpus.cc.o"
+  "CMakeFiles/ujam_workloads.dir/corpus.cc.o.d"
+  "CMakeFiles/ujam_workloads.dir/suite.cc.o"
+  "CMakeFiles/ujam_workloads.dir/suite.cc.o.d"
+  "libujam_workloads.a"
+  "libujam_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujam_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

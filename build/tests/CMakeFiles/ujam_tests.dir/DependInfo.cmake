@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/ujam_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_deep_nests.cc" "tests/CMakeFiles/ujam_tests.dir/test_deep_nests.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_deep_nests.cc.o.d"
+  "/root/repo/tests/test_dep_update.cc" "tests/CMakeFiles/ujam_tests.dir/test_dep_update.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_dep_update.cc.o.d"
+  "/root/repo/tests/test_deps.cc" "tests/CMakeFiles/ujam_tests.dir/test_deps.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_deps.cc.o.d"
+  "/root/repo/tests/test_driver.cc" "tests/CMakeFiles/ujam_tests.dir/test_driver.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_driver.cc.o.d"
+  "/root/repo/tests/test_ir.cc" "tests/CMakeFiles/ujam_tests.dir/test_ir.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_ir.cc.o.d"
+  "/root/repo/tests/test_linalg.cc" "tests/CMakeFiles/ujam_tests.dir/test_linalg.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_linalg.cc.o.d"
+  "/root/repo/tests/test_modulo_schedule.cc" "tests/CMakeFiles/ujam_tests.dir/test_modulo_schedule.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_modulo_schedule.cc.o.d"
+  "/root/repo/tests/test_parser.cc" "tests/CMakeFiles/ujam_tests.dir/test_parser.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_parser.cc.o.d"
+  "/root/repo/tests/test_property.cc" "tests/CMakeFiles/ujam_tests.dir/test_property.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_property.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/ujam_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_restructure.cc" "tests/CMakeFiles/ujam_tests.dir/test_restructure.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_restructure.cc.o.d"
+  "/root/repo/tests/test_reuse.cc" "tests/CMakeFiles/ujam_tests.dir/test_reuse.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_reuse.cc.o.d"
+  "/root/repo/tests/test_reuse_distance.cc" "tests/CMakeFiles/ujam_tests.dir/test_reuse_distance.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_reuse_distance.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/ujam_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/ujam_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_transform.cc" "tests/CMakeFiles/ujam_tests.dir/test_transform.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_transform.cc.o.d"
+  "/root/repo/tests/test_transform_ext.cc" "tests/CMakeFiles/ujam_tests.dir/test_transform_ext.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_transform_ext.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/ujam_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/ujam_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/ujam_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/ujam_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ujam_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ujam_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ujam_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/ujam_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ujam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ujam_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/reuse/CMakeFiles/ujam_reuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/ujam_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/ujam_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ujam_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ujam_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ujam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
