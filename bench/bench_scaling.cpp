@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Scaling benchmark for the parallel pipeline and the
+ * allocation-free table kernels.
+ *
+ * Three sections, all emitted as one JSON object on stdout so future
+ * PRs can track the trajectory mechanically:
+ *
+ *   - corpus_census:   per-routine dependence analysis of the
+ *                      1187-routine Table-1 corpus, serial vs. 2/4/N
+ *                      threads (identical statistics at every width).
+ *   - suite_pipeline:  optimizeProgram over the 19 Table-2 loops,
+ *                      serial vs. parallel per-nest fan-out.
+ *   - table_build:     buildNestTables wall time vs. unroll-space
+ *                      size on the deepest suite nest (the kernels
+ *                      this PR rewrote from per-point decode scans to
+ *                      stride walks).
+ *
+ * Every section reports the median of repeated runs.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "core/tables.hh"
+#include "driver/driver.hh"
+#include "support/thread_pool.hh"
+#include "workloads/corpus.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace ujam;
+
+double
+medianSeconds(int reps, const std::function<void()> &work)
+{
+    std::vector<double> times;
+    times.reserve(reps);
+    for (int rep = 0; rep < reps; ++rep) {
+        auto start = std::chrono::steady_clock::now();
+        work();
+        auto stop = std::chrono::steady_clock::now();
+        times.push_back(
+            std::chrono::duration<double>(stop - start).count());
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+}
+
+Program
+wholeSuiteProgram()
+{
+    Program all;
+    for (const SuiteLoop &loop : testSuite()) {
+        Program one = loadSuiteProgram(loop);
+        for (const ArrayDecl &decl : one.arrays())
+            all.declareArray(decl);
+        for (const LoopNest &nest : one.nests())
+            all.addNest(nest);
+    }
+    return all;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t hw = ThreadPool::defaultThreads();
+    std::vector<std::size_t> widths = {1, 2, 4, hw};
+    std::sort(widths.begin(), widths.end());
+    widths.erase(std::unique(widths.begin(), widths.end()),
+                 widths.end());
+    const int reps = 5;
+
+    std::printf("{\n");
+    std::printf("  \"hardware_threads\": %zu,\n", hw);
+
+    // --- corpus census ---------------------------------------------------
+    {
+        CorpusConfig config; // full 1187 routines
+        config.threads = 1;
+        auto corpus = generateCorpus(config);
+        std::printf("  \"corpus_census\": {\n");
+        std::printf("    \"routines\": %zu,\n", corpus.size());
+        double serial = 0.0;
+        for (std::size_t w = 0; w < widths.size(); ++w) {
+            std::size_t threads = widths[w];
+            double t = medianSeconds(reps, [&] {
+                CorpusStats stats = analyzeCorpus(corpus, threads);
+                if (stats.totalDeps == 0)
+                    std::fprintf(stderr, "unexpected empty census\n");
+            });
+            if (threads == 1)
+                serial = t;
+            std::printf("    \"threads_%zu_seconds\": %.6f,\n", threads,
+                        t);
+        }
+        std::printf("    \"serial_seconds\": %.6f,\n", serial);
+        double t4 = medianSeconds(
+            reps, [&] { (void)analyzeCorpus(corpus, 4); });
+        std::printf("    \"speedup_at_4_threads\": %.2f\n",
+                    serial / t4);
+        std::printf("  },\n");
+    }
+
+    // --- suite pipeline --------------------------------------------------
+    {
+        Program program = wholeSuiteProgram();
+        MachineModel machine = MachineModel::decAlpha21064();
+        std::printf("  \"suite_pipeline\": {\n");
+        std::printf("    \"nests\": %zu,\n", program.nests().size());
+        double serial = 0.0, best = 0.0;
+        for (std::size_t w = 0; w < widths.size(); ++w) {
+            std::size_t threads = widths[w];
+            PipelineConfig config;
+            config.threads = threads;
+            double t = medianSeconds(reps, [&] {
+                PipelineResult result =
+                    optimizeProgram(program, machine, config);
+                if (result.outcomes.empty())
+                    std::fprintf(stderr, "unexpected empty result\n");
+            });
+            if (threads == 1)
+                serial = t;
+            best = (best == 0.0) ? t : std::min(best, t);
+            std::printf("    \"threads_%zu_seconds\": %.6f,\n", threads,
+                        t);
+        }
+        std::printf("    \"serial_seconds\": %.6f,\n", serial);
+        std::printf("    \"best_speedup\": %.2f\n", serial / best);
+        std::printf("  },\n");
+    }
+
+    // --- table construction vs. unroll-space size ------------------------
+    {
+        // The deepest suite nest exercises the multi-dim odometer
+        // paths; sweep the per-dim limit so the space grows
+        // quadratically, the regime where the pre-rewrite per-point
+        // rescans were quadratic-plus.
+        const LoopNest *deepest = nullptr;
+        Program program = wholeSuiteProgram();
+        for (const LoopNest &nest : program.nests()) {
+            if (!deepest || nest.depth() > deepest->depth())
+                deepest = &nest;
+        }
+        Subspace localized =
+            Subspace::coordinate(deepest->depth(), {deepest->depth() - 1});
+        std::vector<std::size_t> dims;
+        for (std::size_t k = 0; k + 1 < deepest->depth() && k < 2; ++k)
+            dims.push_back(k);
+
+        std::printf("  \"table_build\": {\n");
+        std::printf("    \"nest_depth\": %zu,\n", deepest->depth());
+        std::printf("    \"sweep\": [\n");
+        const std::vector<std::int64_t> limits = {4, 8, 16, 32, 64};
+        for (std::size_t s = 0; s < limits.size(); ++s) {
+            UnrollSpace space(deepest->depth(), dims, limits[s]);
+            double t = medianSeconds(3, [&] {
+                NestTables tables =
+                    buildNestTables(*deepest, space, localized);
+                if (tables.perUgs.empty())
+                    std::fprintf(stderr, "unexpected empty tables\n");
+            });
+            std::printf("      {\"limit\": %lld, \"points\": %zu, "
+                        "\"seconds\": %.6f}%s\n",
+                        static_cast<long long>(limits[s]), space.size(),
+                        t, s + 1 < limits.size() ? "," : "");
+        }
+        std::printf("    ]\n");
+        std::printf("  }\n");
+    }
+
+    std::printf("}\n");
+    return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "support/thread_pool.hh"
 #include "transform/unroll_and_jam.hh"
 
 namespace ujam
@@ -46,25 +47,42 @@ bruteForceChooseUnroll(const LoopNest &nest, const MachineModel &machine,
     UnrollSpace space(depth, dims, limits);
     Subspace localized = Subspace::coordinate(depth, {depth - 1});
 
+    // Transform+reanalyze of each candidate is independent and by far
+    // the dominant cost, so fan it out; the best-point reduction then
+    // walks the per-candidate slots in index order, reproducing the
+    // serial scan's decisions (including its tie-breaks) exactly.
+    struct Candidate
+    {
+        BodyCounts counts;
+        BalanceResult balance;
+    };
+    std::vector<Candidate> candidates_out(space.size());
+    parallelFor(space.size(), config.threads, [&](std::size_t i) {
+        IntVector u = space.vectorAt(i);
+        Candidate &slot = candidates_out[i];
+        slot.counts = measureUnrolledBody(nest, u, localized, locality);
+
+        BalanceInputs in;
+        in.memOps = static_cast<double>(slot.counts.memOps);
+        in.flops = static_cast<double>(slot.counts.flops);
+        in.mainMemoryAccesses =
+            config.useCacheModel ? slot.counts.mainMemoryAccesses : 0.0;
+        slot.balance = loopBalance(in, machine);
+    });
+
     double best_score = 0.0;
     double best_copies = 0.0;
     bool have_best = false;
 
     for (std::size_t i = 0; i < space.size(); ++i) {
         IntVector u = space.vectorAt(i);
-        BodyCounts counts = measureUnrolledBody(nest, u, localized,
-                                                locality);
+        const BodyCounts &counts = candidates_out[i].counts;
         ++result.pointsEvaluated;
         result.peakBodyRefs =
             std::max(result.peakBodyRefs, counts.references);
         result.totalBodyRefs += counts.references;
 
-        BalanceInputs in;
-        in.memOps = static_cast<double>(counts.memOps);
-        in.flops = static_cast<double>(counts.flops);
-        in.mainMemoryAccesses =
-            config.useCacheModel ? counts.mainMemoryAccesses : 0.0;
-        BalanceResult balance = loopBalance(in, machine);
+        const BalanceResult &balance = candidates_out[i].balance;
 
         if (!u.isZero() && config.limitRegisters &&
             counts.registers > machine.fpRegisters) {

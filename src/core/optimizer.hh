@@ -36,6 +36,14 @@ struct OptimizerConfig
     bool useCacheModel = true;    //!< false: assume every access hits
     bool limitRegisters = true;   //!< enforce RL(u) <= R
     LocalityParams locality;      //!< Eq. 1 parameters
+    /**
+     * Worker threads for per-candidate fan-outs (the brute-force
+     * baseline's transform+reanalyze loop): 0 = one per core, 1 =
+     * serial. Candidates land in index-addressed slots reduced in
+     * order, so every thread count yields the identical decision.
+     * The table-driven search itself is cheap and stays serial.
+     */
+    std::size_t threads = 0;
 };
 
 /** The chosen transformation and its predicted effect. */

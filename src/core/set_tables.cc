@@ -87,17 +87,22 @@ buildTable(const RatMatrix &subscript,
 
     // new_sets[u'] = number of leaders whose copy at offset u' starts
     // a new set (initialized to all of them, decremented once per
-    // absorbed leader).
+    // absorbed leader). A leader is absorbed at u' when any of its
+    // points fits below u': the union of the points' upward boxes.
+    // Mark that union with stride-walk box adds into a scratch table
+    // (re-zeroed per leader) instead of decoding every space point
+    // per leader.
     UnrollTable new_sets(space, static_cast<std::int64_t>(n));
+    UnrollTable marked(space, 0);
     for (std::size_t k = 0; k < n; ++k) {
+        if (points[k].empty())
+            continue;
+        marked.fill(0);
+        for (const IntVector &point : points[k])
+            marked.addBox(point, 1);
         for (std::size_t i = 0; i < space.size(); ++i) {
-            IntVector u = space.vectorAt(i);
-            for (const IntVector &point : points[k]) {
-                if (point.allLessEq(u)) {
-                    new_sets.atIndex(i) -= 1;
-                    break; // absorbed once, regardless of how many ways
-                }
-            }
+            if (marked.atIndex(i) > 0)
+                new_sets.atIndex(i) -= 1;
         }
     }
     return new_sets.prefixSum();

@@ -132,28 +132,92 @@ computeRegisterTable(const UniformlyGeneratedSet &ugs,
 
     // For each unroll vector: union copies (r, u') along merge edges,
     // then charge each chain its merged phase span plus one.
+    //
+    // The copies of a point u are the offsets u' <= u: the sub-box of
+    // the space below u. Enumerate it directly from the space's
+    // mixed-radix strides (an odometer over digits) instead of
+    // re-scanning and decoding all npoints per point, and resolve
+    // merge origins by flat index arithmetic -- the merge shift is a
+    // fixed nonnegative vector on the unrolled dims, so subtracting
+    // its dot product with the strides lands on indexOf(u' - shift).
     const std::size_t npoints = space.size();
+    const std::vector<std::size_t> &dims = space.dims();
+    const std::vector<std::size_t> &strides = space.strides();
+    const std::vector<std::int64_t> &limits = space.limits();
+    const std::size_t ndims = dims.size();
+
+    struct FlatEdge
+    {
+        std::size_t absorber;
+        std::size_t indexDelta;
+        std::vector<std::int64_t> digits; // shift on dims, per dim
+    };
+    std::vector<std::vector<FlatEdge>> flat(nsets);
+    for (std::size_t k = 0; k < nsets; ++k) {
+        for (const MergeEdge &edge : edges[k]) {
+            FlatEdge fe;
+            fe.absorber = edge.absorber;
+            fe.indexDelta = 0;
+            fe.digits.resize(ndims);
+            for (std::size_t d = 0; d < ndims; ++d) {
+                fe.digits[d] = edge.shift[dims[d]];
+                fe.indexDelta +=
+                    static_cast<std::size_t>(fe.digits[d]) * strides[d];
+            }
+            flat[k].push_back(std::move(fe));
+        }
+    }
+
+    // Union-find arrays allocated once; each point touches only its
+    // copy sub-box, so per-point work is O(nsets * |sub-box|).
     std::vector<std::size_t> parent(nsets * npoints);
     std::vector<std::int64_t> lo(nsets * npoints), hi(nsets * npoints);
 
-    std::function<std::size_t(std::size_t)> find =
-        [&](std::size_t x) {
-            while (parent[x] != x) {
-                parent[x] = parent[parent[x]];
-                x = parent[x];
-            }
-            return x;
-        };
+    auto find = [&parent](std::size_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+
+    std::vector<std::int64_t> udig(ndims, 0), cdig(ndims);
+    std::vector<std::size_t> copy_index;
+    std::vector<std::int64_t> copy_digits; // ndims digits per copy
 
     for (std::size_t ui = 0; ui < npoints; ++ui) {
-        IntVector u = space.vectorAt(ui);
-        // Copies are the offsets u' <= u; they form a sub-box of the
-        // space, so reuse the space's own indexing for them.
-        std::vector<std::size_t> copy_index;
-        for (std::size_t ci = 0; ci < npoints; ++ci) {
-            if (space.vectorAt(ci).allLessEq(u))
+        copy_index.clear();
+        copy_digits.clear();
+        if (ndims == 0) {
+            copy_index.push_back(0);
+        } else {
+            std::fill(cdig.begin(), cdig.end(), 0);
+            std::size_t ci = 0;
+            for (;;) {
                 copy_index.push_back(ci);
+                copy_digits.insert(copy_digits.end(), cdig.begin(),
+                                   cdig.end());
+                std::size_t d = ndims;
+                bool wrapped = false;
+                for (;;) {
+                    if (d == 0) {
+                        wrapped = true;
+                        break;
+                    }
+                    --d;
+                    if (cdig[d] < udig[d]) {
+                        ++cdig[d];
+                        ci += strides[d];
+                        break;
+                    }
+                    ci -= static_cast<std::size_t>(cdig[d]) * strides[d];
+                    cdig[d] = 0;
+                }
+                if (wrapped)
+                    break;
+            }
         }
+
         for (std::size_t r = 0; r < nsets; ++r) {
             for (std::size_t ci : copy_index) {
                 std::size_t id = r * npoints + ci;
@@ -163,15 +227,22 @@ computeRegisterTable(const UniformlyGeneratedSet &ugs,
             }
         }
         for (std::size_t r = 0; r < nsets; ++r) {
-            for (std::size_t ci : copy_index) {
-                IntVector up = space.vectorAt(ci);
-                for (const MergeEdge &edge : edges[r]) {
-                    if (!edge.shift.allLessEq(up))
+            for (std::size_t c = 0; c < copy_index.size(); ++c) {
+                std::size_t ci = copy_index[c];
+                const std::int64_t *cd = copy_digits.data() + c * ndims;
+                for (const FlatEdge &edge : flat[r]) {
+                    bool applies = true;
+                    for (std::size_t d = 0; d < ndims; ++d) {
+                        if (edge.digits[d] > cd[d]) {
+                            applies = false;
+                            break;
+                        }
+                    }
+                    if (!applies)
                         continue;
-                    IntVector origin = up - edge.shift;
                     std::size_t a = find(r * npoints + ci);
                     std::size_t b = find(edge.absorber * npoints +
-                                         space.indexOf(origin));
+                                         (ci - edge.indexDelta));
                     if (a == b)
                         continue;
                     parent[a] = b;
@@ -189,6 +260,14 @@ computeRegisterTable(const UniformlyGeneratedSet &ugs,
             }
         }
         table.atIndex(ui) = registers;
+
+        for (std::size_t d = ndims; d-- > 0;) {
+            if (udig[d] < limits[d]) {
+                ++udig[d];
+                break;
+            }
+            udig[d] = 0;
+        }
     }
     return table;
 }

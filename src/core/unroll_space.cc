@@ -1,5 +1,7 @@
 #include "core/unroll_space.hh"
 
+#include <algorithm>
+
 #include "support/diagnostics.hh"
 
 namespace ujam
@@ -18,6 +20,22 @@ UnrollSpace::UnrollSpace(std::size_t depth, std::vector<std::size_t> dims,
         for (std::size_t j = i + 1; j < dims_.size(); ++j)
             UJAM_ASSERT(dims_[i] != dims_[j], "duplicate unroll dim");
     }
+
+    // Derived data the table kernels depend on being allocation-free:
+    // mixed-radix strides (dims_[0] slowest), the cached point count,
+    // the per-loop unrollable flags and the maximal vector.
+    strides_.assign(dims_.size(), 1);
+    size_ = 1;
+    for (std::size_t d = dims_.size(); d > 0; --d) {
+        strides_[d - 1] = size_;
+        size_ *= static_cast<std::size_t>(limits_[d - 1] + 1);
+    }
+    flags_.assign(depth_, false);
+    for (std::size_t dim : dims_)
+        flags_[dim] = true;
+    max_ = IntVector(depth_);
+    for (std::size_t i = 0; i < dims_.size(); ++i)
+        max_[dims_[i]] = limits_[i];
 }
 
 UnrollSpace::UnrollSpace(std::size_t depth, std::vector<std::size_t> dims,
@@ -26,23 +44,13 @@ UnrollSpace::UnrollSpace(std::size_t depth, std::vector<std::size_t> dims,
                   std::vector<std::int64_t>(dims.size(), limit))
 {}
 
-std::size_t
-UnrollSpace::size() const
-{
-    std::size_t total = 1;
-    for (std::int64_t limit : limits_)
-        total *= static_cast<std::size_t>(limit + 1);
-    return total;
-}
-
 bool
 UnrollSpace::contains(const IntVector &u) const
 {
     if (u.size() != depth_)
         return false;
-    std::vector<bool> unrollable = unrollableFlags();
     for (std::size_t k = 0; k < depth_; ++k) {
-        if (!unrollable[k] && u[k] != 0)
+        if (!flags_[k] && u[k] != 0)
             return false;
     }
     for (std::size_t i = 0; i < dims_.size(); ++i) {
@@ -52,25 +60,20 @@ UnrollSpace::contains(const IntVector &u) const
     return true;
 }
 
-std::vector<bool>
-UnrollSpace::unrollableFlags() const
-{
-    std::vector<bool> flags(depth_, false);
-    for (std::size_t dim : dims_)
-        flags[dim] = true;
-    return flags;
-}
-
 std::size_t
 UnrollSpace::indexOf(const IntVector &u) const
 {
     UJAM_ASSERT(contains(u), "unroll vector ", u.toString(),
                 " outside the space");
+    return indexOfUnchecked(u);
+}
+
+std::size_t
+UnrollSpace::indexOfUnchecked(const IntVector &u) const
+{
     std::size_t index = 0;
-    for (std::size_t i = 0; i < dims_.size(); ++i) {
-        index = index * static_cast<std::size_t>(limits_[i] + 1) +
-                static_cast<std::size_t>(u[dims_[i]]);
-    }
+    for (std::size_t i = 0; i < dims_.size(); ++i)
+        index += static_cast<std::size_t>(u[dims_[i]]) * strides_[i];
     return index;
 }
 
@@ -78,32 +81,32 @@ IntVector
 UnrollSpace::vectorAt(std::size_t i) const
 {
     IntVector u(depth_);
-    for (std::size_t d = dims_.size(); d > 0; --d) {
-        std::size_t radix = static_cast<std::size_t>(limits_[d - 1] + 1);
-        u[dims_[d - 1]] = static_cast<std::int64_t>(i % radix);
-        i /= radix;
-    }
-    UJAM_ASSERT(i == 0, "dense index outside the space");
+    decodeAt(i, u);
     return u;
+}
+
+void
+UnrollSpace::decodeAt(std::size_t i, IntVector &out) const
+{
+    UJAM_ASSERT(i < size_, "dense index outside the space");
+    if (out.size() != depth_)
+        out = IntVector(depth_);
+    for (std::size_t k = 0; k < depth_; ++k)
+        out[k] = 0;
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+        out[dims_[d]] = static_cast<std::int64_t>(i / strides_[d]);
+        i %= strides_[d];
+    }
 }
 
 std::vector<IntVector>
 UnrollSpace::allVectors() const
 {
     std::vector<IntVector> vectors;
-    vectors.reserve(size());
-    for (std::size_t i = 0; i < size(); ++i)
+    vectors.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i)
         vectors.push_back(vectorAt(i));
     return vectors;
-}
-
-IntVector
-UnrollSpace::maxVector() const
-{
-    IntVector u(depth_);
-    for (std::size_t i = 0; i < dims_.size(); ++i)
-        u[dims_[i]] = limits_[i];
-    return u;
 }
 
 UnrollTable::UnrollTable(const UnrollSpace &space, std::int64_t init)
@@ -123,11 +126,69 @@ UnrollTable::at(const IntVector &u)
 }
 
 void
+UnrollTable::fill(std::int64_t value)
+{
+    std::fill(values_.begin(), values_.end(), value);
+}
+
+void
 UnrollTable::addBox(const IntVector &from, std::int64_t delta)
 {
-    for (std::size_t i = 0; i < values_.size(); ++i) {
-        if (from.allLessEq(space_.vectorAt(i)))
-            values_[i] += delta;
+    // The box { u : from <= u } is empty unless every coordinate of
+    // from outside the unrolled dims is <= 0 (all points have zeros
+    // there), and its intersection with the space is the sub-box
+    // [max(from,0), limit] per unrolled dim. Walk that sub-box
+    // directly with an odometer over the digit strides -- no
+    // per-point decode, no allocation.
+    const std::vector<std::size_t> &dims = space_.dims();
+    const std::vector<std::int64_t> &limits = space_.limits();
+    const std::vector<std::size_t> &strides = space_.strides();
+    const std::vector<bool> &flags = space_.unrollableFlags();
+
+    for (std::size_t k = 0; k < from.size(); ++k) {
+        if ((k >= flags.size() || !flags[k]) && from[k] > 0)
+            return;
+    }
+
+    const std::size_t ndims = dims.size();
+    std::size_t base = 0;
+    bool empty = false;
+    // lo[d]..limits[d] along each dim; base is the index of lo.
+    std::vector<std::int64_t> lo(ndims), digit(ndims);
+    for (std::size_t d = 0; d < ndims; ++d) {
+        std::int64_t f =
+            dims[d] < from.size() ? from[dims[d]] : 0;
+        lo[d] = f < 0 ? 0 : f;
+        if (lo[d] > limits[d])
+            empty = true;
+        digit[d] = lo[d];
+        base += static_cast<std::size_t>(lo[d]) * strides[d];
+    }
+    if (empty)
+        return;
+    if (ndims == 0) {
+        values_[0] += delta;
+        return;
+    }
+
+    std::size_t index = base;
+    for (;;) {
+        values_[index] += delta;
+        // Odometer increment, innermost (fastest stride) digit first.
+        std::size_t d = ndims;
+        for (;;) {
+            if (d == 0)
+                return;
+            --d;
+            if (digit[d] < limits[d]) {
+                ++digit[d];
+                index += strides[d];
+                break;
+            }
+            index -= static_cast<std::size_t>(digit[d] - lo[d]) *
+                     strides[d];
+            digit[d] = lo[d];
+        }
     }
 }
 
@@ -144,22 +205,28 @@ UnrollTable
 UnrollTable::prefixSum() const
 {
     UnrollTable result = *this;
-    const std::vector<std::size_t> &dims = space_.dims();
+    const std::vector<std::size_t> &strides = space_.strides();
     const std::vector<std::int64_t> &limits = space_.limits();
+    std::vector<std::int64_t> &v = result.values_;
 
-    // Standard multidimensional prefix sum: accumulate along one
-    // unrolled dimension at a time.
-    for (std::size_t d = 0; d < dims.size(); ++d) {
-        for (std::size_t i = 0; i < result.values_.size(); ++i) {
-            IntVector u = space_.vectorAt(i);
-            if (u[dims[d]] == 0)
-                continue;
-            IntVector prev = u;
-            prev[dims[d]] -= 1;
-            result.values_[i] += result.values_[space_.indexOf(prev)];
+    // Standard multidimensional prefix sum, one unrolled dimension at
+    // a time, as stride walks over the dense array: for dimension d
+    // the array is blocks of (limit+1) consecutive stride-sized
+    // chunks; add each chunk into the next.
+    for (std::size_t d = 0; d < strides.size(); ++d) {
+        const std::size_t stride = strides[d];
+        const std::size_t radix =
+            static_cast<std::size_t>(limits[d] + 1);
+        const std::size_t block = stride * radix;
+        for (std::size_t b = 0; b < v.size(); b += block) {
+            for (std::size_t r = 1; r < radix; ++r) {
+                std::int64_t *cur = v.data() + b + r * stride;
+                const std::int64_t *prev = cur - stride;
+                for (std::size_t i = 0; i < stride; ++i)
+                    cur[i] += prev[i];
+            }
         }
     }
-    (void)limits;
     return result;
 }
 

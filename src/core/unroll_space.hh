@@ -52,31 +52,56 @@ class UnrollSpace
     /** @return Per-dim inclusive limits (aligned with dims()). */
     const std::vector<std::int64_t> &limits() const { return limits_; }
 
-    /** @return Number of vectors in the space. */
-    std::size_t size() const;
+    /**
+     * @return Per-dim dense-index strides (aligned with dims()):
+     * stride[i] is the index distance of one step along dims()[i].
+     * dims()[0] is the slowest-varying digit, so strides descend.
+     */
+    const std::vector<std::size_t> &strides() const { return strides_; }
+
+    /** @return Number of vectors in the space (cached). */
+    std::size_t size() const { return size_; }
 
     /** @return True iff u lies in the space (zeros elsewhere). */
     bool contains(const IntVector &u) const;
 
-    /** @return Per-loop flags marking unrollable dims. */
-    std::vector<bool> unrollableFlags() const;
+    /** @return Per-loop flags marking unrollable dims (cached). */
+    const std::vector<bool> &unrollableFlags() const { return flags_; }
 
     /** @return Dense index of u (mixed radix, dims()[0] slowest). */
     std::size_t indexOf(const IntVector &u) const;
 
+    /**
+     * @return Dense index of u without the containment check --
+     * u must already be known to lie in the space.
+     */
+    std::size_t indexOfUnchecked(const IntVector &u) const;
+
     /** @return The unroll vector at dense index i. */
     IntVector vectorAt(std::size_t i) const;
+
+    /**
+     * Decode dense index i into out without allocating (out is
+     * resized to depth() and zeroed outside the unrolled dims).
+     */
+    void decodeAt(std::size_t i, IntVector &out) const;
 
     /** @return All vectors in dense-index order. */
     std::vector<IntVector> allVectors() const;
 
-    /** @return The componentwise-maximal vector of the space. */
-    IntVector maxVector() const;
+    /** @return The componentwise-maximal vector of the space (cached). */
+    const IntVector &maxVector() const { return max_; }
 
   private:
     std::size_t depth_ = 0;
     std::vector<std::size_t> dims_;
     std::vector<std::int64_t> limits_;
+    // Derived, computed once at construction so the hot table kernels
+    // never recompute or allocate per point.
+    std::vector<std::size_t> strides_;
+    std::vector<bool> flags_;
+    IntVector max_;
+    std::size_t size_ = 1;
 };
 
 /**
@@ -97,6 +122,9 @@ class UnrollTable
 
     std::int64_t atIndex(std::size_t i) const { return values_[i]; }
     std::int64_t &atIndex(std::size_t i) { return values_[i]; }
+
+    /** Set every entry to value. */
+    void fill(std::int64_t value);
 
     /** Add delta to every entry u' with from <= u' (componentwise). */
     void addBox(const IntVector &from, std::int64_t delta);

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "support/string_utils.hh"
+#include "support/thread_pool.hh"
 #include "transform/distribution.hh"
 #include "transform/fusion.hh"
 #include "transform/interchange.hh"
@@ -59,8 +60,21 @@ optimizeProgram(const Program &program, const MachineModel &machine,
     LocalityParams locality = config.optimizer.locality;
     locality.cacheLineElems = machine.lineElems();
 
-    for (const LoopNest &original : staged.nests()) {
+    // Every nest is optimized independently into its own slot; the
+    // slots are merged in input order below, so the parallel result
+    // is bit-identical to the serial one for any thread count.
+    struct NestSlot
+    {
         NestOutcome outcome;
+        std::vector<LoopNest> transformed;
+    };
+    const std::vector<LoopNest> &nests = staged.nests();
+    std::vector<NestSlot> slots(nests.size());
+
+    auto optimizeNest = [&](std::size_t index) {
+        const LoopNest &original = nests[index];
+        NestSlot &slot = slots[index];
+        NestOutcome &outcome = slot.outcome;
         outcome.name = original.name();
         LoopNest nest = original;
 
@@ -114,10 +128,17 @@ optimizeProgram(const Program &program, const MachineModel &machine,
                         prefetched.prefetchesInserted;
                     bit = std::move(prefetched.nest);
                 }
-                result.program.addNest(std::move(bit));
+                slot.transformed.push_back(std::move(bit));
             }
         }
-        result.outcomes.push_back(std::move(outcome));
+    };
+
+    parallelFor(nests.size(), config.threads, optimizeNest);
+
+    for (NestSlot &slot : slots) {
+        for (LoopNest &bit : slot.transformed)
+            result.program.addNest(std::move(bit));
+        result.outcomes.push_back(std::move(slot.outcome));
     }
     return result;
 }

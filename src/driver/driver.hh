@@ -38,6 +38,13 @@ struct PipelineConfig
     bool scalarReplace = true;   //!< register reuse after unrolling
     bool prefetch = false;       //!< insert prefetch statements
     PrefetchConfig prefetchConfig; //!< distance etc.
+    /**
+     * Worker threads for the per-nest fan-out: 0 = one per core
+     * (the shared pool), 1 = serial. Nests are optimized into
+     * index-addressed slots and merged in input order, so the result
+     * is bit-identical for every thread count.
+     */
+    std::size_t threads = 0;
 };
 
 /** Per-nest record of what the pipeline did. */

@@ -73,6 +73,16 @@ Rng::chance(double p)
     return uniform() < p;
 }
 
+std::uint64_t
+Rng::deriveStream(std::uint64_t seed, std::uint64_t stream)
+{
+    std::uint64_t sm = seed;
+    std::uint64_t mixed = splitMix64(sm);
+    sm = mixed ^ (stream + 0x632be59bd9b4e019ULL);
+    mixed = splitMix64(sm);
+    return splitMix64(sm) ^ mixed;
+}
+
 std::size_t
 Rng::weighted(const std::vector<double> &weights)
 {

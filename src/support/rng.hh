@@ -47,6 +47,18 @@ class Rng
      */
     std::size_t weighted(const std::vector<double> &weights);
 
+    /**
+     * Derive the seed of an independent stream from a master seed.
+     *
+     * Deterministic mixing (SplitMix64 over seed and stream index), so
+     * per-item generators -- e.g. one per corpus routine -- depend only
+     * on (seed, index), never on how many items other threads drew
+     * before them. This is what makes parallel generation bit-identical
+     * to serial generation.
+     */
+    static std::uint64_t deriveStream(std::uint64_t seed,
+                                      std::uint64_t stream);
+
   private:
     std::uint64_t state_[4];
 };

@@ -6,6 +6,7 @@
 #include "ir/builder.hh"
 #include "support/diagnostics.hh"
 #include "support/rng.hh"
+#include "support/thread_pool.hh"
 
 namespace ujam
 {
@@ -238,41 +239,64 @@ corpusBucketLabels()
 std::vector<CorpusRoutine>
 generateCorpus(const CorpusConfig &config)
 {
-    Rng rng(config.seed);
-    std::vector<CorpusRoutine> corpus;
-    corpus.reserve(config.routines);
-    for (std::size_t r = 0; r < config.routines; ++r) {
+    // Each routine draws from its own RNG stream keyed on (seed,
+    // routine index): routine r's content never depends on how much
+    // entropy routines 0..r-1 consumed, so the fan-out below yields
+    // the byte-identical corpus at any thread count (and any future
+    // style change to one routine archetype leaves the others' draws
+    // untouched).
+    std::vector<CorpusRoutine> corpus(config.routines);
+    parallelFor(config.routines, config.threads, [&](std::size_t r) {
+        Rng rng(Rng::deriveStream(config.seed, r));
         Style style = drawStyle(rng);
-        CorpusRoutine routine;
+        CorpusRoutine &routine = corpus[r];
         routine.name = concat("routine", r);
         int arrays = static_cast<int>(rng.range(2, 6));
         for (int n = 0; n < style.nests; ++n)
             routine.nests.push_back(drawNest(rng, style, arrays, n));
-        corpus.push_back(std::move(routine));
-    }
+    });
     return corpus;
 }
 
 CorpusStats
-analyzeCorpus(const std::vector<CorpusRoutine> &corpus)
+analyzeCorpus(const std::vector<CorpusRoutine> &corpus,
+              std::size_t threads)
 {
     CorpusStats stats;
     stats.routinesTotal = corpus.size();
     stats.histogram.assign(corpusBucketLabels().size(), 0);
 
+    // Analyze routines into index-addressed slots, then aggregate in
+    // routine order: the reduction (including the floating-point mean
+    // and deviation sums) visits routines exactly as the serial loop
+    // did, so the statistics are bit-identical for any thread count.
+    struct RoutineDeps
+    {
+        std::size_t deps = 0;
+        std::size_t input = 0;
+        std::size_t graphBytes = 0;
+        std::size_t graphBytesNoInput = 0;
+    };
+    std::vector<RoutineDeps> slots(corpus.size());
+    parallelFor(corpus.size(), threads, [&](std::size_t r) {
+        RoutineDeps &slot = slots[r];
+        for (const LoopNest &nest : corpus[r].nests) {
+            DependenceGraph graph = analyzeDependences(nest);
+            slot.deps += graph.size();
+            slot.input += graph.inputCount();
+            slot.graphBytes += graph.storageBytes();
+            slot.graphBytesNoInput += graph.storageBytesWithoutInput();
+        }
+    });
+
     std::vector<double> percents;
     std::vector<double> input_counts;
 
-    for (const CorpusRoutine &routine : corpus) {
-        std::size_t deps = 0;
-        std::size_t input = 0;
-        for (const LoopNest &nest : routine.nests) {
-            DependenceGraph graph = analyzeDependences(nest);
-            deps += graph.size();
-            input += graph.inputCount();
-            stats.graphBytes += graph.storageBytes();
-            stats.graphBytesNoInput += graph.storageBytesWithoutInput();
-        }
+    for (const RoutineDeps &slot : slots) {
+        std::size_t deps = slot.deps;
+        std::size_t input = slot.input;
+        stats.graphBytes += slot.graphBytes;
+        stats.graphBytesNoInput += slot.graphBytesNoInput;
         if (deps == 0)
             continue; // the paper bases its statistics on 649 of 1187
         ++stats.routinesWithDeps;

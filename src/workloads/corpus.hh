@@ -37,6 +37,14 @@ struct CorpusConfig
 {
     std::size_t routines = 1187; //!< paper section 5.1
     std::uint64_t seed = 9717;   //!< MICRO-30 vintage
+    /**
+     * Worker threads for generation and analysis fan-outs: 0 = one
+     * per core, 1 = serial. Each routine draws from its own RNG
+     * stream (derived from seed and routine index) and lands in an
+     * index-addressed slot, so every thread count produces the
+     * byte-identical corpus and statistics.
+     */
+    std::size_t threads = 0;
 };
 
 /** Aggregate dependence statistics over a corpus (paper 5.1). */
@@ -71,8 +79,16 @@ const std::vector<std::string> &corpusBucketLabels();
 /** Generate the corpus deterministically. */
 std::vector<CorpusRoutine> generateCorpus(const CorpusConfig &config = {});
 
-/** Run dependence analysis over every routine and aggregate. */
-CorpusStats analyzeCorpus(const std::vector<CorpusRoutine> &corpus);
+/**
+ * Run dependence analysis over every routine and aggregate.
+ *
+ * @param corpus  The routines.
+ * @param threads Fan-out width: 0 = one per core, 1 = serial.
+ *                Per-routine results are reduced in routine order, so
+ *                the statistics are identical for every width.
+ */
+CorpusStats analyzeCorpus(const std::vector<CorpusRoutine> &corpus,
+                          std::size_t threads = 0);
 
 } // namespace ujam
 

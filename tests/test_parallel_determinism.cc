@@ -1,0 +1,512 @@
+/**
+ * @file
+ * The parallel pipeline's determinism contract, and regression
+ * pinning of the allocation-free table kernels.
+ *
+ * Everything parallel in ujam computes into index-addressed slots
+ * and reduces them in index order, so any thread count must produce
+ * byte-identical output. These tests run the pipeline, the
+ * brute-force baseline and the corpus census at 1, 2 and N threads
+ * and compare outputs exactly. The table-kernel regressions pin the
+ * stride-walk rewrites of addBox, prefixSum and
+ * computeRegisterTable against straightforward reference
+ * implementations (the pre-rewrite algorithms) on the Table-2 suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <stdexcept>
+
+#include "baseline/brute_force.hh"
+#include "core/optimizer.hh"
+#include "driver/driver.hh"
+#include "ir/printer.hh"
+#include "linalg/merge_solver.hh"
+#include "parser/parser.hh"
+#include "support/rng.hh"
+#include "support/thread_pool.hh"
+#include "transform/unroll_and_jam.hh"
+#include "workloads/corpus.hh"
+#include "workloads/suite.hh"
+
+namespace ujam
+{
+namespace
+{
+
+// --- thread pool basics --------------------------------------------------
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ReusableAcrossJobs)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallelFor(100, [&](std::size_t i) { sum += i; });
+        EXPECT_EQ(sum.load(), 4950u);
+    }
+}
+
+TEST(ThreadPool, PropagatesExceptions)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(
+                     64,
+                     [](std::size_t i) {
+                         if (i == 17)
+                             throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error);
+    // The pool survives a throwing job.
+    std::atomic<int> ran{0};
+    pool.parallelFor(8, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    std::atomic<int> total{0};
+    parallelFor(4, 4, [&](std::size_t) {
+        // Nested requests must not deadlock or clobber the outer job.
+        parallelFor(8, 0, [&](std::size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, SerialWidthRunsInCallerOrder)
+{
+    std::vector<std::size_t> order;
+    parallelFor(5, 1, [&](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+// --- pipeline determinism ------------------------------------------------
+
+Program
+wholeSuiteProgram()
+{
+    Program all;
+    for (const SuiteLoop &loop : testSuite()) {
+        Program one = loadSuiteProgram(loop);
+        for (const ArrayDecl &decl : one.arrays())
+            all.declareArray(decl);
+        for (const LoopNest &nest : one.nests())
+            all.addNest(nest);
+    }
+    return all;
+}
+
+TEST(ParallelDeterminism, PipelineIdenticalAcrossThreadCounts)
+{
+    Program program = wholeSuiteProgram();
+    MachineModel machine = MachineModel::decAlpha21064();
+
+    PipelineConfig config;
+    config.threads = 1;
+    PipelineResult serial = optimizeProgram(program, machine, config);
+    const std::string serial_summary = serial.summary();
+    const std::string serial_text = renderProgram(serial.program);
+    ASSERT_FALSE(serial_summary.empty());
+
+    for (std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+        config.threads = threads;
+        PipelineResult parallel =
+            optimizeProgram(program, machine, config);
+        EXPECT_EQ(parallel.summary(), serial_summary)
+            << "threads=" << threads;
+        EXPECT_EQ(renderProgram(parallel.program), serial_text)
+            << "threads=" << threads;
+        ASSERT_EQ(parallel.outcomes.size(), serial.outcomes.size());
+        for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+            EXPECT_EQ(parallel.outcomes[i].decision.unroll,
+                      serial.outcomes[i].decision.unroll);
+        }
+    }
+}
+
+TEST(ParallelDeterminism, PipelineWithAllStagesIdentical)
+{
+    Program program = wholeSuiteProgram();
+    MachineModel machine = MachineModel::hpPa7100();
+
+    PipelineConfig config;
+    config.fuse = true;
+    config.distribute = true;
+    config.interchange = true;
+    config.prefetch = true;
+    config.threads = 1;
+    PipelineResult serial = optimizeProgram(program, machine, config);
+
+    config.threads = 0;
+    PipelineResult parallel = optimizeProgram(program, machine, config);
+    EXPECT_EQ(parallel.summary(), serial.summary());
+    EXPECT_EQ(renderProgram(parallel.program),
+              renderProgram(serial.program));
+}
+
+TEST(ParallelDeterminism, BruteForceIdenticalAcrossThreadCounts)
+{
+    MachineModel machine = MachineModel::decAlpha21064();
+    for (const std::string name : {"mmjik", "jacobi", "dmxpy1"}) {
+        Program program = loadSuiteProgram(suiteLoop(name));
+        OptimizerConfig config;
+        config.threads = 1;
+        BruteForceResult serial = bruteForceChooseUnroll(
+            program.nests().front(), machine, config);
+        for (std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+            config.threads = threads;
+            BruteForceResult parallel = bruteForceChooseUnroll(
+                program.nests().front(), machine, config);
+            EXPECT_EQ(parallel.unroll, serial.unroll) << name;
+            EXPECT_EQ(parallel.predictedBalance,
+                      serial.predictedBalance)
+                << name;
+            EXPECT_EQ(parallel.registers, serial.registers) << name;
+            EXPECT_EQ(parallel.pointsEvaluated, serial.pointsEvaluated)
+                << name;
+            EXPECT_EQ(parallel.peakBodyRefs, serial.peakBodyRefs)
+                << name;
+            EXPECT_EQ(parallel.totalBodyRefs, serial.totalBodyRefs)
+                << name;
+        }
+    }
+}
+
+TEST(ParallelDeterminism, CorpusIdenticalAcrossThreadCounts)
+{
+    CorpusConfig config;
+    config.routines = 150; // subset for test speed
+    config.threads = 1;
+    auto serial_corpus = generateCorpus(config);
+    CorpusStats serial = analyzeCorpus(serial_corpus, 1);
+
+    for (std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+        config.threads = threads;
+        auto corpus = generateCorpus(config);
+        ASSERT_EQ(corpus.size(), serial_corpus.size());
+        for (std::size_t r = 0; r < corpus.size(); ++r) {
+            ASSERT_EQ(corpus[r].nests.size(),
+                      serial_corpus[r].nests.size());
+            for (std::size_t n = 0; n < corpus[r].nests.size(); ++n) {
+                EXPECT_EQ(renderLoopNest(corpus[r].nests[n]),
+                          renderLoopNest(serial_corpus[r].nests[n]));
+            }
+        }
+        CorpusStats stats = analyzeCorpus(corpus, threads);
+        EXPECT_EQ(stats.totalDeps, serial.totalDeps);
+        EXPECT_EQ(stats.totalInputDeps, serial.totalInputDeps);
+        EXPECT_EQ(stats.routinesWithDeps, serial.routinesWithDeps);
+        EXPECT_EQ(stats.histogram, serial.histogram);
+        // Bit-identical, not approximately equal: the reduction order
+        // is pinned, so even the floating-point moments must match.
+        EXPECT_EQ(stats.meanInputPercent, serial.meanInputPercent);
+        EXPECT_EQ(stats.stddevInputPercent, serial.stddevInputPercent);
+        EXPECT_EQ(stats.graphBytes, serial.graphBytes);
+        EXPECT_EQ(stats.graphBytesNoInput, serial.graphBytesNoInput);
+    }
+}
+
+// --- table-kernel regressions against the pre-rewrite algorithms ---------
+
+/** The pre-rewrite addBox: test every point against the box corner. */
+void
+referenceAddBox(UnrollTable &table, const IntVector &from,
+                std::int64_t delta)
+{
+    const UnrollSpace &space = table.space();
+    for (std::size_t i = 0; i < space.size(); ++i) {
+        if (from.allLessEq(space.vectorAt(i)))
+            table.atIndex(i) += delta;
+    }
+}
+
+/** The pre-rewrite prefixSum: per-point decode and re-index. */
+UnrollTable
+referencePrefixSum(const UnrollTable &table)
+{
+    const UnrollSpace &space = table.space();
+    UnrollTable result = table;
+    for (std::size_t d = 0; d < space.dims().size(); ++d) {
+        for (std::size_t i = 0; i < space.size(); ++i) {
+            IntVector u = space.vectorAt(i);
+            if (u[space.dims()[d]] == 0)
+                continue;
+            IntVector prev = u;
+            prev[space.dims()[d]] -= 1;
+            result.atIndex(i) += result.atIndex(space.indexOf(prev));
+        }
+    }
+    return result;
+}
+
+TEST(TableKernels, AddBoxMatchesReference)
+{
+    Rng rng(20260806);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::size_t depth = static_cast<std::size_t>(rng.range(2, 4));
+        std::vector<std::size_t> dims;
+        std::vector<std::int64_t> limits;
+        for (std::size_t k = 0; k + 1 < depth; ++k) {
+            if (rng.chance(0.8)) {
+                dims.push_back(k);
+                limits.push_back(rng.range(0, 5));
+            }
+        }
+        UnrollSpace space(depth, dims, limits);
+        UnrollTable fast(space, 0), slow(space, 0);
+        for (int box = 0; box < 8; ++box) {
+            IntVector from(depth);
+            for (std::size_t k = 0; k < depth; ++k)
+                from[k] = rng.range(-2, 6);
+            std::int64_t delta = rng.range(-3, 3);
+            fast.addBox(from, delta);
+            referenceAddBox(slow, from, delta);
+        }
+        for (std::size_t i = 0; i < space.size(); ++i)
+            EXPECT_EQ(fast.atIndex(i), slow.atIndex(i)) << trial;
+    }
+}
+
+TEST(TableKernels, PrefixSumMatchesReference)
+{
+    Rng rng(424242);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::size_t depth = static_cast<std::size_t>(rng.range(2, 4));
+        std::vector<std::size_t> dims;
+        std::vector<std::int64_t> limits;
+        for (std::size_t k = 0; k + 1 < depth; ++k) {
+            if (rng.chance(0.8)) {
+                dims.push_back(k);
+                limits.push_back(rng.range(0, 5));
+            }
+        }
+        UnrollSpace space(depth, dims, limits);
+        UnrollTable table(space, 0);
+        for (std::size_t i = 0; i < space.size(); ++i)
+            table.atIndex(i) = rng.range(-10, 10);
+        UnrollTable fast = table.prefixSum();
+        UnrollTable slow = referencePrefixSum(table);
+        for (std::size_t i = 0; i < space.size(); ++i)
+            EXPECT_EQ(fast.atIndex(i), slow.atIndex(i)) << trial;
+    }
+}
+
+/**
+ * The pre-rewrite computeRegisterTable (the seed implementation,
+ * verbatim modulo formatting): per-point re-scan of all npoints to
+ * find the copy sub-box, vectorAt/indexOf per element.
+ */
+UnrollTable
+referenceRegisterTable(const UniformlyGeneratedSet &ugs,
+                       const RrsAnalysis &rrs, const UnrollSpace &space)
+{
+    UnrollTable table(space, 0);
+    const std::size_t nsets = rrs.sets.size();
+    if (nsets == 0)
+        return table;
+
+    std::vector<std::int64_t> phase_lo(nsets), phase_hi(nsets);
+    for (std::size_t r = 0; r < nsets; ++r) {
+        const RegisterReuseSet &set = rrs.sets[r];
+        Rational lo = touchPhase(
+            ugs.members[set.members.front()].ref.offset(), rrs.innerDim,
+            rrs.innerCoeff);
+        phase_lo[r] = lo.floor();
+        phase_hi[r] = phase_lo[r] + set.registersNeeded - 1;
+    }
+
+    std::vector<IntVector> leaders(nsets);
+    std::vector<std::size_t> classes(nsets);
+    for (std::size_t r = 0; r < nsets; ++r) {
+        leaders[r] = rrs.sets[r].leaderOffset;
+        classes[r] = rrs.sets[r].mrrs;
+    }
+
+    struct MergeEdge
+    {
+        std::size_t absorber;
+        IntVector shift;
+    };
+    std::vector<std::vector<MergeEdge>> edges(nsets);
+    const std::vector<bool> unrollable = space.unrollableFlags();
+    const RatMatrix &subscript = ugs.subscript;
+    Subspace inner =
+        Subspace::coordinate(space.depth(), {space.depth() - 1});
+
+    const bool invariant = ugs.innerInvariant();
+    for (std::size_t k = 0; k < nsets; ++k) {
+        if (!invariant && rrs.sets[k].generatorIsDef)
+            continue;
+        for (std::size_t j = 0; j < nsets; ++j) {
+            if (j == k || classes[j] != classes[k])
+                continue;
+            IntVector delta = leaders[j] - leaders[k];
+            auto shift =
+                solveMergeShift(subscript, delta, inner, unrollable);
+            if (!shift.has_value() || shift->isZero())
+                continue;
+            if (shift->allLessEq(space.maxVector()))
+                edges[k].push_back({j, *shift});
+        }
+        for (std::size_t dim : space.dims()) {
+            IntVector unit(space.depth());
+            unit[dim] = 1;
+            RatVector image = subscript.apply(unit);
+            IntVector target(subscript.rows());
+            bool integral = true;
+            for (std::size_t r = 0; r < image.size(); ++r) {
+                if (!image[r].isInteger()) {
+                    integral = false;
+                    break;
+                }
+                target[r] = -image[r].toInteger();
+            }
+            if (!integral)
+                continue;
+            auto shift = solveMergeShift(
+                subscript, target, inner,
+                std::vector<bool>(space.depth(), false));
+            if (shift.has_value())
+                edges[k].push_back({k, unit});
+        }
+    }
+
+    const std::size_t npoints = space.size();
+    std::vector<std::size_t> parent(nsets * npoints);
+    std::vector<std::int64_t> lo(nsets * npoints), hi(nsets * npoints);
+
+    std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+
+    for (std::size_t ui = 0; ui < npoints; ++ui) {
+        IntVector u = space.vectorAt(ui);
+        std::vector<std::size_t> copy_index;
+        for (std::size_t ci = 0; ci < npoints; ++ci) {
+            if (space.vectorAt(ci).allLessEq(u))
+                copy_index.push_back(ci);
+        }
+        for (std::size_t r = 0; r < nsets; ++r) {
+            for (std::size_t ci : copy_index) {
+                std::size_t id = r * npoints + ci;
+                parent[id] = id;
+                lo[id] = phase_lo[r];
+                hi[id] = phase_hi[r];
+            }
+        }
+        for (std::size_t r = 0; r < nsets; ++r) {
+            for (std::size_t ci : copy_index) {
+                IntVector up = space.vectorAt(ci);
+                for (const MergeEdge &edge : edges[r]) {
+                    if (!edge.shift.allLessEq(up))
+                        continue;
+                    IntVector origin = up - edge.shift;
+                    std::size_t a = find(r * npoints + ci);
+                    std::size_t b = find(edge.absorber * npoints +
+                                         space.indexOf(origin));
+                    if (a == b)
+                        continue;
+                    parent[a] = b;
+                    lo[b] = std::min(lo[b], lo[a]);
+                    hi[b] = std::max(hi[b], hi[a]);
+                }
+            }
+        }
+        std::int64_t registers = 0;
+        for (std::size_t r = 0; r < nsets; ++r) {
+            for (std::size_t ci : copy_index) {
+                std::size_t id = r * npoints + ci;
+                if (find(id) == id)
+                    registers += hi[id] - lo[id] + 1;
+            }
+        }
+        table.atIndex(ui) = registers;
+    }
+    return table;
+}
+
+TEST(TableKernels, RegisterTableMatchesPreRewriteOnSuite)
+{
+    std::size_t compared_tables = 0;
+    for (const SuiteLoop &loop : testSuite()) {
+        Program program = loadSuiteProgram(loop);
+        const LoopNest &nest = program.nests().front();
+        if (nest.depth() < 2)
+            continue;
+        std::vector<std::size_t> dims;
+        for (std::size_t k = 0; k + 1 < nest.depth() && k < 2; ++k)
+            dims.push_back(k);
+        UnrollSpace space(nest.depth(), dims, 6);
+        for (const UniformlyGeneratedSet &ugs :
+             partitionUGS(nest.accesses())) {
+            if (!ugs.analyzable())
+                continue;
+            RrsAnalysis rrs = computeRegisterReuseSets(ugs);
+            UnrollTable fast = computeRegisterTable(ugs, rrs, space);
+            UnrollTable slow = referenceRegisterTable(ugs, rrs, space);
+            for (std::size_t i = 0; i < space.size(); ++i)
+                EXPECT_EQ(fast.atIndex(i), slow.atIndex(i))
+                    << loop.name << " index " << i;
+            ++compared_tables;
+        }
+    }
+    // The suite must actually exercise the kernel.
+    EXPECT_GE(compared_tables, 19u);
+}
+
+TEST(TableKernels, NestTablesUnchangedBySpaceShape)
+{
+    // The set-count builder (stride-walk box marking) against the
+    // same tables computed through the public prefix-sum identity:
+    // table values must be monotone box counts, spot-checked against
+    // brute-force body measurement elsewhere (test_core). Here: the
+    // three-dim odometer paths, which the 2-loop suite spaces miss.
+    LoopNest nest = parseSingleNest(R"(
+do k = 1, 16
+  do j = 1, 16
+    do i = 1, 16
+      a(i, j, k) = a(i, j, k) + a(i+1, j, k) + a(i, j+1, k) + b(i, j, k)
+    end do
+  end do
+end do
+)");
+    UnrollSpace space(3, {0, 1}, {3, 4});
+    Subspace localized = Subspace::coordinate(3, {2});
+    NestTables tables = buildNestTables(nest, space, localized);
+    ASSERT_FALSE(tables.perUgs.empty());
+    for (const UgsTables &t : tables.perUgs) {
+        // Set counts grow monotonically with the unroll box.
+        for (std::size_t i = 0; i < space.size(); ++i) {
+            IntVector u = space.vectorAt(i);
+            for (std::size_t d : space.dims()) {
+                if (u[d] == 0)
+                    continue;
+                IntVector prev = u;
+                prev[d] -= 1;
+                EXPECT_LE(t.groupTemporal.at(prev),
+                          t.groupTemporal.at(u));
+                EXPECT_LE(t.groupSpatial.at(prev),
+                          t.groupSpatial.at(u));
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace ujam
