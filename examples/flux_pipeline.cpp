@@ -17,9 +17,10 @@
 #include "parser/parser.hh"
 #include "report/report.hh"
 #include "sim/simulator.hh"
+#include "support/diagnostics.hh"
 
-int
-main()
+static int
+run()
 {
     using namespace ujam;
 
@@ -91,4 +92,17 @@ end do
         pos = next == std::string::npos ? next : next + 1;
     }
     return 0;
+}
+
+int
+main()
+{
+    try {
+        return run();
+    } catch (const ujam::FatalError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+    } catch (const ujam::PanicError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+    }
+    return 1;
 }

@@ -13,12 +13,13 @@
 
 #include "core/optimizer.hh"
 #include "sim/simulator.hh"
+#include "support/diagnostics.hh"
 #include "transform/scalar_replacement.hh"
 #include "transform/unroll_and_jam.hh"
 #include "workloads/suite.hh"
 
-int
-main()
+static int
+run()
 {
     using namespace ujam;
 
@@ -52,4 +53,17 @@ main()
                 "from deeper unrolling;\nthe optimizer finds that "
                 "automatically from the same tables.\n");
     return 0;
+}
+
+int
+main()
+{
+    try {
+        return run();
+    } catch (const ujam::FatalError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+    } catch (const ujam::PanicError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+    }
+    return 1;
 }

@@ -19,10 +19,10 @@
 
 #include "core/optimizer.hh"
 #include "driver/driver.hh"
-#include "report/report.hh"
-#include "support/diagnostics.hh"
 #include "ir/printer.hh"
 #include "ir/validation.hh"
+#include "report/report.hh"
+#include "support/diagnostics.hh"
 #include "parser/parser.hh"
 #include "sim/simulator.hh"
 
@@ -143,6 +143,9 @@ main(int argc, char **argv)
                          after.cycles, before.cycles / after.cycles);
         }
     } catch (const FatalError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+        return 1;
+    } catch (const PanicError &err) {
         std::fprintf(stderr, "%s\n", err.what());
         return 1;
     }

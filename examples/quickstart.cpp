@@ -20,11 +20,12 @@
 #include "ir/interp.hh"
 #include "ir/printer.hh"
 #include "parser/parser.hh"
+#include "support/diagnostics.hh"
 #include "transform/scalar_replacement.hh"
 #include "transform/unroll_and_jam.hh"
 
-int
-main()
+static int
+run()
 {
     using namespace ujam;
 
@@ -77,4 +78,17 @@ end do
                 static_cast<unsigned long long>(before.loadCount()),
                 static_cast<unsigned long long>(after.loadCount()));
     return diff.empty() ? 0 : 1;
+}
+
+int
+main()
+{
+    try {
+        return run();
+    } catch (const ujam::FatalError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+    } catch (const ujam::PanicError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+    }
+    return 1;
 }

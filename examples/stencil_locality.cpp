@@ -13,9 +13,10 @@
 #include "core/tables.hh"
 #include "ir/printer.hh"
 #include "parser/parser.hh"
+#include "support/diagnostics.hh"
 
-int
-main()
+static int
+run()
 {
     using namespace ujam;
 
@@ -94,4 +95,17 @@ end do
                 "Figure 1 merge point, solved in closed form (no "
                 "unrolled body needed).\n");
     return 0;
+}
+
+int
+main()
+{
+    try {
+        return run();
+    } catch (const ujam::FatalError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+    } catch (const ujam::PanicError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+    }
+    return 1;
 }

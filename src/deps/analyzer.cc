@@ -1,6 +1,7 @@
 #include "deps/analyzer.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "deps/subscript_tests.hh"
 #include "support/rational.hh"
@@ -191,25 +192,79 @@ safeUnrollBounds(const LoopNest &nest, const DependenceGraph &graph,
         // may be reassociated.
         if (edge.reduction || edge.kind == DepKind::Input)
             continue;
-        int level = edge.carrierLevel();
-        if (level < 0 || level + 1 == static_cast<int>(depth))
-            continue; // loop-independent or innermost-carried: harmless
 
-        bool inner_hazard = false;
-        for (std::size_t m = level + 1; m < depth; ++m) {
-            if (edge.dirs[m] == DepDir::Gt ||
-                edge.dirs[m] == DepDir::Star) {
-                inner_hazard = true;
-                break;
+        bool has_star = false;
+        for (std::size_t m = 0; m < depth; ++m) {
+            if (edge.dirs[m] == DepDir::Star)
+                has_star = true;
+        }
+
+        // A '*' component admits concrete pairs in either textual
+        // order, so the mirrored direction vector must be checked as
+        // well; exact edges are already oriented source-first and
+        // have no mirror. Likewise a '*' includes '=', so any level
+        // whose outer components all admit '=' can be the carrier --
+        // not just the outermost non-'=' one.
+        for (int sign = +1; sign >= (has_star ? -1 : +1); sign -= 2) {
+            auto effective = [&](std::size_t m) {
+                DepDir dir = edge.dirs[m];
+                if (sign < 0 && dir == DepDir::Lt)
+                    return DepDir::Gt;
+                if (sign < 0 && dir == DepDir::Gt)
+                    return DepDir::Lt;
+                return dir;
+            };
+            for (std::size_t level = 0; level + 1 < depth; ++level) {
+                // Unrolling `level` hoists the remainder iterations
+                // into a fringe nest that runs after the main nest
+                // has finished every outer iteration. A pair carried
+                // at some outer loop whose component at `level`
+                // points backward would then be reversed no matter
+                // how small the unroll amount.
+                bool outer_carrier = false;
+                for (std::size_t m = 0; m < level; ++m) {
+                    DepDir dir = effective(m);
+                    if (dir == DepDir::Lt || dir == DepDir::Star)
+                        outer_carrier = true;
+                    if (dir == DepDir::Lt || dir == DepDir::Gt)
+                        break; // fixed nonzero: no deeper carrier
+                }
+                if (outer_carrier &&
+                    (effective(level) == DepDir::Gt ||
+                     effective(level) == DepDir::Star)) {
+                    bounds[level] = 0;
+                    continue;
+                }
+
+                // Loop `level` carries a pair of this edge only when
+                // it can run '<' with every outer component '='.
+                bool feasible = effective(level) == DepDir::Lt ||
+                                effective(level) == DepDir::Star;
+                for (std::size_t m = 0; feasible && m < level; ++m) {
+                    feasible = effective(m) == DepDir::Eq ||
+                               effective(m) == DepDir::Star;
+                }
+                if (!feasible)
+                    continue;
+
+                bool inner_hazard = false;
+                for (std::size_t m = level + 1; m < depth; ++m) {
+                    if (effective(m) == DepDir::Gt ||
+                        effective(m) == DepDir::Star) {
+                        inner_hazard = true;
+                        break;
+                    }
+                }
+                if (!inner_hazard)
+                    continue;
+
+                std::int64_t limit = 0;
+                if (effective(level) == DepDir::Lt && edge.hasDistance)
+                    limit = std::max<std::int64_t>(
+                        0, std::abs(edge.distance[level]) - 1);
+                bounds[level] = std::min(bounds[level], limit);
             }
         }
-        if (!inner_hazard)
-            continue;
-
-        std::int64_t limit = 0;
-        if (edge.dirs[level] == DepDir::Lt && edge.hasDistance)
-            limit = std::max<std::int64_t>(0, edge.distance[level] - 1);
-        bounds[level] = std::min(bounds[level], limit);
     }
     return bounds;
 }

@@ -45,7 +45,13 @@ DependenceGraph analyzeDependences(const LoopNest &nest,
  * iterations into one pass over the inner loops; it is illegal when a
  * dependence carried by k at distance dk <= u points backward in an
  * inner loop (direction '>' or '*'), because jamming would reverse
- * it. Reduction self-cycles do not constrain the transformation.
+ * it. It is also illegal, at any amount, when a dependence carried by
+ * a loop outer to k points backward at k ('>' or '*'), because the
+ * remainder iterations of k are hoisted into a fringe nest that runs
+ * after the main nest has finished every outer iteration. A '*'
+ * component admits pairs in either textual order, so edges are
+ * checked in both orientations. Reduction self-cycles do not
+ * constrain the transformation.
  *
  * @param nest  The nest.
  * @param graph Its dependence graph.

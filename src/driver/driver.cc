@@ -1,7 +1,11 @@
 #include "driver/driver.hh"
 
+#include <algorithm>
 #include <sstream>
 
+#include "driver/oracle.hh"
+#include "ir/validate.hh"
+#include "support/diagnostics.hh"
 #include "support/string_utils.hh"
 #include "support/thread_pool.hh"
 #include "transform/distribution.hh"
@@ -14,10 +18,205 @@
 namespace ujam
 {
 
+const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::Fuse:
+        return "fuse";
+      case Stage::Normalize:
+        return "normalize";
+      case Stage::Distribute:
+        return "distribute";
+      case Stage::Interchange:
+        return "interchange";
+      case Stage::Unroll:
+        return "unroll";
+      case Stage::ScalarReplace:
+        return "scalar-replace";
+      case Stage::Prefetch:
+        return "prefetch";
+    }
+    return "?";
+}
+
+const char *
+stageDiagnosticKindName(StageDiagnostic::Kind kind)
+{
+    switch (kind) {
+      case StageDiagnostic::Kind::Fatal:
+        return "fatal";
+      case StageDiagnostic::Kind::Panic:
+        return "panic";
+      case StageDiagnostic::Kind::Validator:
+        return "validator";
+      case StageDiagnostic::Kind::Oracle:
+        return "oracle";
+    }
+    return "?";
+}
+
+std::string
+StageDiagnostic::toString() const
+{
+    return concat(stageName(stage), ":", stageDiagnosticKindName(kind),
+                  ": ", message);
+}
+
+namespace
+{
+
+/** Internal signal: a stage output was rejected by a checker. */
+struct StageRejection
+{
+    StageDiagnostic::Kind kind;
+    std::string message;
+};
+
+/**
+ * Injected-fault payload for FaultKind::Validator: make the stage
+ * output structurally invalid (a non-positive step), so the real
+ * validator must notice and the real rollback path must run.
+ */
+void
+corruptStructurally(std::vector<LoopNest> &nests)
+{
+    if (!nests.empty() && nests.front().depth() > 0)
+        nests.front().loop(0).step = -1;
+}
+
+/**
+ * Injected-fault payload for FaultKind::Oracle: keep the output
+ * structurally valid but change its semantics (perturb the first
+ * statement), so only differential execution can notice.
+ */
+void
+corruptSemantically(std::vector<LoopNest> &nests)
+{
+    for (LoopNest &nest : nests) {
+        for (Stmt &stmt : nest.body()) {
+            if (stmt.isPrefetch())
+                continue;
+            stmt.setRhs(Expr::binary(BinOp::Add, stmt.rhs(),
+                                     Expr::constant(1.0)));
+            return;
+        }
+    }
+}
+
+/**
+ * Run one pipeline stage under the containment guard.
+ *
+ * The body maps the current nest list to the stage's output list (and
+ * may tighten the post-stage validation options). On success the
+ * output replaces `current`. On any FatalError, PanicError, injected
+ * fault, validator rejection, or oracle mismatch, `current` is left
+ * exactly as it was, `outcome` (when given) is restored to its
+ * pre-stage value, and a StageDiagnostic lands in `sink`.
+ *
+ * All state touched here is local to the (nest, stage) pair -- shared
+ * inputs are read-only -- so containment is race-free at any thread
+ * width.
+ *
+ * @return True iff the stage output was committed.
+ */
+template <typename Body>
+bool
+guardedStage(Stage stage, std::size_t nest_index, const Program &context,
+             const SafetyConfig &safety,
+             const std::vector<FaultSpec> &faults, bool bit_exact,
+             std::vector<LoopNest> &current, NestOutcome *outcome,
+             std::vector<StageDiagnostic> &sink, Body &&body)
+{
+    std::vector<LoopNest> before = current;
+    NestOutcome snapshot;
+    if (outcome)
+        snapshot = *outcome;
+
+    StageDiagnostic diag;
+    diag.stage = stage;
+    try {
+        std::optional<FaultKind> fault =
+            requestedFault(faults, stageName(stage), nest_index);
+        if (fault == FaultKind::Throw) {
+            fatal("injected fault at stage ", stageName(stage),
+                  ", nest ", nest_index);
+        }
+        if (fault == FaultKind::Panic) {
+            panic("injected fault at stage ", stageName(stage),
+                  ", nest ", nest_index);
+        }
+
+        ValidateOptions vopts;
+        std::vector<LoopNest> after = body(current, vopts);
+        if (fault == FaultKind::Validator)
+            corruptStructurally(after);
+        if (fault == FaultKind::Oracle)
+            corruptSemantically(after);
+
+        if (safety.validate) {
+            for (const LoopNest &nest : after) {
+                std::vector<std::string> problems =
+                    validateNestStrict(context, nest, vopts);
+                if (!problems.empty()) {
+                    throw StageRejection{
+                        StageDiagnostic::Kind::Validator,
+                        problems.front()};
+                }
+            }
+        }
+        if (safety.oracle) {
+            OracleConfig oracle_config;
+            oracle_config.seed = safety.oracleSeed;
+            oracle_config.trials = safety.oracleTrials;
+            oracle_config.tolerance = safety.tolerance;
+            oracle_config.params = safety.oracleParams;
+            OracleVerdict verdict =
+                verifyEquivalence(context, before, after, bit_exact,
+                                  oracle_config, nest_index);
+            if (!verdict.ok) {
+                throw StageRejection{StageDiagnostic::Kind::Oracle,
+                                     verdict.mismatch};
+            }
+        }
+
+        current = std::move(after);
+        return true;
+    } catch (const StageRejection &rejection) {
+        diag.kind = rejection.kind;
+        diag.message = rejection.message;
+    } catch (const FatalError &err) {
+        diag.kind = StageDiagnostic::Kind::Fatal;
+        diag.message = err.what();
+    } catch (const PanicError &err) {
+        diag.kind = StageDiagnostic::Kind::Panic;
+        diag.message = err.what();
+    }
+
+    current = std::move(before);
+    if (outcome)
+        *outcome = std::move(snapshot);
+    sink.push_back(std::move(diag));
+    return false;
+}
+
+} // namespace
+
+std::size_t
+PipelineResult::containedFaults() const
+{
+    std::size_t count = programDiagnostics.size();
+    for (const NestOutcome &outcome : outcomes)
+        count += outcome.contained.size();
+    return count;
+}
+
 std::string
 PipelineResult::summary() const
 {
     std::ostringstream os;
+    for (const StageDiagnostic &diag : programDiagnostics)
+        os << "<program>     ! contained " << diag.toString() << "\n";
     for (const NestOutcome &outcome : outcomes) {
         os << padRight(outcome.name.empty() ? "<unnamed>" : outcome.name,
                        12);
@@ -37,6 +236,12 @@ PipelineResult::summary() const
         if (outcome.prefetches > 0)
             os << " prefetches=" << outcome.prefetches;
         os << "\n";
+        for (const StageDiagnostic &diag : outcome.contained)
+            os << "    ! contained " << diag.toString() << "\n";
+    }
+    if (containedFaults() > 0) {
+        os << "contained " << containedFaults()
+           << " fault(s); affected nests kept their pre-stage form\n";
     }
     return os.str();
 }
@@ -47,11 +252,27 @@ optimizeProgram(const Program &program, const MachineModel &machine,
 {
     PipelineResult result;
 
+    std::vector<FaultSpec> faults = config.safety.faults;
+    for (FaultSpec &spec : faultSpecsFromEnv())
+        faults.push_back(std::move(spec));
+
     Program staged = program;
     if (config.fuse) {
-        auto [fused, count] = fuseProgram(program);
-        staged = std::move(fused);
-        result.fusions = count;
+        std::size_t fusion_count = 0;
+        std::vector<LoopNest> fused_nests = program.nests();
+        bool committed = guardedStage(
+            Stage::Fuse, 0, program, config.safety, faults,
+            /*bit_exact=*/true, fused_nests, nullptr,
+            result.programDiagnostics,
+            [&](const std::vector<LoopNest> &, ValidateOptions &) {
+                auto [fused, count] = fuseProgram(program);
+                fusion_count = count;
+                return std::move(fused.nests());
+            });
+        if (committed) {
+            staged.nests() = std::move(fused_nests);
+            result.fusions = fusion_count;
+        }
     }
 
     result.program = staged;
@@ -76,61 +297,121 @@ optimizeProgram(const Program &program, const MachineModel &machine,
         NestSlot &slot = slots[index];
         NestOutcome &outcome = slot.outcome;
         outcome.name = original.name();
-        LoopNest nest = original;
+
+        // The nest's working state: the list of nests it currently
+        // expands to. Each guarded stage either advances it or leaves
+        // it untouched.
+        std::vector<LoopNest> current{original};
+        auto guard = [&](Stage stage, bool bit_exact, auto &&body) {
+            return guardedStage(stage, index, staged, config.safety,
+                                faults, bit_exact, current, &outcome,
+                                outcome.contained,
+                                std::forward<decltype(body)>(body));
+        };
 
         if (config.normalize) {
-            NormalizeResult normalized = normalizeNest(nest);
-            outcome.normalized =
-                std::count(normalized.normalized.begin(),
-                           normalized.normalized.end(), true) > 0;
-            nest = std::move(normalized.nest);
+            guard(Stage::Normalize, true,
+                  [&](const std::vector<LoopNest> &in,
+                      ValidateOptions &vopts) {
+                      NormalizeResult normalized =
+                          normalizeNest(in.front());
+                      outcome.normalized =
+                          std::count(normalized.normalized.begin(),
+                                     normalized.normalized.end(),
+                                     true) > 0;
+                      vopts.requireStepOne =
+                          normalized.fullyNormalized();
+                      std::vector<LoopNest> out;
+                      out.push_back(std::move(normalized.nest));
+                      return out;
+                  });
         }
 
-        std::vector<LoopNest> pieces{nest};
         if (config.distribute) {
-            DistributionResult distributed = distributeNest(nest);
-            pieces = std::move(distributed.nests);
-            outcome.pieces = pieces.size();
+            guard(Stage::Distribute, true,
+                  [&](const std::vector<LoopNest> &in,
+                      ValidateOptions &) {
+                      std::vector<LoopNest> out;
+                      for (const LoopNest &nest : in) {
+                          DistributionResult distributed =
+                              distributeNest(nest);
+                          for (LoopNest &piece : distributed.nests)
+                              out.push_back(std::move(piece));
+                      }
+                      outcome.pieces = out.size();
+                      return out;
+                  });
         }
 
-        for (LoopNest &piece : pieces) {
-            if (config.interchange) {
-                InterchangeResult order =
-                    chooseLoopOrder(piece, locality);
-                outcome.interchanged |= order.changed;
-                outcome.permutation = order.permutation;
-                piece = std::move(order.nest);
-            }
-
-            // The summary keeps the last piece's decision; pieces of
-            // one nest rarely diverge and the full detail is in the
-            // transformed program itself.
-            outcome.decision =
-                chooseUnrollAmounts(piece, machine, config.optimizer);
-
-            std::vector<LoopNest> expanded =
-                unrollAndJamNest(piece, outcome.decision.unroll);
-            for (LoopNest &bit : expanded) {
-                if (config.scalarReplace) {
-                    // The transform honors the same register file the
-                    // optimizer's constraint assumed.
-                    ScalarReplacementConfig sr_config;
-                    sr_config.maxRegisters = machine.fpRegisters;
-                    ScalarReplacementResult replaced =
-                        scalarReplace(bit, sr_config);
-                    outcome.loadsRemoved += replaced.loadsRemoved;
-                    bit = std::move(replaced.nest);
-                }
-                if (config.prefetch) {
-                    PrefetchResult prefetched =
-                        insertPrefetches(bit, config.prefetchConfig);
-                    outcome.prefetches +=
-                        prefetched.prefetchesInserted;
-                    bit = std::move(prefetched.nest);
-                }
-                slot.transformed.push_back(std::move(bit));
-            }
+        if (config.interchange) {
+            guard(Stage::Interchange, false,
+                  [&](const std::vector<LoopNest> &in,
+                      ValidateOptions &) {
+                      std::vector<LoopNest> out;
+                      for (const LoopNest &piece : in) {
+                          InterchangeResult order =
+                              chooseLoopOrder(piece, locality);
+                          outcome.interchanged |= order.changed;
+                          outcome.permutation = order.permutation;
+                          out.push_back(std::move(order.nest));
+                      }
+                      return out;
+                  });
         }
+
+        guard(Stage::Unroll, false,
+              [&](const std::vector<LoopNest> &in, ValidateOptions &) {
+                  std::vector<LoopNest> out;
+                  for (const LoopNest &piece : in) {
+                      // The summary keeps the last piece's decision;
+                      // pieces of one nest rarely diverge and the full
+                      // detail is in the transformed program itself.
+                      outcome.decision = chooseUnrollAmounts(
+                          piece, machine, config.optimizer);
+                      std::vector<LoopNest> expanded = unrollAndJamNest(
+                          piece, outcome.decision.unroll);
+                      for (LoopNest &bit : expanded)
+                          out.push_back(std::move(bit));
+                  }
+                  return out;
+              });
+
+        if (config.scalarReplace) {
+            guard(Stage::ScalarReplace, false,
+                  [&](const std::vector<LoopNest> &in,
+                      ValidateOptions &) {
+                      std::vector<LoopNest> out;
+                      for (const LoopNest &bit : in) {
+                          // The transform honors the same register
+                          // file the optimizer's constraint assumed.
+                          ScalarReplacementConfig sr_config;
+                          sr_config.maxRegisters = machine.fpRegisters;
+                          ScalarReplacementResult replaced =
+                              scalarReplace(bit, sr_config);
+                          outcome.loadsRemoved += replaced.loadsRemoved;
+                          out.push_back(std::move(replaced.nest));
+                      }
+                      return out;
+                  });
+        }
+
+        if (config.prefetch) {
+            guard(Stage::Prefetch, true,
+                  [&](const std::vector<LoopNest> &in,
+                      ValidateOptions &) {
+                      std::vector<LoopNest> out;
+                      for (const LoopNest &bit : in) {
+                          PrefetchResult prefetched = insertPrefetches(
+                              bit, config.prefetchConfig);
+                          outcome.prefetches +=
+                              prefetched.prefetchesInserted;
+                          out.push_back(std::move(prefetched.nest));
+                      }
+                      return out;
+                  });
+        }
+
+        slot.transformed = std::move(current);
     };
 
     parallelFor(nests.size(), config.threads, optimizeNest);

@@ -16,16 +16,92 @@
  *   6. prefetch insertion (optional; section 3.2's model realized)
  *
  * Fringe nests created by step 4 get steps 5-6 as well.
+ *
+ * Every stage runs inside a safety net (SafetyConfig): its output is
+ * structurally validated (ir/validate.hh), optionally differentially
+ * verified against its input (driver/oracle.hh), and any
+ * FatalError/PanicError or rejection is *contained* -- the nest rolls
+ * back to its exact pre-stage IR, a StageDiagnostic is recorded, and
+ * the pipeline continues with the remaining stages and nests. A bad
+ * nest degrades to "left unoptimized at that stage"; it never takes
+ * the run down with it.
  */
 
 #ifndef UJAM_DRIVER_DRIVER_HH
 #define UJAM_DRIVER_DRIVER_HH
 
 #include "core/optimizer.hh"
+#include "support/fault_injection.hh"
 #include "transform/prefetch_insertion.hh"
 
 namespace ujam
 {
+
+/** The pipeline stages, in execution order. */
+enum class Stage
+{
+    Fuse,
+    Normalize,
+    Distribute,
+    Interchange,
+    Unroll,
+    ScalarReplace,
+    Prefetch
+};
+
+/** @return The stage's name as used in fault specs and reports. */
+const char *stageName(Stage stage);
+
+/** One contained failure: where, what class, and the message. */
+struct StageDiagnostic
+{
+    /** What the guard caught. */
+    enum class Kind
+    {
+        Fatal,     //!< a FatalError escaped the stage
+        Panic,     //!< a PanicError escaped the stage (a ujam bug)
+        Validator, //!< the stage output failed structural validation
+        Oracle     //!< the stage output failed differential execution
+    };
+
+    Stage stage = Stage::Normalize;
+    Kind kind = Kind::Fatal;
+    std::string message;
+
+    /** @return e.g. "unroll:validator: <message>". */
+    std::string toString() const;
+};
+
+/** @return The diagnostic kind's report spelling. */
+const char *stageDiagnosticKindName(StageDiagnostic::Kind kind);
+
+/** Safety-net switches; see the file comment. */
+struct SafetyConfig
+{
+    /** Structurally validate every stage's output (cheap; default on). */
+    bool validate = true;
+    /**
+     * Differentially execute every stage's output against its input
+     * (interpreter runs per stage; meant for tests and fuzzing).
+     */
+    bool oracle = false;
+    std::size_t oracleTrials = 1; //!< independently seeded inputs
+    /**
+     * Relative tolerance for stages that reorder floating-point
+     * arithmetic (interchange, unroll-and-jam, scalar replacement).
+     * Order-preserving stages are always compared bit-exactly.
+     */
+    double tolerance = 1e-9;
+    std::uint64_t oracleSeed = 9717; //!< master seed for oracle inputs
+    /** Parameter overrides for oracle runs (shrink big extents). */
+    ParamBindings oracleParams;
+    /**
+     * Fault-injection points (see support/fault_injection.hh); specs
+     * from the UJAM_FAULT environment variable are appended at run
+     * time.
+     */
+    std::vector<FaultSpec> faults;
+};
 
 /** Pipeline configuration. */
 struct PipelineConfig
@@ -38,6 +114,7 @@ struct PipelineConfig
     bool scalarReplace = true;   //!< register reuse after unrolling
     bool prefetch = false;       //!< insert prefetch statements
     PrefetchConfig prefetchConfig; //!< distance etc.
+    SafetyConfig safety;         //!< validator/oracle/containment knobs
     /**
      * Worker threads for the per-nest fan-out: 0 = one per core
      * (the shared pool), 1 = serial. Nests are optimized into
@@ -58,6 +135,8 @@ struct NestOutcome
     UnrollDecision decision;     //!< the unroll choice
     std::size_t loadsRemoved = 0;   //!< by scalar replacement
     std::size_t prefetches = 0;     //!< inserted per body
+    /** Faults contained while optimizing this nest, in stage order. */
+    std::vector<StageDiagnostic> contained;
 };
 
 /** The optimized program plus the per-nest log. */
@@ -66,6 +145,11 @@ struct PipelineResult
     Program program;
     std::vector<NestOutcome> outcomes; //!< one per (post-fusion) nest
     std::size_t fusions = 0;           //!< adjacent nests merged
+    /** Faults contained in program-level stages (fusion). */
+    std::vector<StageDiagnostic> programDiagnostics;
+
+    /** @return Total contained faults, program- and nest-level. */
+    std::size_t containedFaults() const;
 
     /** @return A short human-readable summary of all outcomes. */
     std::string summary() const;
@@ -73,6 +157,9 @@ struct PipelineResult
 
 /**
  * Optimize every nest of a program for a machine.
+ *
+ * Never throws for a defect in a particular nest: stage failures are
+ * contained per nest (see SafetyConfig) and reported in the result.
  *
  * @param program The input program (left untouched).
  * @param machine The optimization target.

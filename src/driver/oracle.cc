@@ -1,0 +1,75 @@
+#include "driver/oracle.hh"
+
+#include "ir/interp.hh"
+#include "support/diagnostics.hh"
+#include "support/rng.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+/** @return context's declarations and defaults around nests. */
+Program
+withNests(const Program &context, const std::vector<LoopNest> &nests)
+{
+    Program program = context;
+    program.nests().clear();
+    for (const LoopNest &nest : nests)
+        program.addNest(nest);
+    return program;
+}
+
+} // namespace
+
+OracleVerdict
+verifyEquivalence(const Program &context,
+                  const std::vector<LoopNest> &before,
+                  const std::vector<LoopNest> &after, bool bitExact,
+                  const OracleConfig &config, std::uint64_t stream)
+{
+    Program reference = withNests(context, before);
+    Program candidate = withNests(context, after);
+    const std::size_t trials = config.trials > 0 ? config.trials : 1;
+    const double tolerance = bitExact ? 0.0 : config.tolerance;
+
+    for (std::size_t t = 0; t < trials; ++t) {
+        std::uint64_t seed =
+            Rng::deriveStream(config.seed, stream * trials + t);
+        try {
+            Interpreter ref(reference, config.params);
+            Interpreter cand(candidate, config.params);
+            ref.seedArrays(seed);
+            cand.seedArrays(seed);
+            ref.run();
+            cand.run();
+            std::string diff = ref.compareArrays(cand, tolerance);
+            if (!diff.empty()) {
+                return {false, concat("trial ", t, " (seed ", seed,
+                                      "): ", diff)};
+            }
+        } catch (const FatalError &err) {
+            // The transformed code crashed the reference interpreter
+            // (e.g. an access past the guard halo): a miscompile.
+            return {false,
+                    concat("trial ", t, ": execution failed: ",
+                           err.what())};
+        } catch (const PanicError &err) {
+            return {false,
+                    concat("trial ", t, ": execution failed: ",
+                           err.what())};
+        }
+    }
+    return {};
+}
+
+OracleVerdict
+verifyPrograms(const Program &before, const Program &after, bool bitExact,
+               const OracleConfig &config, std::uint64_t stream)
+{
+    return verifyEquivalence(before, before.nests(), after.nests(),
+                             bitExact, config, stream);
+}
+
+} // namespace ujam

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Differential semantic oracle for pipeline stages.
+ *
+ * A transformation is only trustworthy if the transformed code
+ * computes what the original computed. This oracle makes that check
+ * executable: it runs the reference Interpreter over the pre- and
+ * post-stage versions of a nest (or group of nests) on deterministic,
+ * Rng::deriveStream-seeded array contents and compares every array
+ * element-wise.
+ *
+ * Tolerance policy: stages that keep the order of floating-point
+ * operations (normalization, distribution, fusion, prefetch
+ * insertion) must match bit-exactly; stages that reassociate or
+ * reorder arithmetic (interchange, unroll-and-jam, scalar
+ * replacement) are allowed a small relative tolerance, since IEEE
+ * addition is not associative and reduction reorderings legitimately
+ * perturb low-order bits.
+ */
+
+#ifndef UJAM_DRIVER_ORACLE_HH
+#define UJAM_DRIVER_ORACLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/** Oracle knobs. */
+struct OracleConfig
+{
+    std::uint64_t seed = 9717;  //!< master seed for input derivation
+    std::size_t trials = 1;     //!< independent seedings compared
+    double tolerance = 1e-9;    //!< rel tolerance for reordering stages
+    /**
+     * Parameter overrides applied to both interpretations; lets the
+     * caller shrink symbolic extents so a verification run stays
+     * cheap. Empty = the program's defaults.
+     */
+    ParamBindings params;
+};
+
+/** The outcome of one differential check. */
+struct OracleVerdict
+{
+    bool ok = true;
+    std::string mismatch; //!< first difference found, empty when ok
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Differentially verify that two nest lists compute the same arrays.
+ *
+ * Both lists are executed against the declarations and parameter
+ * defaults of context (whose own nests are ignored). Execution and
+ * comparison are repeated for config.trials independently seeded
+ * inputs; input t of point `stream` uses
+ * Rng::deriveStream(config.seed, stream * trials + t), so verdicts
+ * depend only on (seed, stream, t) -- never on which thread runs the
+ * check.
+ *
+ * @param context  Supplies array declarations and parameter defaults.
+ * @param before   The pre-stage nests.
+ * @param after    The post-stage nests.
+ * @param bitExact True: compare exactly; false: config.tolerance.
+ * @param config   Seeds, trials, tolerance.
+ * @param stream   Caller-chosen stream index (e.g. the nest index).
+ * @return ok, or the first mismatch description.
+ */
+OracleVerdict verifyEquivalence(const Program &context,
+                                const std::vector<LoopNest> &before,
+                                const std::vector<LoopNest> &after,
+                                bool bitExact,
+                                const OracleConfig &config = {},
+                                std::uint64_t stream = 0);
+
+/**
+ * Convenience wrapper: verify two whole programs (their nest lists)
+ * against the first program's declarations.
+ */
+OracleVerdict verifyPrograms(const Program &before, const Program &after,
+                             bool bitExact,
+                             const OracleConfig &config = {},
+                             std::uint64_t stream = 0);
+
+} // namespace ujam
+
+#endif // UJAM_DRIVER_ORACLE_HH

@@ -107,6 +107,19 @@ Bound::evaluate(const ParamBindings &params) const
     return value;
 }
 
+void
+Bound::collectParamNames(std::vector<std::string> &names) const
+{
+    for (const auto &[name, coeff] : terms_) {
+        if (coeff != 0)
+            names.push_back(name);
+    }
+    if (aligned_) {
+        aligned_->lower.collectParamNames(names);
+        aligned_->upper.collectParamNames(names);
+    }
+}
+
 std::string
 Bound::toString() const
 {

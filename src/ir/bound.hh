@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace ujam
 {
@@ -70,6 +71,10 @@ class Bound
      * @throws FatalError if a parameter is unbound.
      */
     std::int64_t evaluate(const ParamBindings &params) const;
+
+    /** Append every referenced parameter name (including inside an
+     * alignment term) to names; duplicates are not filtered. */
+    void collectParamNames(std::vector<std::string> &names) const;
 
     /** @return Source rendering, e.g. "2*n - 1" or "align(1, n, 4)". */
     std::string toString() const;

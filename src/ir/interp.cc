@@ -43,6 +43,14 @@ Interpreter::Interpreter(const Program &program,
             array.strides.push_back(total); // column-major, halo-padded
             total = checkedMul(total, ext + 2 * haloElems);
         }
+        // Bit-exact differential runs need real storage; refuse sizes
+        // that would thrash or OOM the host instead of hanging.
+        constexpr std::int64_t max_elems = std::int64_t(1) << 26;
+        if (total > max_elems) {
+            fatal("array '", decl.name, "' needs ", total,
+                  " elements (halo included); the interpreter caps "
+                  "arrays at ", max_elems, " elements");
+        }
         array.base = next_base;
         array.data.assign(static_cast<std::size_t>(total), 0.0);
         next_base += total;
@@ -214,6 +222,10 @@ Interpreter::execLoops(const LoopNest &nest, std::size_t level)
         return;
     }
     const Loop &loop = nest.loop(level);
+    if (loop.step < 1) {
+        fatal("loop '", loop.iv, "' has step ", loop.step,
+              "; interpretation would not terminate");
+    }
     std::int64_t lo = loop.lower.evaluate(params_);
     std::int64_t hi = loop.upper.evaluate(params_);
     bool innermost = (level + 1 == nest.depth());

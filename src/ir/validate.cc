@@ -1,0 +1,212 @@
+#include "ir/validate.hh"
+
+#include <set>
+
+#include "ir/validation.hh"
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+/** Invoke fn on every scalar-variable read in the tree. */
+void
+forEachScalarRead(const ExprPtr &expr,
+                  const std::function<void(const std::string &)> &fn)
+{
+    if (!expr)
+        return;
+    switch (expr->kind()) {
+      case Expr::Kind::Scalar:
+        fn(expr->scalarName());
+        break;
+      case Expr::Kind::Binary:
+        forEachScalarRead(expr->lhs(), fn);
+        forEachScalarRead(expr->rhs(), fn);
+        break;
+      case Expr::Kind::Constant:
+      case Expr::Kind::ArrayRead:
+        break;
+    }
+}
+
+/** Per-nest context shared by the statement-level checks. */
+struct StrictChecker
+{
+    const Program &program;
+    const LoopNest &nest;
+    const ValidateOptions &options;
+    std::vector<std::string> &problems;
+
+    std::string nestName;
+    std::set<std::string> ivs;
+    // Evaluated [lo, hi] per loop; empty when any bound failed to
+    // evaluate (the base validator already reported that).
+    std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
+    bool rangesKnown = false;
+
+    void
+    note(const std::string &what)
+    {
+        problems.push_back(concat("nest ", nestName, ": ", what));
+    }
+
+    void
+    checkLoops()
+    {
+        for (const Loop &loop : nest.loops()) {
+            if (options.requireStepOne && loop.step != 1) {
+                note(concat("loop '", loop.iv, "' has step ", loop.step,
+                            " after normalization"));
+            }
+            std::vector<std::string> names;
+            loop.lower.collectParamNames(names);
+            loop.upper.collectParamNames(names);
+            for (const std::string &name : names) {
+                if (ivs.count(name)) {
+                    note(concat("bound of loop '", loop.iv,
+                                "' references induction variable '",
+                                name, "'"));
+                }
+            }
+        }
+    }
+
+    void
+    evaluateRanges()
+    {
+        rangesKnown = true;
+        for (const Loop &loop : nest.loops()) {
+            try {
+                std::int64_t lo =
+                    loop.lower.evaluate(program.paramDefaults());
+                std::int64_t hi =
+                    loop.upper.evaluate(program.paramDefaults());
+                ranges.emplace_back(lo, hi);
+                if (hi < lo)
+                    rangesKnown = false; // zero-trip: nothing accessed
+            } catch (const FatalError &) {
+                rangesKnown = false;
+                return;
+            }
+        }
+    }
+
+    void
+    checkRefReach(const ArrayRef &ref, const char *where)
+    {
+        if (!rangesKnown || !program.hasArray(ref.array()))
+            return;
+        const ArrayDecl &decl = program.array(ref.array());
+        if (decl.extents.size() != ref.dims() ||
+            ref.depth() != nest.depth()) {
+            return; // rank/depth problems already reported
+        }
+        for (std::size_t d = 0; d < ref.dims(); ++d) {
+            std::int64_t extent;
+            try {
+                extent =
+                    decl.extents[d].evaluate(program.paramDefaults());
+            } catch (const FatalError &) {
+                return;
+            }
+            std::int64_t min = ref.offset()[d];
+            std::int64_t max = ref.offset()[d];
+            for (std::size_t k = 0; k < nest.depth(); ++k) {
+                std::int64_t coeff = ref.row(d)[k];
+                min += coeff * (coeff >= 0 ? ranges[k].first
+                                           : ranges[k].second);
+                max += coeff * (coeff >= 0 ? ranges[k].second
+                                           : ranges[k].first);
+            }
+            if (min < 1 - options.haloElems ||
+                max > extent + options.haloElems) {
+                note(concat(where, ": reference to '", ref.array(),
+                            "' dimension ", d + 1, " spans [", min, ", ",
+                            max, "] outside extent ", extent, " + halo ",
+                            options.haloElems));
+                return;
+            }
+        }
+    }
+
+    void
+    checkStmts(const std::vector<Stmt> &stmts, const char *where)
+    {
+        for (const Stmt &stmt : stmts) {
+            if (stmt.isPrefetch()) {
+                checkRefReach(stmt.prefetchRef(), where);
+                continue;
+            }
+            if (!stmt.lhsIsArray() && ivs.count(stmt.lhsScalar())) {
+                note(concat(where, ": assignment to scalar '",
+                            stmt.lhsScalar(),
+                            "' shadows an induction variable"));
+            }
+            forEachScalarRead(stmt.rhs(), [&](const std::string &name) {
+                if (ivs.count(name)) {
+                    note(concat(where, ": scalar read of '", name,
+                                "' names an induction variable (reads "
+                                "0.0, not the loop counter)"));
+                }
+            });
+            stmt.forEachAccess([&](const ArrayRef &ref, bool) {
+                checkRefReach(ref, where);
+            });
+        }
+    }
+};
+
+} // namespace
+
+std::vector<std::string>
+validateNestStrict(const Program &program, const LoopNest &nest,
+                   const ValidateOptions &options)
+{
+    std::vector<std::string> problems = validateNest(program, nest);
+
+    StrictChecker checker{program, nest, options, problems, {}, {}, {},
+                          false};
+    checker.nestName = nest.name().empty() ? "<unnamed>" : nest.name();
+    for (const Loop &loop : nest.loops())
+        checker.ivs.insert(loop.iv);
+
+    checker.checkLoops();
+    if (options.checkReach)
+        checker.evaluateRanges();
+    else
+        checker.rangesKnown = false;
+
+    checker.checkStmts(nest.body(), "body");
+    checker.checkStmts(nest.preheader(), "preheader");
+    checker.checkStmts(nest.postheader(), "postheader");
+    return problems;
+}
+
+std::vector<std::string>
+validateProgramStrict(const Program &program,
+                      const ValidateOptions &options)
+{
+    std::vector<std::string> problems;
+    for (const ArrayDecl &decl : program.arrays()) {
+        for (const Bound &extent : decl.extents) {
+            try {
+                extent.evaluate(program.paramDefaults());
+            } catch (const FatalError &err) {
+                problems.push_back(
+                    concat("array '", decl.name, "': ", err.what()));
+            }
+        }
+    }
+    for (const LoopNest &nest : program.nests()) {
+        std::vector<std::string> nest_problems =
+            validateNestStrict(program, nest, options);
+        problems.insert(problems.end(), nest_problems.begin(),
+                        nest_problems.end());
+    }
+    return problems;
+}
+
+} // namespace ujam

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Strict structural IR validation for the transformation safety net.
+ *
+ * validation.hh checks the basics a freshly parsed program must
+ * satisfy (declared arrays, matching ranks, evaluable bounds). This
+ * module layers the invariants every *transformed* nest must also
+ * keep, so the pipeline can check each stage's output before
+ * committing it:
+ *
+ *  - everything validateNest checks (ranks, depths, evaluable bounds,
+ *    positive steps, non-empty body);
+ *  - internal consistency of every reference: all rows of H and the
+ *    offset c agree on the array's rank, every row has one column per
+ *    loop (acyclic nest structure: subscripts depend on the nest's
+ *    own loops only, positionally);
+ *  - loop-variable scoping: no statement assigns a scalar that
+ *    shadows an induction variable, and no loop bound references a
+ *    name bound as an induction variable of the same nest;
+ *  - subscript reach: under the program's parameter defaults, every
+ *    reference stays within the declared extents plus the
+ *    interpreter's guard halo over the whole iteration box (the
+ *    margin real unroll-and-jam legitimately touches);
+ *  - optionally, step-1 loops (required right after normalization).
+ */
+
+#ifndef UJAM_IR_VALIDATE_HH
+#define UJAM_IR_VALIDATE_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/** Switches for the strict checks. */
+struct ValidateOptions
+{
+    bool requireStepOne = false; //!< enforce post-normalization steps
+    bool checkReach = true;      //!< subscript-reach vs extents + halo
+    /** Elements past a declared extent the reach check tolerates. */
+    std::int64_t haloElems = 8;
+};
+
+/**
+ * Strictly validate one nest against a program's declarations.
+ *
+ * @return Human-readable problems; empty when the nest is valid.
+ */
+std::vector<std::string> validateNestStrict(
+    const Program &program, const LoopNest &nest,
+    const ValidateOptions &options = {});
+
+/** Strictly validate every nest of a program. */
+std::vector<std::string> validateProgramStrict(
+    const Program &program, const ValidateOptions &options = {});
+
+} // namespace ujam
+
+#endif // UJAM_IR_VALIDATE_HH

@@ -89,27 +89,38 @@ tokenize(const std::string &source)
         }
         if (std::isdigit(static_cast<unsigned char>(c))) {
             std::size_t start = i;
-            bool is_float = false;
+            int dots = 0;
             while (i < source.size() &&
                    (std::isdigit(static_cast<unsigned char>(source[i])) ||
                     source[i] == '.')) {
                 if (source[i] == '.')
-                    is_float = true;
+                    ++dots;
                 ++i;
             }
             std::string spelling = source.substr(start, i - start);
+            // std::stod would silently parse a prefix of "1..5".
+            if (dots > 1) {
+                fatal("line ", line, ": malformed numeric literal '",
+                      spelling, "'");
+            }
             Token token;
-            token.kind = is_float ? TokenKind::Float : TokenKind::Integer;
+            token.kind = dots ? TokenKind::Float : TokenKind::Integer;
             token.text = spelling;
             token.line = line;
             try {
-                if (is_float)
+                if (dots)
                     token.floatValue = std::stod(spelling);
                 else
                     token.intValue = std::stoll(spelling);
             } catch (const std::exception &) {
                 fatal("line ", line, ": malformed numeric literal '",
                       spelling, "'");
+            }
+            // Bound/subscript evaluation multiplies literals together;
+            // capping them here keeps those products inside int64.
+            if (!dots && token.intValue > kMaxIntLiteral) {
+                fatal("line ", line, ": integer literal ", spelling,
+                      " exceeds the limit of ", kMaxIntLiteral);
             }
             tokens.push_back(std::move(token));
             continue;

@@ -27,6 +27,13 @@
 namespace ujam
 {
 
+/**
+ * Largest accepted integer literal. Bounds, subscripts and parameter
+ * values multiply literals together; this cap keeps any pairwise
+ * product representable in int64 without overflow.
+ */
+constexpr std::int64_t kMaxIntLiteral = 1'000'000'000;
+
 /** Token kinds produced by the lexer. */
 enum class TokenKind
 {

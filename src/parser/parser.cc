@@ -10,6 +10,16 @@ namespace ujam
 namespace
 {
 
+/** Deepest loop nest the recursive-descent parser accepts. */
+constexpr std::size_t kMaxLoopDepth = 64;
+
+/**
+ * Deepest expression/bound nesting accepted. Each parenthesis, unary
+ * minus, and align() term costs one level; the cap turns a would-be
+ * stack overflow into a FatalError.
+ */
+constexpr std::size_t kMaxExprDepth = 256;
+
 /**
  * Token-stream cursor with the recursive-descent routines.
  */
@@ -102,6 +112,26 @@ class Parser
         fatal("line ", peek().line, ": ", message);
     }
 
+    /** RAII depth bump that rejects runaway recursion. */
+    class DepthGuard
+    {
+      public:
+        DepthGuard(Parser &parser, std::size_t &depth, std::size_t limit,
+                   const char *what)
+            : depth_(depth)
+        {
+            if (++depth_ > limit) {
+                parser.errorHere(concat(what, " nested deeper than ",
+                                        std::to_string(limit), " levels"));
+            }
+        }
+
+        ~DepthGuard() { --depth_; }
+
+      private:
+        std::size_t &depth_;
+    };
+
     void
     skipNewlines()
     {
@@ -183,6 +213,8 @@ class Parser
     addBoundTerm(const Bound &base, std::int64_t sign)
     {
         if (checkIdent("align")) {
+            DepthGuard guard(*this, expr_depth_, kMaxExprDepth,
+                             "align() bound");
             advance();
             expect(TokenKind::LParen, "'('");
             Bound lower = parseBound();
@@ -240,6 +272,7 @@ class Parser
     parseDo(std::vector<Loop> &loops, std::vector<Stmt> &preheader,
             std::vector<Stmt> &postheader, std::vector<Stmt> &body)
     {
+        DepthGuard guard(*this, loop_depth_, kMaxLoopDepth, "loops");
         advance(); // 'do'
         Loop loop;
         loop.iv = expect(TokenKind::Ident, "induction variable").text;
@@ -250,6 +283,9 @@ class Parser
         if (peek().kind == TokenKind::Comma) {
             advance();
             loop.step = expect(TokenKind::Integer, "step").intValue;
+            if (loop.step < 1)
+                errorHere(concat("loop step must be at least 1, got ",
+                                 std::to_string(loop.step)));
         }
         endStatement();
         loops.push_back(std::move(loop));
@@ -438,6 +474,7 @@ class Parser
     ExprPtr
     parseUnary(const std::vector<Loop> &loops)
     {
+        DepthGuard guard(*this, expr_depth_, kMaxExprDepth, "expressions");
         if (peek().kind == TokenKind::Minus) {
             advance();
             ExprPtr operand = parseUnary(loops);
@@ -473,6 +510,8 @@ class Parser
 
     std::vector<Token> tokens_;
     std::size_t pos_ = 0;
+    std::size_t loop_depth_ = 0;
+    std::size_t expr_depth_ = 0;
 };
 
 } // namespace

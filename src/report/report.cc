@@ -131,4 +131,28 @@ analysisReport(const LoopNest &nest, const MachineModel &machine,
     return os.str();
 }
 
+std::string
+safetyReport(const PipelineResult &result)
+{
+    std::ostringstream os;
+    os << "=== ujam safety report ===\n";
+    if (result.containedFaults() == 0) {
+        os << "no faults contained; all " << result.outcomes.size()
+           << " nest(s) passed every enabled check\n";
+        return os.str();
+    }
+    for (const StageDiagnostic &diag : result.programDiagnostics)
+        os << "<program>: " << diag.toString() << "\n";
+    for (const NestOutcome &outcome : result.outcomes) {
+        for (const StageDiagnostic &diag : outcome.contained) {
+            os << (outcome.name.empty() ? "<unnamed>" : outcome.name)
+               << ": " << diag.toString() << "\n";
+        }
+    }
+    os << result.containedFaults()
+       << " fault(s) contained; each affected nest was rolled back to "
+          "its pre-stage IR and the run continued\n";
+    return os.str();
+}
+
 } // namespace ujam

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/optimizer.hh"
+#include "driver/driver.hh"
 
 namespace ujam
 {
@@ -45,6 +46,16 @@ std::string analysisReport(const LoopNest &nest,
 
 /** @return One line per UGS: array, members, reuse classification. */
 std::string reuseSummary(const LoopNest &nest);
+
+/**
+ * Render the safety-net record of a pipeline run: every contained
+ * fault (program- and nest-level) with its stage, failure class and
+ * message, or a clean bill of health.
+ *
+ * @param result A finished pipeline run.
+ * @return Multi-line text.
+ */
+std::string safetyReport(const PipelineResult &result);
 
 } // namespace ujam
 

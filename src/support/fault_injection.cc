@@ -1,0 +1,126 @@
+#include "support/fault_injection.hh"
+
+#include <cstdlib>
+
+#include "support/diagnostics.hh"
+#include "support/string_utils.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+/** The stage names the pipeline exposes to the grammar. */
+const char *const kStageNames[] = {
+    "fuse",   "normalize",      "distribute", "interchange",
+    "unroll", "scalar-replace", "prefetch",
+};
+
+bool
+knownStage(const std::string &name)
+{
+    for (const char *stage : kStageNames) {
+        if (name == stage)
+            return true;
+    }
+    return false;
+}
+
+FaultKind
+parseKind(const std::string &text)
+{
+    if (text == "throw")
+        return FaultKind::Throw;
+    if (text == "panic")
+        return FaultKind::Panic;
+    if (text == "validator")
+        return FaultKind::Validator;
+    if (text == "oracle")
+        return FaultKind::Oracle;
+    fatal("fault spec: unknown kind '", text,
+          "' (expected throw|panic|validator|oracle)");
+}
+
+FaultSpec
+parseOneSpec(const std::string &text)
+{
+    std::vector<std::string> parts = split(text, ':');
+    if (parts.size() != 3) {
+        fatal("fault spec '", text,
+              "': expected stage:nest:kind");
+    }
+    FaultSpec spec;
+    spec.stage = trim(parts[0]);
+    if (!knownStage(spec.stage))
+        fatal("fault spec '", text, "': unknown stage '", spec.stage, "'");
+    std::string nest = trim(parts[1]);
+    if (nest != "*") {
+        if (nest.empty() ||
+            nest.find_first_not_of("0123456789") != std::string::npos) {
+            fatal("fault spec '", text, "': nest must be an index or '*'");
+        }
+        spec.nest = static_cast<std::size_t>(std::stoull(nest));
+    }
+    spec.kind = parseKind(trim(parts[2]));
+    return spec;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Throw:
+        return "throw";
+      case FaultKind::Panic:
+        return "panic";
+      case FaultKind::Validator:
+        return "validator";
+      case FaultKind::Oracle:
+        return "oracle";
+    }
+    return "?";
+}
+
+std::string
+FaultSpec::toString() const
+{
+    return concat(stage, ":", nest ? std::to_string(*nest) : "*", ":",
+                  faultKindName(kind));
+}
+
+std::vector<FaultSpec>
+parseFaultSpecs(const std::string &text)
+{
+    std::vector<FaultSpec> specs;
+    for (const std::string &part : split(text, ',')) {
+        std::string trimmed = trim(part);
+        if (!trimmed.empty())
+            specs.push_back(parseOneSpec(trimmed));
+    }
+    return specs;
+}
+
+std::vector<FaultSpec>
+faultSpecsFromEnv()
+{
+    const char *value = std::getenv("UJAM_FAULT");
+    if (!value || !*value)
+        return {};
+    return parseFaultSpecs(value);
+}
+
+std::optional<FaultKind>
+requestedFault(const std::vector<FaultSpec> &specs,
+               const std::string &stage, std::size_t nest)
+{
+    for (const FaultSpec &spec : specs) {
+        if (spec.stage == stage && (!spec.nest || *spec.nest == nest))
+            return spec.kind;
+    }
+    return std::nullopt;
+}
+
+} // namespace ujam

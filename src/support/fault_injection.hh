@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic fault injection for the optimization pipeline.
+ *
+ * A fault spec names a point in the pipeline -- (stage, nest index)
+ * -- and the kind of failure to force there. The driver consults the
+ * active specs at every stage boundary and manufactures the requested
+ * failure, so every containment/rollback path can be exercised by
+ * tests instead of waiting for a real bug to find it.
+ *
+ * Grammar (also accepted in the UJAM_FAULT environment variable):
+ *
+ *     spec  ::= stage ':' nest ':' kind (',' spec)*
+ *     stage ::= fuse | normalize | distribute | interchange
+ *             | unroll | scalar-replace | prefetch
+ *     nest  ::= non-negative integer | '*'        (every nest)
+ *     kind  ::= throw | panic | validator | oracle
+ *
+ * e.g. UJAM_FAULT=unroll:1:throw or UJAM_FAULT='*:*:validator' --
+ * except that stage '*' is not allowed; a spec targets one stage.
+ *
+ * Kinds:
+ *  - throw:     raise FatalError at stage entry
+ *  - panic:     raise PanicError at stage entry
+ *  - validator: corrupt the stage's output IR structurally, so the
+ *               post-stage validator (when enabled) must reject it
+ *  - oracle:    corrupt the stage's output semantically but keep it
+ *               structurally valid, so only the differential oracle
+ *               (when enabled) can catch it
+ *
+ * This module only parses and matches specs; the driver owns the
+ * actual corruption (it knows the IR). Matching is read-only and
+ * therefore race-free under the pipeline's thread pool.
+ */
+
+#ifndef UJAM_SUPPORT_FAULT_INJECTION_HH
+#define UJAM_SUPPORT_FAULT_INJECTION_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ujam
+{
+
+/** What failure a fault spec forces. */
+enum class FaultKind
+{
+    Throw,     //!< FatalError at stage entry
+    Panic,     //!< PanicError at stage entry
+    Validator, //!< structurally-invalid stage output
+    Oracle     //!< semantically-wrong but valid stage output
+};
+
+/** @return The spec spelling of a kind ("throw", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** One injection point. */
+struct FaultSpec
+{
+    std::string stage;            //!< pipeline stage name
+    std::optional<std::size_t> nest; //!< nest index; nullopt = every nest
+    FaultKind kind = FaultKind::Throw;
+
+    /** @return The spec rendered back into grammar form. */
+    std::string toString() const;
+};
+
+/**
+ * Parse a comma-separated spec list.
+ *
+ * @throws FatalError on any grammar violation (unknown stage or
+ * kind, malformed nest index).
+ */
+std::vector<FaultSpec> parseFaultSpecs(const std::string &text);
+
+/**
+ * @return The specs from the UJAM_FAULT environment variable, or an
+ * empty list when it is unset or empty. Fatal on a malformed value.
+ */
+std::vector<FaultSpec> faultSpecsFromEnv();
+
+/**
+ * @return The kind requested for (stage, nest), if any. The first
+ * matching spec wins.
+ */
+std::optional<FaultKind> requestedFault(const std::vector<FaultSpec> &specs,
+                                        const std::string &stage,
+                                        std::size_t nest);
+
+} // namespace ujam
+
+#endif // UJAM_SUPPORT_FAULT_INJECTION_HH

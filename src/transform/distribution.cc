@@ -129,8 +129,30 @@ distributeNest(const LoopNest &nest)
     for (const Dependence &edge : graph.edges()) {
         std::size_t s = stmt_of[edge.src];
         std::size_t t = stmt_of[edge.dst];
-        if (s != t)
+        if (s == t)
+            continue;
+        // An edge's textual orientation is trustworthy only when the
+        // outermost non-'=' direction is '<': every pair then runs
+        // source-first. A leading '*' admits pairs in both orders
+        // (the statements must stay in one component), and a leading
+        // '>' means every pair actually runs sink-first.
+        bool forward = true;
+        bool backward = false;
+        for (std::size_t k = 0; k < edge.dirs.size(); ++k) {
+            if (edge.dirs[k] == DepDir::Eq)
+                continue;
+            if (edge.dirs[k] == DepDir::Gt) {
+                forward = false;
+                backward = true;
+            } else if (edge.dirs[k] == DepDir::Star) {
+                backward = true;
+            }
+            break;
+        }
+        if (forward)
             succs[s].insert(t);
+        if (backward)
+            succs[t].insert(s);
     }
 
     // Scalars shared between statements: keep writer and accessors in

@@ -12,9 +12,12 @@
  * Legality: a dependence whose source statement instance executes
  * before its sink keeps that property when the source's group runs as
  * a whole before the sink's group -- so any forward edge is fine and
- * cycles must stay together. Scalar temporaries shared between
- * statements are handled conservatively (writer and readers stay in
- * one group).
+ * cycles must stay together. An edge is only known to be forward when
+ * its outermost non-'=' direction is '<'; a leading '*' admits pairs
+ * in both orders (its statements are tied into one component) and a
+ * leading '>' constrains the opposite order. Scalar temporaries
+ * shared between statements are handled conservatively (writer and
+ * readers stay in one group).
  */
 
 #ifndef UJAM_TRANSFORM_DISTRIBUTION_HH

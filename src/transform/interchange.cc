@@ -74,6 +74,33 @@ permuteLoops(const LoopNest &nest, const std::vector<std::size_t> &perm)
     return result;
 }
 
+namespace
+{
+
+/**
+ * True when the edge's direction vector (mirrored if requested)
+ * stays lexicographically positive under the permutation. Star is
+ * treated as possibly-'>' and fails the test.
+ */
+bool
+permutedLexPositive(const Dependence &edge,
+                    const std::vector<std::size_t> &perm, bool mirror)
+{
+    for (std::size_t k = 0; k < perm.size(); ++k) {
+        DepDir dir = edge.dirs[perm[k]];
+        if (mirror && dir == DepDir::Lt)
+            dir = DepDir::Gt;
+        else if (mirror && dir == DepDir::Gt)
+            dir = DepDir::Lt;
+        if (dir == DepDir::Eq)
+            continue;
+        return dir == DepDir::Lt; // Gt or Star: (possibly) reversed
+    }
+    return true; // loop-independent: unaffected by interchange
+}
+
+} // namespace
+
 bool
 interchangeLegal(const DependenceGraph &graph,
                  const std::vector<std::size_t> &perm)
@@ -81,14 +108,28 @@ interchangeLegal(const DependenceGraph &graph,
     for (const Dependence &edge : graph.edges()) {
         if (edge.reduction || edge.kind == DepKind::Input)
             continue;
-        for (std::size_t k = 0; k < perm.size(); ++k) {
-            DepDir dir = edge.dirs[perm[k]];
-            if (dir == DepDir::Eq)
+        // Which textual orientations does the edge realize? Exact
+        // edges are oriented source-first, but an edge whose
+        // outermost non-'=' direction is '*' admits pairs in both
+        // orders, and a leading '>' means every pair runs sink-first
+        // (the mirrored vector is the true dependence).
+        bool pos = true;
+        bool neg = false;
+        for (std::size_t k = 0; k < edge.dirs.size(); ++k) {
+            if (edge.dirs[k] == DepDir::Eq)
                 continue;
-            if (dir == DepDir::Lt)
-                break; // still lexicographically positive
-            return false; // Gt or Star decides: (possibly) reversed
+            if (edge.dirs[k] == DepDir::Gt) {
+                pos = false;
+                neg = true;
+            } else if (edge.dirs[k] == DepDir::Star) {
+                neg = true;
+            }
+            break;
         }
+        if (pos && !permutedLexPositive(edge, perm, false))
+            return false;
+        if (neg && !permutedLexPositive(edge, perm, true))
+            return false;
     }
     return true;
 }

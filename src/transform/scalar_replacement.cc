@@ -138,6 +138,14 @@ scalarReplace(const LoopNest &nest, const ScalarReplacementConfig &config)
         const UniformlyGeneratedSet &ugs = sets[u];
         if (!ugs.analyzable() || unsafe.count(ugs.array))
             continue;
+        // A write from another UGS aliases this set's addresses at
+        // distances the RRS analysis never sees; a store could land
+        // between two forwarded touches of a chain and the stale
+        // temporary would mask it. Writes inside the set itself are
+        // part of the modeled flow.
+        auto writers = writer_sets.find(ugs.array);
+        if (writers != writer_sets.end() && !writers->second.count(u))
+            continue;
         RrsAnalysis analysis = computeRegisterReuseSets(ugs);
 
         for (const RegisterReuseSet &set : analysis.sets) {

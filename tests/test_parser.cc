@@ -312,5 +312,137 @@ end do
     EXPECT_EQ(reparsed.nests()[0].loop(0).step, 2);
 }
 
+// --- hardening regressions: reduced inputs from the fuzz sweep ------
+//
+// Each case below previously crashed (stack overflow), hung (infinite
+// loop / runaway allocation), or silently mis-lexed. All must now be
+// rejected with a FatalError.
+
+TEST(ParserHardening, DeepLoopNestingIsFatalNotStackOverflow)
+{
+    std::string source;
+    for (int i = 0; i < 1000; ++i)
+        source += concat("do i", std::to_string(i), " = 1, 2\n");
+    source += "x = 1\n";
+    for (int i = 0; i < 1000; ++i)
+        source += "end do\n";
+    EXPECT_THROW(parseProgram(source), FatalError);
+}
+
+TEST(ParserHardening, DeepParensAreFatalNotStackOverflow)
+{
+    std::string source = "do i = 1, 2\n  x = ";
+    source.append(100000, '(');
+    source += "1";
+    source.append(100000, ')');
+    source += "\nend do\n";
+    EXPECT_THROW(parseProgram(source), FatalError);
+}
+
+TEST(ParserHardening, LongUnaryMinusChainIsFatalNotStackOverflow)
+{
+    std::string source = "do i = 1, 2\n  x = ";
+    source.append(100000, '-');
+    source += "1\nend do\n";
+    EXPECT_THROW(parseProgram(source), FatalError);
+}
+
+TEST(ParserHardening, DeepAlignNestingIsFatalNotStackOverflow)
+{
+    std::string source = "do i = 1, ";
+    for (int k = 0; k < 10000; ++k)
+        source += "align(1, ";
+    source += "5";
+    for (int k = 0; k < 10000; ++k)
+        source += ", 2)";
+    source += "\n  x = 1\nend do\n";
+    EXPECT_THROW(parseProgram(source), FatalError);
+}
+
+TEST(ParserHardening, ModerateNestingStillParses)
+{
+    // The depth caps must not reject reasonable programs.
+    std::string source;
+    for (int i = 0; i < 16; ++i)
+        source += concat("do i", std::to_string(i), " = 1, 2\n");
+    source += "  x = ((((1 + 2))))\n";
+    for (int i = 0; i < 16; ++i)
+        source += "end do\n";
+    Program program = parseProgram(source);
+    EXPECT_EQ(program.nests().at(0).depth(), 16u);
+}
+
+TEST(ParserHardening, ZeroStepIsFatalNotInfiniteLoop)
+{
+    // Interpreting "do i = 1, 5, 0" used to spin forever.
+    EXPECT_THROW(parseProgram("do i = 1, 5, 0\n  x = 1\nend do\n"),
+                 FatalError);
+}
+
+TEST(ParserHardening, InterpreterRejectsNonPositiveStep)
+{
+    // Programmatically built nests bypass the parser's step check.
+    LoopNest nest = parseSingleNest("do i = 1, 5\n  x = 1\nend do\n");
+    nest.loop(0).step = 0;
+    Program program;
+    program.addNest(std::move(nest));
+    Interpreter interp(program);
+    EXPECT_THROW(interp.run(), FatalError);
+}
+
+TEST(ParserHardening, HugeIntegerLiteralIsFatal)
+{
+    // 92233720368547 * 100000 used to overflow int64 during bound
+    // evaluation (undefined behaviour).
+    EXPECT_THROW(parseProgram("param n = 92233720368547\n"), FatalError);
+    EXPECT_THROW(tokenize("x = 99999999999999999999999999"), FatalError);
+    // The cap itself is accepted.
+    auto tokens = tokenize("x = 1000000000");
+    EXPECT_EQ(tokens[2].intValue, 1000000000);
+}
+
+TEST(ParserHardening, HugeArrayExtentIsFatalInInterpreter)
+{
+    // 1016^3 elements (halo included) would allocate ~8.5 GB and
+    // previously hung the host; the interpreter now refuses.
+    Program program = parseProgram(R"(
+param n = 1000
+real a(n, n, n)
+do i = 1, n
+  a(i, 1, 1) = 0
+end do
+)");
+    EXPECT_THROW(Interpreter interp(program), FatalError);
+}
+
+TEST(ParserHardening, MultiDotLiteralIsFatalNotSilentPrefixParse)
+{
+    // "1..5" used to lex as 1.0 with the "..5" silently dropped.
+    EXPECT_THROW(tokenize("x = 1..5"), FatalError);
+    EXPECT_THROW(tokenize("x = 1.2.3"), FatalError);
+}
+
+TEST(ParserHardening, TruncatedInputsAreFatalNotHangs)
+{
+    const char *cases[] = {
+        "do",
+        "do i",
+        "do i =",
+        "do i = 1,",
+        "do i = 1, 5",
+        "do i = 1, 5\n  a(i",
+        "do i = 1, 5\n  a(i) = ",
+        "do i = 1, 5\n  a(i) = b(",
+        "do i = 1, 5\n  x = 1\n",
+        "real a(",
+        "real a(n",
+        "param n",
+        "param n =",
+        "do i = 1, align(1, n\n",
+    };
+    for (const char *text : cases)
+        EXPECT_THROW(parseProgram(text), FatalError) << text;
+}
+
 } // namespace
 } // namespace ujam
