@@ -4,7 +4,8 @@
  *
  *     optimize_file [--machine alpha|parisc|wide] [--simulate]
  *                   [--report] [--interchange] [--prefetch]
- *                   [--fuse] [--distribute] [--max-unroll N] FILE
+ *                   [--fuse] [--distribute] [--max-unroll N]
+ *                   [--lint=off|warn|strict] FILE
  *
  * Reads the program, runs the optimizer on each nest, applies
  * unroll-and-jam plus scalar replacement, prints the transformed
@@ -17,10 +18,11 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/render.hh"
 #include "core/optimizer.hh"
 #include "driver/driver.hh"
 #include "ir/printer.hh"
-#include "ir/validation.hh"
+#include "ir/validate.hh"
 #include "report/report.hh"
 #include "support/diagnostics.hh"
 #include "parser/parser.hh"
@@ -35,7 +37,8 @@ usage()
     std::fprintf(stderr,
                  "usage: optimize_file [--machine alpha|parisc|wide] "
                  "[--simulate] [--report] [--interchange] [--prefetch] "
-                 "[--fuse] [--distribute] [--max-unroll N] FILE\n");
+                 "[--fuse] [--distribute] [--max-unroll N] "
+                 "[--lint=off|warn|strict] FILE\n");
 }
 
 } // namespace
@@ -53,6 +56,7 @@ main(int argc, char **argv)
     bool fuse = false;
     bool distribute = false;
     std::int64_t max_unroll = 4;
+    LintMode lint = LintMode::Off;
     const char *path = nullptr;
 
     for (int i = 1; i < argc; ++i) {
@@ -83,6 +87,18 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--max-unroll") == 0 &&
                    i + 1 < argc) {
             max_unroll = std::atoll(argv[++i]);
+        } else if (std::strncmp(argv[i], "--lint=", 7) == 0) {
+            std::string mode = argv[i] + 7;
+            if (mode == "off") {
+                lint = LintMode::Off;
+            } else if (mode == "warn") {
+                lint = LintMode::Warn;
+            } else if (mode == "strict") {
+                lint = LintMode::Strict;
+            } else {
+                usage();
+                return 2;
+            }
         } else if (argv[i][0] == '-') {
             usage();
             return 2;
@@ -104,7 +120,7 @@ main(int argc, char **argv)
     text << in.rdbuf();
 
     try {
-        Program program = parseProgram(text.str());
+        Program program = parseProgram(text.str(), path);
         std::vector<std::string> problems = validateProgram(program);
         if (!problems.empty()) {
             for (const std::string &problem : problems)
@@ -118,6 +134,8 @@ main(int argc, char **argv)
         config.prefetch = prefetch;
         config.fuse = fuse;
         config.distribute = distribute;
+        config.lint = lint;
+        config.lintOptions.maxUnroll = max_unroll;
 
         if (report) {
             for (const LoopNest &nest : program.nests()) {
@@ -130,6 +148,10 @@ main(int argc, char **argv)
 
         PipelineResult result =
             optimizeProgram(program, machine, config);
+        if (lint != LintMode::Off && !result.lint.diagnostics.empty()) {
+            std::fprintf(stderr, "%s",
+                         renderText(result.lint, text.str()).c_str());
+        }
         std::fprintf(stderr, "%s", result.summary().c_str());
         std::printf("%s", renderProgram(result.program).c_str());
 

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The analyzer entry point: run every rule over every nest.
+ *
+ * The linter is purely static -- it never executes the interpreter
+ * and never transforms the program -- so it is safe to run on inputs
+ * the pipeline would reject. A rule that itself aborts (e.g. the
+ * dependence tests overflow) is contained: the abort becomes an error
+ * finding under that rule's id and the remaining rules still run.
+ */
+
+#ifndef UJAM_ANALYSIS_LINTER_HH
+#define UJAM_ANALYSIS_LINTER_HH
+
+#include "analysis/rule.hh"
+
+namespace ujam
+{
+
+/**
+ * Analyze one program for a machine.
+ *
+ * @param program The program (left untouched).
+ * @param machine Target whose register file and balance the
+ *                model-oriented rules consult.
+ * @param options Analyzer knobs; findings below
+ *                options.minSeverity are dropped.
+ * @return All findings, most severe first; within a severity by nest,
+ *         source position and rule id.
+ */
+LintResult lintProgram(const Program &program, const MachineModel &machine,
+                       const LintOptions &options = {});
+
+} // namespace ujam
+
+#endif // UJAM_ANALYSIS_LINTER_HH

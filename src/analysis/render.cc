@@ -1,0 +1,219 @@
+#include "analysis/render.hh"
+
+#include <cstdio>
+
+#include "analysis/rule.hh"
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+/** JSON string escaping (quotes, backslash, control characters). */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+quoted(const std::string &text)
+{
+    return "\"" + jsonEscape(text) + "\"";
+}
+
+/** SARIF severity levels use "warning", ours prints the same. */
+const char *
+sarifLevel(LintSeverity severity)
+{
+    return lintSeverityName(severity);
+}
+
+} // namespace
+
+std::string
+sourceExcerpt(const std::string &source, const SourceLoc &loc)
+{
+    if (!loc.known())
+        return "";
+    // Walk to the 1-based target line.
+    std::size_t begin = 0;
+    for (int line = 1; line < loc.line; ++line) {
+        std::size_t next = source.find('\n', begin);
+        if (next == std::string::npos)
+            return "";
+        begin = next + 1;
+    }
+    std::size_t end = source.find('\n', begin);
+    if (end == std::string::npos)
+        end = source.size();
+    std::string text = source.substr(begin, end - begin);
+
+    // The caret column counts code points in the byte prefix: UTF-8
+    // continuation bytes (10xxxxxx) do not advance it.
+    std::size_t prefix_bytes =
+        std::min<std::size_t>(text.size(),
+                              loc.col > 0 ? loc.col - 1 : 0);
+    std::size_t caret_col = 0;
+    for (std::size_t i = 0; i < prefix_bytes; ++i) {
+        if ((static_cast<unsigned char>(text[i]) & 0xC0) != 0x80)
+            ++caret_col;
+    }
+    return "  " + text + "\n  " + std::string(caret_col, ' ') + "^\n";
+}
+
+std::string
+renderText(const LintResult &result, const std::string &source)
+{
+    std::string out;
+    for (const LintDiagnostic &diag : result.diagnostics) {
+        out += diag.toString(result.sourceName);
+        out += "\n";
+        if (!source.empty())
+            out += sourceExcerpt(source, diag.loc);
+        for (const std::string &note : diag.notes)
+            out += "    note: " + note + "\n";
+    }
+    out += result.summary();
+    out += "\n";
+    return out;
+}
+
+std::string
+renderJson(const LintResult &result)
+{
+    std::string out = "{\n  \"source\": " + quoted(result.sourceName) +
+                      ",\n  \"diagnostics\": [";
+    for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+        const LintDiagnostic &diag = result.diagnostics[i];
+        out += i ? ",\n    {" : "\n    {";
+        out += "\"rule\": " + quoted(diag.ruleId);
+        out += ", \"severity\": " +
+               quoted(lintSeverityName(diag.severity));
+        if (diag.loc.known()) {
+            out += concat(", \"line\": ", diag.loc.line,
+                          ", \"col\": ", diag.loc.col);
+        }
+        out += concat(", \"nest\": ", quoted(diag.nestName),
+                      ", \"nestIndex\": ", diag.nestIndex);
+        out += ", \"message\": " + quoted(diag.message);
+        out += "}";
+    }
+    out += result.diagnostics.empty() ? "],\n" : "\n  ],\n";
+    out += concat("  \"errors\": ", result.errorCount(),
+                  ",\n  \"warnings\": ", result.warnCount(),
+                  ",\n  \"notes\": ", result.noteCount(), "\n}\n");
+    return out;
+}
+
+namespace
+{
+
+std::string
+renderSarifRun(const LintResult &result)
+{
+    std::string out =
+        "    {\n"
+        "      \"tool\": {\n"
+        "        \"driver\": {\n"
+        "          \"name\": \"ujam-lint\",\n"
+        "          \"rules\": [";
+
+    const auto &rules = lintRules();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        out += i ? ",\n            {" : "\n            {";
+        out += "\"id\": " + quoted(rules[i]->id());
+        out += ", \"shortDescription\": {\"text\": " +
+               quoted(rules[i]->summary()) + "}";
+        out += ", \"defaultConfiguration\": {\"level\": " +
+               quoted(sarifLevel(rules[i]->defaultSeverity())) + "}";
+        out += "}";
+    }
+    out += "\n          ]\n"
+           "        }\n"
+           "      },\n"
+           "      \"results\": [";
+
+    for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+        const LintDiagnostic &diag = result.diagnostics[i];
+        out += i ? ",\n        {" : "\n        {";
+        out += "\"ruleId\": " + quoted(diag.ruleId);
+        out += ", \"level\": " + quoted(sarifLevel(diag.severity));
+        out += ", \"message\": {\"text\": " + quoted(diag.message) + "}";
+        out += ", \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": " +
+               quoted(result.sourceName) + "}";
+        if (diag.loc.known()) {
+            out += concat(", \"region\": {\"startLine\": ",
+                          diag.loc.line,
+                          ", \"startColumn\": ", diag.loc.col, "}");
+        }
+        out += "}}]";
+        out += ", \"properties\": {\"nestIndex\": " +
+               concat(diag.nestIndex) +
+               ", \"nest\": " + quoted(diag.nestName) + "}";
+        out += "}";
+    }
+    out += result.diagnostics.empty() ? "]\n" : "\n      ]\n";
+    out += "    }";
+    return out;
+}
+
+} // namespace
+
+std::string
+renderSarifRuns(const std::vector<LintResult> &results)
+{
+    std::string out =
+        "{\n"
+        "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        "  \"version\": \"2.1.0\",\n"
+        "  \"runs\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        out += renderSarifRun(results[i]);
+        out += i + 1 < results.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n"
+           "}\n";
+    return out;
+}
+
+std::string
+renderSarif(const LintResult &result)
+{
+    return renderSarifRuns({result});
+}
+
+} // namespace ujam

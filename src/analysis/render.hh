@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Finding renderers: human text, plain JSON, and SARIF 2.1.0.
+ *
+ * The text renderer optionally quotes the offending source line with
+ * a caret; the caret column counts code points, not bytes, so UTF-8
+ * text earlier on the line does not push it off target. The JSON and
+ * SARIF writers emit keys in a fixed order so their output is stable
+ * and golden-testable.
+ */
+
+#ifndef UJAM_ANALYSIS_RENDER_HH
+#define UJAM_ANALYSIS_RENDER_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hh"
+
+namespace ujam
+{
+
+/**
+ * @return The source line at loc plus a caret line under its column,
+ * both indented by two spaces (empty when loc is unknown or past the
+ * end of source). The column is interpreted as a 1-based *byte*
+ * offset (the lexer's convention); the caret lands under the
+ * corresponding code point.
+ */
+std::string sourceExcerpt(const std::string &source, const SourceLoc &loc);
+
+/**
+ * Render findings as compiler-style text, one per line, with the
+ * summary line last. When source is non-empty, each located finding
+ * quotes its line with a caret.
+ */
+std::string renderText(const LintResult &result,
+                       const std::string &source = "");
+
+/** Render findings as a stable single-object JSON document. */
+std::string renderJson(const LintResult &result);
+
+/**
+ * Render findings as a SARIF 2.1.0 log with the full rule catalog in
+ * the tool's driver. Findings with unknown locations omit the region.
+ */
+std::string renderSarif(const LintResult &result);
+
+/** Like renderSarif, with one run per analyzed input. */
+std::string renderSarifRuns(const std::vector<LintResult> &results);
+
+} // namespace ujam
+
+#endif // UJAM_ANALYSIS_RENDER_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The analyzer's rule interface.
+ *
+ * Each rule inspects one nest through a shared RuleContext and emits
+ * findings. The context builds its expensive artifacts (dependence
+ * graph, UGS partition, safe unroll bounds) lazily and caches them,
+ * so a nest pays for an analysis only when some rule asks for it.
+ */
+
+#ifndef UJAM_ANALYSIS_RULE_HH
+#define UJAM_ANALYSIS_RULE_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/diagnostic.hh"
+#include "deps/analyzer.hh"
+#include "model/machine.hh"
+#include "reuse/ugs.hh"
+
+namespace ujam
+{
+
+/**
+ * Everything a rule may inspect about the nest under analysis.
+ */
+class RuleContext
+{
+  public:
+    RuleContext(const Program &program, const LoopNest &nest,
+                std::size_t nest_index, const MachineModel &machine,
+                const LintOptions &options)
+        : program_(program), nest_(nest), nestIndex_(nest_index),
+          machine_(machine), options_(options)
+    {}
+
+    const Program &program() const { return program_; }
+    const LoopNest &nest() const { return nest_; }
+    std::size_t nestIndex() const { return nestIndex_; }
+    const MachineModel &machine() const { return machine_; }
+    const LintOptions &options() const { return options_; }
+
+    /** @return The nest's accesses (cached). */
+    const std::vector<Access> &accesses();
+
+    /**
+     * @return The dependence graph without input edges (the
+     * optimizer's view; cached). @throws FatalError when the
+     * subscript tests overflow -- the linter contains it.
+     */
+    const DependenceGraph &deps();
+
+    /** @return The UGS partition of the accesses (cached). */
+    const std::vector<UniformlyGeneratedSet> &ugs();
+
+    /** @return Per-loop safe unroll bounds at options().maxUnroll. */
+    const IntVector &safeBounds();
+
+    /** @return Evidence trail recorded while computing safeBounds(). */
+    const std::vector<UnrollConstraint> &constraints();
+
+    /**
+     * @return [lo, hi] per loop under the program's parameter
+     * defaults, or nothing when some bound does not evaluate.
+     */
+    const std::optional<std::vector<std::pair<std::int64_t,
+                                              std::int64_t>>> &
+    ranges();
+
+    /** Shorthand for building a finding against this nest. */
+    LintDiagnostic
+    finding(const char *rule_id, LintSeverity severity, SourceLoc loc,
+            std::string message) const;
+
+  private:
+    const Program &program_;
+    const LoopNest &nest_;
+    std::size_t nestIndex_;
+    const MachineModel &machine_;
+    const LintOptions &options_;
+
+    std::optional<std::vector<Access>> accesses_;
+    std::optional<DependenceGraph> deps_;
+    std::optional<std::vector<UniformlyGeneratedSet>> ugs_;
+    std::optional<IntVector> safeBounds_;
+    std::vector<UnrollConstraint> constraints_;
+    bool rangesComputed_ = false;
+    std::optional<std::vector<std::pair<std::int64_t, std::int64_t>>>
+        ranges_;
+};
+
+/**
+ * One analyzer rule. Implementations live in rules.cc and register
+ * through lintRules().
+ */
+class Rule
+{
+  public:
+    virtual ~Rule() = default;
+
+    /** @return The stable id, e.g. "UJ001". */
+    virtual const char *id() const = 0;
+
+    /** @return A one-line description for the SARIF rule catalog. */
+    virtual const char *summary() const = 0;
+
+    /** @return The severity this rule's findings default to. */
+    virtual LintSeverity defaultSeverity() const = 0;
+
+    /** Inspect one nest; append findings to out. */
+    virtual void check(RuleContext &ctx,
+                       std::vector<LintDiagnostic> &out) const = 0;
+};
+
+/** @return The full rule catalog, in id order. */
+const std::vector<std::unique_ptr<Rule>> &lintRules();
+
+} // namespace ujam
+
+#endif // UJAM_ANALYSIS_RULE_HH

@@ -1,0 +1,816 @@
+/**
+ * @file
+ * The rule catalog (UJ001..UJ014).
+ *
+ * Each rule predicts, without running a transform or the interpreter,
+ * a condition the pipeline would either trip over (error: the safety
+ * net would contain a fault and roll the nest back), model poorly
+ * (warning), or merely decline to optimize (note). The error rules
+ * mirror the exact guards of the transform/validator/oracle stack:
+ * UJ001 the unroll stage's perfect-nest assertion, UJ003/UJ004/UJ009
+ * the structural and reach validators, UJ010 the jam-order semantics
+ * the differential oracle checks.
+ */
+
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "analysis/rule.hh"
+#include "core/optimizer.hh"
+#include "ir/validate.hh"
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+/** Magnitude past which subscript arithmetic is overflow-prone. */
+constexpr std::int64_t kOverflowRisk = std::int64_t(1) << 31;
+
+SourceLoc
+nestLoc(const LoopNest &nest)
+{
+    return nest.depth() > 0 ? nest.loop(0).loc : SourceLoc{};
+}
+
+/**
+ * True when the statement is a scalar self-reduction: s = s + ...
+ * with the accumulator somewhere in a top-level chain of adds.
+ */
+bool
+isScalarReduction(const Stmt &stmt)
+{
+    if (stmt.isPrefetch() || stmt.lhsIsArray())
+        return false;
+    const std::string &name = stmt.lhsScalar();
+    std::function<bool(const ExprPtr &)> in_add_chain =
+        [&](const ExprPtr &expr) -> bool {
+        if (!expr)
+            return false;
+        if (expr->kind() == Expr::Kind::Scalar)
+            return expr->scalarName() == name;
+        if (expr->kind() == Expr::Kind::Binary &&
+            expr->op() == BinOp::Add) {
+            return in_add_chain(expr->lhs()) || in_add_chain(expr->rhs());
+        }
+        return false;
+    };
+    return in_add_chain(stmt.rhs());
+}
+
+// --- UJ001: non-perfect nest ----------------------------------------
+
+class PerfectNestRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ001"; }
+    const char *
+    summary() const override
+    {
+        return "preheader/postheader statements make the nest "
+               "non-perfect; the unroll stage refuses it";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Error;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        const LoopNest &nest = ctx.nest();
+        if (nest.preheader().empty() && nest.postheader().empty())
+            return;
+        const Stmt &first = nest.preheader().empty()
+                                ? nest.postheader().front()
+                                : nest.preheader().front();
+        SourceLoc loc = first.loc().known() ? first.loc() : nestLoc(nest);
+        out.push_back(ctx.finding(
+            id(), defaultSeverity(), loc,
+            concat("nest is not perfect: ", nest.preheader().size(),
+                   " preheader and ", nest.postheader().size(),
+                   " postheader statement(s); unroll-and-jam requires "
+                   "a perfect nest and the pipeline would contain a "
+                   "panic here")));
+    }
+};
+
+// --- UJ002: nest too shallow ----------------------------------------
+
+class ShallowNestRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ002"; }
+    const char *
+    summary() const override
+    {
+        return "nest of depth < 2 cannot be unrolled-and-jammed";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Note;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        if (ctx.nest().depth() >= 2)
+            return;
+        out.push_back(ctx.finding(
+            id(), defaultSeverity(), nestLoc(ctx.nest()),
+            concat("nest has depth ", ctx.nest().depth(),
+                   "; the innermost loop is never unrolled, so "
+                   "unroll-and-jam needs depth >= 2")));
+    }
+};
+
+// --- UJ003: undeclared array / rank / subscript depth ---------------
+
+class DeclarationsRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ003"; }
+    const char *
+    summary() const override
+    {
+        return "reference to an undeclared array, or with the wrong "
+               "rank or subscript depth";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Error;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        std::set<std::string> reported;
+        auto check_ref = [&](const ArrayRef &ref) {
+            if (!reported.insert(ref.array() + "#" + ref.toString())
+                     .second) {
+                return;
+            }
+            if (!ctx.program().hasArray(ref.array())) {
+                out.push_back(ctx.finding(
+                    id(), defaultSeverity(), ref.loc(),
+                    concat("reference to undeclared array '",
+                           ref.array(), "'")));
+                return;
+            }
+            const ArrayDecl &decl = ctx.program().array(ref.array());
+            if (decl.extents.size() != ref.dims()) {
+                out.push_back(ctx.finding(
+                    id(), defaultSeverity(), ref.loc(),
+                    concat("array '", ref.array(), "' has rank ",
+                           decl.extents.size(),
+                           " but is referenced with ", ref.dims(),
+                           " subscripts")));
+            }
+            if (ref.depth() != ctx.nest().depth()) {
+                out.push_back(ctx.finding(
+                    id(), defaultSeverity(), ref.loc(),
+                    concat("reference to '", ref.array(),
+                           "' has subscript depth ", ref.depth(),
+                           " in a depth-", ctx.nest().depth(),
+                           " nest")));
+            }
+        };
+        for (const Access &access : ctx.accesses())
+            check_ref(access.ref);
+        for (const Stmt &stmt : ctx.nest().preheader())
+            stmt.forEachAccess(
+                [&](const ArrayRef &ref, bool) { check_ref(ref); });
+        for (const Stmt &stmt : ctx.nest().postheader())
+            stmt.forEachAccess(
+                [&](const ArrayRef &ref, bool) { check_ref(ref); });
+    }
+};
+
+// --- UJ004: unevaluable bounds and extents --------------------------
+
+class EvaluableBoundsRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ004"; }
+    const char *
+    summary() const override
+    {
+        return "loop bound or array extent does not evaluate under "
+               "the program's parameter defaults";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Error;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        for (const Loop &loop : ctx.nest().loops()) {
+            for (const Bound *bound : {&loop.lower, &loop.upper}) {
+                try {
+                    bound->evaluate(ctx.program().paramDefaults());
+                } catch (const FatalError &err) {
+                    out.push_back(ctx.finding(
+                        id(), defaultSeverity(), loop.loc,
+                        concat("bound of loop '", loop.iv,
+                               "' does not evaluate: ", err.what())));
+                }
+            }
+        }
+        std::set<std::string> seen;
+        for (const Access &access : ctx.accesses()) {
+            const std::string &name = access.ref.array();
+            if (!ctx.program().hasArray(name) || !seen.insert(name).second)
+                continue;
+            for (const Bound &extent :
+                 ctx.program().array(name).extents) {
+                try {
+                    extent.evaluate(ctx.program().paramDefaults());
+                } catch (const FatalError &err) {
+                    out.push_back(ctx.finding(
+                        id(), defaultSeverity(), access.ref.loc(),
+                        concat("extent of array '", name,
+                               "' does not evaluate: ", err.what())));
+                }
+            }
+        }
+    }
+};
+
+// --- UJ005: non-rectangular nest ------------------------------------
+
+class RectangularBoundsRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ005"; }
+    const char *
+    summary() const override
+    {
+        return "loop bound references an induction variable "
+               "(non-rectangular nest)";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Error;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        std::set<std::string> ivs;
+        for (const Loop &loop : ctx.nest().loops())
+            ivs.insert(loop.iv);
+        for (const Loop &loop : ctx.nest().loops()) {
+            std::vector<std::string> names;
+            loop.lower.collectParamNames(names);
+            loop.upper.collectParamNames(names);
+            std::set<std::string> flagged;
+            for (const std::string &name : names) {
+                if (ivs.count(name) && flagged.insert(name).second) {
+                    out.push_back(ctx.finding(
+                        id(), defaultSeverity(), loop.loc,
+                        concat("bound of loop '", loop.iv,
+                               "' references induction variable '",
+                               name,
+                               "'; the iteration space must be "
+                               "rectangular")));
+                }
+            }
+        }
+    }
+};
+
+// --- UJ006: zero-trip loops -----------------------------------------
+
+class ZeroTripRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ006"; }
+    const char *
+    summary() const override
+    {
+        return "loop has no iterations under the parameter defaults";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Warn;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        const auto &ranges = ctx.ranges();
+        if (!ranges)
+            return;
+        for (std::size_t k = 0; k < ctx.nest().depth(); ++k) {
+            auto [lo, hi] = (*ranges)[k];
+            if (hi < lo) {
+                out.push_back(ctx.finding(
+                    id(), defaultSeverity(), ctx.nest().loop(k).loc,
+                    concat("loop '", ctx.nest().loop(k).iv,
+                           "' runs from ", lo, " to ", hi,
+                           ": zero iterations under the parameter "
+                           "defaults, so the balance model is "
+                           "meaningless for this nest")));
+            }
+        }
+    }
+};
+
+// --- UJ007: overflow-prone magnitudes -------------------------------
+
+class OverflowRiskRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ007"; }
+    const char *
+    summary() const override
+    {
+        return "bound or extent magnitude risks 64-bit overflow in "
+               "subscript arithmetic";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Warn;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        const auto &ranges = ctx.ranges();
+        if (!ranges)
+            return;
+        for (std::size_t k = 0; k < ctx.nest().depth(); ++k) {
+            auto [lo, hi] = (*ranges)[k];
+            if (std::abs(lo) > kOverflowRisk ||
+                std::abs(hi) > kOverflowRisk) {
+                out.push_back(ctx.finding(
+                    id(), defaultSeverity(), ctx.nest().loop(k).loc,
+                    concat("loop '", ctx.nest().loop(k).iv,
+                           "' spans [", lo, ", ", hi,
+                           "]; magnitudes past 2^31 risk overflow in "
+                           "the dependence tests' 64-bit subscript "
+                           "arithmetic")));
+            }
+        }
+    }
+};
+
+// --- UJ008: coupled (non-SIV) subscripts ----------------------------
+
+class SivSeparableRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ008"; }
+    const char *
+    summary() const override
+    {
+        return "coupled subscripts are outside the SIV-separable "
+               "model; the unroll tables degrade";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Warn;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        std::set<std::string> reported;
+        for (const Access &access : ctx.accesses()) {
+            const ArrayRef &ref = access.ref;
+            if (ref.depth() != ctx.nest().depth())
+                continue; // UJ003 territory
+            if (ref.isSivSeparable())
+                continue;
+            if (!reported.insert(ref.array() + "#" + ref.toString())
+                     .second) {
+                continue;
+            }
+            out.push_back(ctx.finding(
+                id(), defaultSeverity(), ref.loc(),
+                concat("reference ", ref.toString(ctx.nest().ivNames()),
+                       " has coupled subscripts (not SIV separable); "
+                       "the reuse model cannot rank this nest and the "
+                       "optimizer will leave it untransformed")));
+        }
+    }
+};
+
+// --- UJ009: subscript reach -----------------------------------------
+
+class ReachRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ009"; }
+    const char *
+    summary() const override
+    {
+        return "reference reaches outside the declared extent plus "
+               "the interpreter's halo";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Error;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        const auto &ranges = ctx.ranges();
+        if (!ranges)
+            return;
+        for (const auto &[lo, hi] : *ranges) {
+            if (hi < lo)
+                return; // zero-trip: nothing is accessed (UJ006)
+        }
+        std::set<std::string> reported;
+        for (const Access &access : ctx.accesses())
+            checkRef(ctx, access.ref, *ranges, reported, out);
+    }
+
+  private:
+    void
+    checkRef(RuleContext &ctx, const ArrayRef &ref,
+             const std::vector<std::pair<std::int64_t, std::int64_t>>
+                 &ranges,
+             std::set<std::string> &reported,
+             std::vector<LintDiagnostic> &out) const
+    {
+        const Program &program = ctx.program();
+        if (!program.hasArray(ref.array()))
+            return;
+        const ArrayDecl &decl = program.array(ref.array());
+        if (decl.extents.size() != ref.dims() ||
+            ref.depth() != ctx.nest().depth()) {
+            return; // UJ003 territory
+        }
+        if (!reported.insert(ref.array() + "#" + ref.toString()).second)
+            return;
+        for (std::size_t d = 0; d < ref.dims(); ++d) {
+            std::int64_t extent;
+            try {
+                extent =
+                    decl.extents[d].evaluate(program.paramDefaults());
+            } catch (const FatalError &) {
+                return; // UJ004 territory
+            }
+            std::int64_t min = ref.offset()[d];
+            std::int64_t max = ref.offset()[d];
+            for (std::size_t k = 0; k < ctx.nest().depth(); ++k) {
+                std::int64_t coeff = ref.row(d)[k];
+                min += coeff * (coeff >= 0 ? ranges[k].first
+                                           : ranges[k].second);
+                max += coeff * (coeff >= 0 ? ranges[k].second
+                                           : ranges[k].first);
+            }
+            std::int64_t halo = ctx.options().haloElems;
+            if (min < 1 - halo || max > extent + halo) {
+                out.push_back(ctx.finding(
+                    id(), defaultSeverity(), ref.loc(),
+                    concat("reference ",
+                           ref.toString(ctx.nest().ivNames()),
+                           " dimension ", d + 1, " spans [", min, ", ",
+                           max, "] outside extent ", extent,
+                           " + halo ", halo,
+                           "; the strict validator would reject every "
+                           "transformed version of this nest")));
+                return;
+            }
+        }
+    }
+};
+
+// --- UJ010: loop-carried scalars ------------------------------------
+
+class CarriedScalarRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ010"; }
+    const char *
+    summary() const override
+    {
+        return "loop-carried scalar dependence is invisible to the "
+               "dependence graph and breaks jamming";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Error;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        const std::vector<Stmt> &body = ctx.nest().body();
+
+        std::map<std::string, std::size_t> first_write;
+        for (std::size_t s = 0; s < body.size(); ++s) {
+            if (!body[s].isPrefetch() && !body[s].lhsIsArray())
+                first_write.try_emplace(body[s].lhsScalar(), s);
+        }
+
+        std::set<std::string> flagged;
+        for (std::size_t s = 0; s < body.size(); ++s) {
+            if (body[s].isPrefetch())
+                continue;
+            forEachScalarRead(body[s].rhs(), [&](const std::string &name) {
+                auto it = first_write.find(name);
+                if (it == first_write.end() || s > it->second)
+                    return; // not written, or read after the write
+                if (!flagged.insert(name).second)
+                    return;
+                if (s == it->second && isScalarReduction(body[s])) {
+                    out.push_back(ctx.finding(
+                        id(), LintSeverity::Note, body[s].loc(),
+                        concat("scalar reduction on '", name,
+                               "' is reassociated by unroll-and-jam "
+                               "(numerically tolerated, checked at "
+                               "relative tolerance by the oracle)")));
+                    return;
+                }
+                out.push_back(ctx.finding(
+                    id(), defaultSeverity(), body[s].loc(),
+                    concat("scalar '", name,
+                           "' is read at or before its first write in "
+                           "the body: the loop-carried value is "
+                           "invisible to the dependence graph, and "
+                           "jamming unrolled copies would read the "
+                           "wrong iteration's value")));
+            });
+        }
+    }
+};
+
+// --- UJ011: dependence-blocked unrolling ----------------------------
+
+class BlockedUnrollRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ011"; }
+    const char *
+    summary() const override
+    {
+        return "dependence edge caps or forbids unrolling a loop "
+               "(explanation of rejected candidates)";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Note;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        const LoopNest &nest = ctx.nest();
+        if (nest.depth() < 2)
+            return; // UJ002 territory
+        const IntVector &bounds = ctx.safeBounds();
+
+        // One note per restricted level, carrying the tightest edge.
+        for (std::size_t level = 0; level + 1 < nest.depth(); ++level) {
+            if (bounds[level] >= ctx.options().maxUnroll)
+                continue;
+            const UnrollConstraint *tightest = nullptr;
+            for (const UnrollConstraint &c : ctx.constraints()) {
+                if (c.level != level)
+                    continue;
+                if (!tightest || c.limit < tightest->limit ||
+                    (c.outerCarrier && !tightest->outerCarrier)) {
+                    tightest = &c;
+                }
+            }
+            if (!tightest)
+                continue;
+            out.push_back(describe(ctx, level, *tightest,
+                                   bounds[level]));
+        }
+    }
+
+  private:
+    LintDiagnostic
+    describe(RuleContext &ctx, std::size_t level,
+             const UnrollConstraint &constraint,
+             std::int64_t bound) const
+    {
+        const LoopNest &nest = ctx.nest();
+        const Dependence &edge =
+            ctx.deps().edges()[constraint.edgeIndex];
+        const std::vector<Access> &accesses = ctx.accesses();
+        const ArrayRef &src = accesses[edge.src].ref;
+        const ArrayRef &dst = accesses[edge.dst].ref;
+        std::vector<std::string> ivs = nest.ivNames();
+
+        std::string dirs = "(";
+        for (std::size_t k = 0; k < edge.dirs.size(); ++k) {
+            if (k)
+                dirs += ",";
+            dirs += depDirSymbol(edge.dirs[k]);
+        }
+        dirs += ")";
+
+        std::string reason;
+        if (constraint.outerCarrier) {
+            reason = "an outer loop can carry the pair while this "
+                     "level points backward, and the fringe nest "
+                     "would run too late (fringe-hoist hazard)";
+        } else if (bound == 0) {
+            reason = "jamming any amount would reverse it in an "
+                     "inner loop";
+        } else {
+            reason = concat("its carried distance limits the unroll "
+                            "amount to ", bound);
+        }
+        LintDiagnostic diag = ctx.finding(
+            id(), defaultSeverity(), src.loc(),
+            concat("loop '", nest.loop(level).iv, "' is ",
+                   bound == 0 ? std::string("not unrollable")
+                              : concat("unrollable only up to ", bound),
+                   ": the ", depKindName(edge.kind), " dependence ",
+                   src.toString(ivs), " -> ", dst.toString(ivs), " ",
+                   dirs, " means ", reason));
+        return diag;
+    }
+};
+
+// --- UJ012: writes across uniformly generated sets ------------------
+
+class ForeignWriteRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ012"; }
+    const char *
+    summary() const override
+    {
+        return "a written array is referenced under several subscript "
+               "matrices; cross-set flow is outside the UGS model";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Warn;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        // Count sets and find a written set per array.
+        std::map<std::string, std::size_t> sets_of;
+        for (const UniformlyGeneratedSet &set : ctx.ugs())
+            ++sets_of[set.array];
+
+        std::set<std::string> flagged;
+        for (const Access &access : ctx.accesses()) {
+            if (!access.isWrite)
+                continue;
+            auto it = sets_of.find(access.ref.array());
+            if (it == sets_of.end() || it->second < 2)
+                continue;
+            if (!flagged.insert(access.ref.array()).second)
+                continue;
+            out.push_back(ctx.finding(
+                id(), defaultSeverity(), access.ref.loc(),
+                concat("array '", access.ref.array(),
+                       "' is written while its references fall into ",
+                       it->second,
+                       " uniformly generated sets; flow between sets "
+                       "is invisible to the RRS/register tables, so "
+                       "the predicted balance may be off")));
+        }
+    }
+};
+
+// --- UJ013: induction-variable misuse in statements -----------------
+
+class IvMisuseRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ013"; }
+    const char *
+    summary() const override
+    {
+        return "statement assigns or reads a scalar named like an "
+               "induction variable";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Error;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        std::set<std::string> ivs;
+        for (const Loop &loop : ctx.nest().loops())
+            ivs.insert(loop.iv);
+        auto scan = [&](const std::vector<Stmt> &stmts,
+                        const char *where) {
+            for (const Stmt &stmt : stmts) {
+                if (stmt.isPrefetch())
+                    continue;
+                if (!stmt.lhsIsArray() && ivs.count(stmt.lhsScalar())) {
+                    out.push_back(ctx.finding(
+                        id(), defaultSeverity(), stmt.loc(),
+                        concat(where, ": assignment to scalar '",
+                               stmt.lhsScalar(),
+                               "' shadows an induction variable")));
+                }
+                forEachScalarRead(
+                    stmt.rhs(), [&](const std::string &name) {
+                        if (!ivs.count(name))
+                            return;
+                        out.push_back(ctx.finding(
+                            id(), defaultSeverity(), stmt.loc(),
+                            concat(where, ": scalar read of '", name,
+                                   "' names an induction variable "
+                                   "(it reads 0.0, not the loop "
+                                   "counter)")));
+                    });
+            }
+        };
+        scan(ctx.nest().body(), "body");
+        scan(ctx.nest().preheader(), "preheader");
+        scan(ctx.nest().postheader(), "postheader");
+    }
+};
+
+// --- UJ014: register-pressure-limited unrolling ---------------------
+
+class RegisterPressureRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ014"; }
+    const char *
+    summary() const override
+    {
+        return "the model-optimal unroll overflows the register file "
+               "and is floor-divided by the search";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Note;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        const LoopNest &nest = ctx.nest();
+        if (nest.depth() < 2 || !nest.allRefsAnalyzable())
+            return;
+        OptimizerConfig config;
+        config.maxUnroll = ctx.options().maxUnroll;
+        config.threads = 1; // lint stays single-threaded per nest
+
+        config.limitRegisters = false;
+        UnrollDecision unlimited =
+            chooseUnrollAmounts(nest, ctx.machine(), config);
+        if (!unlimited.transforms() ||
+            unlimited.registers <= ctx.machine().fpRegisters) {
+            return;
+        }
+        config.limitRegisters = true;
+        UnrollDecision limited =
+            chooseUnrollAmounts(nest, ctx.machine(), config);
+        if (limited.unroll == unlimited.unroll)
+            return;
+        out.push_back(ctx.finding(
+            id(), defaultSeverity(), nestLoc(nest),
+            concat("the balance-optimal unroll ",
+                   unlimited.unroll.toString(), " needs ",
+                   unlimited.registers, " registers but the machine "
+                   "has ", ctx.machine().fpRegisters,
+                   "; the search settles for ",
+                   limited.unroll.toString(), " (", limited.registers,
+                   " registers)")));
+    }
+};
+
+} // namespace
+
+const std::vector<std::unique_ptr<Rule>> &
+lintRules()
+{
+    static const std::vector<std::unique_ptr<Rule>> rules = [] {
+        std::vector<std::unique_ptr<Rule>> list;
+        list.push_back(std::make_unique<PerfectNestRule>());
+        list.push_back(std::make_unique<ShallowNestRule>());
+        list.push_back(std::make_unique<DeclarationsRule>());
+        list.push_back(std::make_unique<EvaluableBoundsRule>());
+        list.push_back(std::make_unique<RectangularBoundsRule>());
+        list.push_back(std::make_unique<ZeroTripRule>());
+        list.push_back(std::make_unique<OverflowRiskRule>());
+        list.push_back(std::make_unique<SivSeparableRule>());
+        list.push_back(std::make_unique<ReachRule>());
+        list.push_back(std::make_unique<CarriedScalarRule>());
+        list.push_back(std::make_unique<BlockedUnrollRule>());
+        list.push_back(std::make_unique<ForeignWriteRule>());
+        list.push_back(std::make_unique<IvMisuseRule>());
+        list.push_back(std::make_unique<RegisterPressureRule>());
+        return list;
+    }();
+    return rules;
+}
+
+} // namespace ujam

@@ -178,7 +178,8 @@ analyzeDependences(const LoopNest &nest, const DepOptions &options)
 
 IntVector
 safeUnrollBounds(const LoopNest &nest, const DependenceGraph &graph,
-                 std::int64_t cap)
+                 std::int64_t cap,
+                 std::vector<UnrollConstraint> *constraints)
 {
     const std::size_t depth = nest.depth();
     IntVector bounds(depth);
@@ -187,7 +188,8 @@ safeUnrollBounds(const LoopNest &nest, const DependenceGraph &graph,
     if (depth > 0)
         bounds[depth - 1] = 0; // the innermost loop is never unrolled
 
-    for (const Dependence &edge : graph.edges()) {
+    for (std::size_t e = 0; e < graph.edges().size(); ++e) {
+        const Dependence &edge = graph.edges()[e];
         // Reordering two reads is always legal; reduction self-cycles
         // may be reassociated.
         if (edge.reduction || edge.kind == DepKind::Input)
@@ -233,6 +235,8 @@ safeUnrollBounds(const LoopNest &nest, const DependenceGraph &graph,
                     (effective(level) == DepDir::Gt ||
                      effective(level) == DepDir::Star)) {
                     bounds[level] = 0;
+                    if (constraints)
+                        constraints->push_back({level, e, 0, true});
                     continue;
                 }
 
@@ -262,11 +266,20 @@ safeUnrollBounds(const LoopNest &nest, const DependenceGraph &graph,
                 if (effective(level) == DepDir::Lt && edge.hasDistance)
                     limit = std::max<std::int64_t>(
                         0, std::abs(edge.distance[level]) - 1);
+                if (constraints && limit < cap)
+                    constraints->push_back({level, e, limit, false});
                 bounds[level] = std::min(bounds[level], limit);
             }
         }
     }
     return bounds;
+}
+
+IntVector
+safeUnrollBounds(const LoopNest &nest, const DependenceGraph &graph,
+                 std::int64_t cap)
+{
+    return safeUnrollBounds(nest, graph, cap, nullptr);
 }
 
 } // namespace ujam

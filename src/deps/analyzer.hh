@@ -38,6 +38,20 @@ DependenceGraph analyzeDependences(const LoopNest &nest,
                                    const DepOptions &options = {});
 
 /**
+ * One reason a loop's unroll-and-jam amount is restricted: the edge
+ * (by index into the graph) that imposed a limit at a level, and
+ * whether it was the outer-carrier fringe-hoist hazard (which forbids
+ * any unrolling of that level) or an ordinary jam-direction limit.
+ */
+struct UnrollConstraint
+{
+    std::size_t level = 0;    //!< the restricted loop, outermost-first
+    std::size_t edgeIndex = 0; //!< offending edge in graph.edges()
+    std::int64_t limit = 0;   //!< amount the edge allows at this level
+    bool outerCarrier = false; //!< fringe-hoist hazard (limit is 0)
+};
+
+/**
  * Compute, per loop, the largest unroll-and-jam amount the
  * dependence graph allows (capped).
  *
@@ -57,8 +71,16 @@ DependenceGraph analyzeDependences(const LoopNest &nest,
  * @param graph Its dependence graph.
  * @param cap   Upper bound for every entry (the optimizer's search
  *              bound).
+ * @param constraints When non-null, receives one entry per
+ *              edge-imposed restriction tighter than the cap (the
+ *              static analyzer's evidence trail).
  * @return Per-loop maximum safe unroll; the innermost entry is 0.
  */
+IntVector safeUnrollBounds(const LoopNest &nest,
+                           const DependenceGraph &graph, std::int64_t cap,
+                           std::vector<UnrollConstraint> *constraints);
+
+/** Overload without the evidence trail. */
 IntVector safeUnrollBounds(const LoopNest &nest,
                            const DependenceGraph &graph, std::int64_t cap);
 

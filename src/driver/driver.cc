@@ -19,6 +19,20 @@ namespace ujam
 {
 
 const char *
+lintModeName(LintMode mode)
+{
+    switch (mode) {
+      case LintMode::Off:
+        return "off";
+      case LintMode::Warn:
+        return "warn";
+      case LintMode::Strict:
+        return "strict";
+    }
+    return "?";
+}
+
+const char *
 stageName(Stage stage)
 {
     switch (stage) {
@@ -215,11 +229,15 @@ std::string
 PipelineResult::summary() const
 {
     std::ostringstream os;
+    if (!lint.sourceName.empty() && !lint.diagnostics.empty())
+        os << "lint: " << lint.summary() << "\n";
     for (const StageDiagnostic &diag : programDiagnostics)
         os << "<program>     ! contained " << diag.toString() << "\n";
     for (const NestOutcome &outcome : outcomes) {
         os << padRight(outcome.name.empty() ? "<unnamed>" : outcome.name,
                        12);
+        if (outcome.lintSkipped)
+            os << " lint-skipped";
         if (outcome.normalized)
             os << " normalized";
         if (outcome.pieces > 1)
@@ -278,6 +296,21 @@ optimizeProgram(const Program &program, const MachineModel &machine,
     result.program = staged;
     result.program.nests().clear();
 
+    // Static analysis runs on the staged (post-fusion) program so its
+    // nest indices line up with the outcomes below. In strict mode a
+    // nest with an error finding is never handed to the stages at
+    // all: the analyzer predicted the safety net would have to roll
+    // it back, so it keeps its input form outright.
+    std::vector<bool> lint_skip(staged.nests().size(), false);
+    if (config.lint != LintMode::Off) {
+        result.lint =
+            lintProgram(staged, machine, config.lintOptions);
+        if (config.lint == LintMode::Strict) {
+            for (std::size_t n = 0; n < staged.nests().size(); ++n)
+                lint_skip[n] = result.lint.nestHasErrors(n);
+        }
+    }
+
     LocalityParams locality = config.optimizer.locality;
     locality.cacheLineElems = machine.lineElems();
 
@@ -297,6 +330,14 @@ optimizeProgram(const Program &program, const MachineModel &machine,
         NestSlot &slot = slots[index];
         NestOutcome &outcome = slot.outcome;
         outcome.name = original.name();
+
+        if (lint_skip[index]) {
+            outcome.lintSkipped = true;
+            outcome.decision.unroll = IntVector(original.depth());
+            outcome.decision.safetyBounds = IntVector(original.depth());
+            slot.transformed = {original};
+            return;
+        }
 
         // The nest's working state: the list of nests it currently
         // expands to. Each guarded stage either advances it or leaves

@@ -30,12 +30,32 @@
 #ifndef UJAM_DRIVER_DRIVER_HH
 #define UJAM_DRIVER_DRIVER_HH
 
+#include "analysis/linter.hh"
 #include "core/optimizer.hh"
 #include "support/fault_injection.hh"
 #include "transform/prefetch_insertion.hh"
 
 namespace ujam
 {
+
+/**
+ * How the static analyzer participates in the pipeline.
+ *
+ * Warn runs the analyzer and reports its findings alongside the
+ * result. Strict additionally refuses to transform any nest with an
+ * error finding: the nest is passed through untouched (and marked
+ * lintSkipped), so no stage -- and no safety-net rollback -- ever
+ * runs on a nest the analyzer can prove troublesome.
+ */
+enum class LintMode
+{
+    Off,
+    Warn,
+    Strict
+};
+
+/** @return "off", "warn" or "strict". */
+const char *lintModeName(LintMode mode);
 
 /** The pipeline stages, in execution order. */
 enum class Stage
@@ -115,6 +135,8 @@ struct PipelineConfig
     bool prefetch = false;       //!< insert prefetch statements
     PrefetchConfig prefetchConfig; //!< distance etc.
     SafetyConfig safety;         //!< validator/oracle/containment knobs
+    LintMode lint = LintMode::Off; //!< static analysis before stages
+    LintOptions lintOptions;     //!< analyzer knobs when lint != Off
     /**
      * Worker threads for the per-nest fan-out: 0 = one per core
      * (the shared pool), 1 = serial. Nests are optimized into
@@ -137,6 +159,8 @@ struct NestOutcome
     std::size_t prefetches = 0;     //!< inserted per body
     /** Faults contained while optimizing this nest, in stage order. */
     std::vector<StageDiagnostic> contained;
+    /** True when strict lint refused to transform this nest. */
+    bool lintSkipped = false;
 };
 
 /** The optimized program plus the per-nest log. */
@@ -147,6 +171,8 @@ struct PipelineResult
     std::size_t fusions = 0;           //!< adjacent nests merged
     /** Faults contained in program-level stages (fusion). */
     std::vector<StageDiagnostic> programDiagnostics;
+    /** Analyzer findings (empty sourceName when lint was Off). */
+    LintResult lint;
 
     /** @return Total contained faults, program- and nest-level. */
     std::size_t containedFaults() const;

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * ujam-lint: run the static analyzer over DSL files.
+ *
+ *     ujam-lint [--format=text|json|sarif]
+ *               [--machine alpha|parisc|wide] [--max-unroll N]
+ *               [--min-severity=note|warn|error] [--suite]
+ *               [FILE...]
+ *
+ * Each FILE is parsed and analyzed; --suite additionally analyzes
+ * every built-in evaluation-suite workload. Text output quotes the
+ * offending source lines; json emits one document per input (an array
+ * when there are several); sarif emits one 2.1.0 log with one run per
+ * input.
+ *
+ * Exit status: 0 clean (or warnings/notes only), 1 when any error
+ * finding was reported, 2 on usage, I/O or parse errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/linter.hh"
+#include "analysis/render.hh"
+#include "parser/parser.hh"
+#include "support/diagnostics.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+enum class Format
+{
+    Text,
+    Json,
+    Sarif
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ujam-lint [--format=text|json|sarif] "
+        "[--machine alpha|parisc|wide] [--max-unroll N] "
+        "[--min-severity=note|warn|error] [--suite] [FILE...]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ujam;
+
+    MachineModel machine = MachineModel::decAlpha21064();
+    Format format = Format::Text;
+    LintOptions options;
+    bool lint_suite = false;
+    std::vector<const char *> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--format=", 9) == 0) {
+            std::string name = arg + 9;
+            if (name == "text") {
+                format = Format::Text;
+            } else if (name == "json") {
+                format = Format::Json;
+            } else if (name == "sarif") {
+                format = Format::Sarif;
+            } else {
+                usage();
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--machine") == 0 && i + 1 < argc) {
+            std::string name = argv[++i];
+            if (name == "alpha") {
+                machine = MachineModel::decAlpha21064();
+            } else if (name == "parisc") {
+                machine = MachineModel::hpPa7100();
+            } else if (name == "wide") {
+                machine = MachineModel::wideIlp();
+            } else {
+                usage();
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--max-unroll") == 0 &&
+                   i + 1 < argc) {
+            options.maxUnroll = std::atoll(argv[++i]);
+        } else if (std::strncmp(arg, "--min-severity=", 15) == 0) {
+            std::string name = arg + 15;
+            if (name == "note") {
+                options.minSeverity = LintSeverity::Note;
+            } else if (name == "warn") {
+                options.minSeverity = LintSeverity::Warn;
+            } else if (name == "error") {
+                options.minSeverity = LintSeverity::Error;
+            } else {
+                usage();
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--suite") == 0) {
+            lint_suite = true;
+        } else if (arg[0] == '-') {
+            usage();
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty() && !lint_suite) {
+        usage();
+        return 2;
+    }
+
+    // (source text, lint result) per analyzed input.
+    std::vector<std::pair<std::string, LintResult>> runs;
+
+    try {
+        for (const char *path : paths) {
+            std::ifstream in(path);
+            if (!in) {
+                std::fprintf(stderr, "ujam-lint: cannot open '%s'\n",
+                             path);
+                return 2;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            Program program = parseProgram(text.str(), path);
+            runs.emplace_back(text.str(),
+                              lintProgram(program, machine, options));
+        }
+        if (lint_suite) {
+            for (const SuiteLoop &loop : testSuite()) {
+                Program program =
+                    parseProgram(loop.source, "suite:" + loop.name);
+                runs.emplace_back(
+                    loop.source, lintProgram(program, machine, options));
+            }
+        }
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+        return 2;
+    }
+
+    bool any_errors = false;
+    for (const auto &[source, result] : runs)
+        any_errors |= result.errorCount() > 0;
+
+    switch (format) {
+      case Format::Text:
+        for (const auto &[source, result] : runs)
+            std::printf("%s", renderText(result, source).c_str());
+        break;
+      case Format::Json:
+        if (runs.size() == 1) {
+            std::printf("%s", renderJson(runs.front().second).c_str());
+        } else {
+            std::printf("[\n");
+            for (std::size_t i = 0; i < runs.size(); ++i) {
+                std::printf("%s%s", renderJson(runs[i].second).c_str(),
+                            i + 1 < runs.size() ? ",\n" : "");
+            }
+            std::printf("]\n");
+        }
+        break;
+      case Format::Sarif: {
+        std::vector<LintResult> results;
+        for (auto &[source, result] : runs)
+            results.push_back(std::move(result));
+        std::printf("%s", renderSarifRuns(results).c_str());
+        break;
+      }
+    }
+    return any_errors ? 1 : 0;
+}

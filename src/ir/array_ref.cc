@@ -93,7 +93,9 @@ ArrayRef::shifted(const IntVector &shift) const
             dot = checkedAdd(dot, checkedMul(rows_[d][k], shift[k]));
         new_offset[d] = checkedAdd(new_offset[d], dot);
     }
-    return ArrayRef(array_, rows_, new_offset);
+    ArrayRef result(array_, rows_, new_offset);
+    result.loc_ = loc_; // an unroll copy still points at its source
+    return result;
 }
 
 int

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "ir/source_loc.hh"
 #include "linalg/int_vector.hh"
 #include "linalg/rat_matrix.hh"
 
@@ -103,7 +104,21 @@ class ArrayRef
      */
     std::pair<int, std::int64_t> termForLoop(std::size_t k) const;
 
-    bool operator==(const ArrayRef &other) const = default;
+    /**
+     * Structural equality: array, H and c. The source location is
+     * deliberately ignored -- two textually distinct references to
+     * the same element are the same reference to every analysis.
+     */
+    bool
+    operator==(const ArrayRef &other) const
+    {
+        return array_ == other.array_ && rows_ == other.rows_ &&
+               offset_ == other.offset_;
+    }
+
+    /** @return The reference's source position (unknown if built). */
+    const SourceLoc &loc() const { return loc_; }
+    void setLoc(SourceLoc loc) { loc_ = loc; }
 
     /** @return "a(i+1, j)"-style rendering given loop variable names. */
     std::string toString(const std::vector<std::string> &ivs) const;
@@ -115,6 +130,7 @@ class ArrayRef
     std::string array_;
     std::vector<IntVector> rows_;
     IntVector offset_;
+    SourceLoc loc_;
 };
 
 } // namespace ujam

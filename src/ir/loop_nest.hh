@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "ir/bound.hh"
+#include "ir/source_loc.hh"
 #include "ir/stmt.hh"
 
 namespace ujam
@@ -37,6 +38,7 @@ struct Loop
     Bound lower;           //!< first value
     Bound upper;           //!< last value (inclusive)
     std::int64_t step = 1; //!< increment; always positive
+    SourceLoc loc;         //!< the 'do' keyword's source position
 
     /** @return Trip count for concrete parameter bindings (>= 0). */
     std::int64_t tripCount(const ParamBindings &params) const;
@@ -156,10 +158,18 @@ class Program
     const std::vector<LoopNest> &nests() const { return nests_; }
     std::vector<LoopNest> &nests() { return nests_; }
 
+    /**
+     * Name of the source this program was parsed from (a file path or
+     * "<input>"); purely informational, used by diagnostics.
+     */
+    const std::string &sourceName() const { return source_name_; }
+    void setSourceName(std::string name) { source_name_ = std::move(name); }
+
   private:
     std::vector<ArrayDecl> arrays_;
     ParamBindings param_defaults_;
     std::vector<LoopNest> nests_;
+    std::string source_name_ = "<input>";
 };
 
 } // namespace ujam

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Source positions for IR nodes.
+ *
+ * The parser stamps every loop, statement and array reference with
+ * the line and column it came from so that diagnostics -- parse
+ * errors and ujam-lint findings alike -- can point at real source
+ * text. Programs built programmatically (the synthetic corpus, the
+ * transform outputs) carry the default unknown location; consumers
+ * must treat line 0 as "no source position available".
+ */
+
+#ifndef UJAM_IR_SOURCE_LOC_HH
+#define UJAM_IR_SOURCE_LOC_HH
+
+#include <string>
+
+namespace ujam
+{
+
+/**
+ * A position in DSL source: 1-based line and byte column.
+ */
+struct SourceLoc
+{
+    int line = 0; //!< 1-based source line; 0 = unknown/synthesized
+    int col = 0;  //!< 1-based byte column within the line
+
+    /** @return True iff the location points at real source. */
+    bool known() const { return line > 0; }
+
+    /** @return "3:5", or "?" when unknown. */
+    std::string
+    toString() const
+    {
+        if (!known())
+            return "?";
+        return std::to_string(line) + ":" + std::to_string(col);
+    }
+
+    bool operator==(const SourceLoc &other) const = default;
+};
+
+} // namespace ujam
+
+#endif // UJAM_IR_SOURCE_LOC_HH

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "ir/expr.hh"
+#include "ir/source_loc.hh"
 
 namespace ujam
 {
@@ -81,7 +82,12 @@ class Stmt
     /** @return Source rendering with placeholder induction names. */
     std::string toString() const;
 
+    /** @return The statement's source position (unknown if built). */
+    const SourceLoc &loc() const { return loc_; }
+    void setLoc(SourceLoc loc) { loc_ = loc; }
+
   private:
+    SourceLoc loc_;
     bool lhs_is_array_ = false;
     bool is_prefetch_ = false;
     ArrayRef lhs_ref_;   //!< assignment target, or prefetch address

@@ -2,7 +2,6 @@
 
 #include <set>
 
-#include "ir/validation.hh"
 #include "support/diagnostics.hh"
 
 namespace ujam
@@ -11,26 +10,47 @@ namespace ujam
 namespace
 {
 
-/** Invoke fn on every scalar-variable read in the tree. */
+// --- basic well-formedness ------------------------------------------
+
 void
-forEachScalarRead(const ExprPtr &expr,
-                  const std::function<void(const std::string &)> &fn)
+checkStmts(const Program &program, const LoopNest &nest,
+           const std::vector<Stmt> &stmts, const char *where,
+           std::vector<std::string> &problems)
 {
-    if (!expr)
-        return;
-    switch (expr->kind()) {
-      case Expr::Kind::Scalar:
-        fn(expr->scalarName());
-        break;
-      case Expr::Kind::Binary:
-        forEachScalarRead(expr->lhs(), fn);
-        forEachScalarRead(expr->rhs(), fn);
-        break;
-      case Expr::Kind::Constant:
-      case Expr::Kind::ArrayRead:
-        break;
+    const std::string nest_name =
+        nest.name().empty() ? "<unnamed>" : nest.name();
+    auto check_ref = [&](const ArrayRef &ref) {
+            if (!program.hasArray(ref.array())) {
+                problems.push_back(concat("nest ", nest_name, " ", where,
+                                          ": undeclared array '",
+                                          ref.array(), "'"));
+                return;
+            }
+            const ArrayDecl &decl = program.array(ref.array());
+            if (decl.extents.size() != ref.dims()) {
+                problems.push_back(concat(
+                    "nest ", nest_name, " ", where, ": array '",
+                    ref.array(), "' has rank ", decl.extents.size(),
+                    " but is referenced with ", ref.dims(),
+                    " subscripts"));
+            }
+            if (ref.depth() != nest.depth()) {
+                problems.push_back(concat(
+                    "nest ", nest_name, " ", where, ": reference to '",
+                    ref.array(), "' has subscript depth ", ref.depth(),
+                    " in a depth-", nest.depth(), " nest"));
+            }
+    };
+    for (const Stmt &stmt : stmts) {
+        if (stmt.isPrefetch())
+            check_ref(stmt.prefetchRef());
+        else
+            stmt.forEachAccess(
+                [&](const ArrayRef &ref, bool) { check_ref(ref); });
     }
 }
+
+// --- strict transformed-nest invariants -----------------------------
 
 /** Per-nest context shared by the statement-level checks. */
 struct StrictChecker
@@ -159,7 +179,94 @@ struct StrictChecker
     }
 };
 
+/** Shared by both program-level validators. */
+void
+checkArrayExtents(const Program &program,
+                  std::vector<std::string> &problems)
+{
+    for (const ArrayDecl &decl : program.arrays()) {
+        for (const Bound &extent : decl.extents) {
+            try {
+                extent.evaluate(program.paramDefaults());
+            } catch (const FatalError &err) {
+                problems.push_back(concat("array '", decl.name, "': ",
+                                          err.what()));
+            }
+        }
+    }
+}
+
 } // namespace
+
+void
+forEachScalarRead(const ExprPtr &expr,
+                  const std::function<void(const std::string &)> &fn)
+{
+    if (!expr)
+        return;
+    switch (expr->kind()) {
+      case Expr::Kind::Scalar:
+        fn(expr->scalarName());
+        break;
+      case Expr::Kind::Binary:
+        forEachScalarRead(expr->lhs(), fn);
+        forEachScalarRead(expr->rhs(), fn);
+        break;
+      case Expr::Kind::Constant:
+      case Expr::Kind::ArrayRead:
+        break;
+    }
+}
+
+std::vector<std::string>
+validateNest(const Program &program, const LoopNest &nest)
+{
+    std::vector<std::string> problems;
+    const std::string nest_name =
+        nest.name().empty() ? "<unnamed>" : nest.name();
+
+    std::set<std::string> ivs;
+    for (const Loop &loop : nest.loops()) {
+        if (!ivs.insert(loop.iv).second) {
+            problems.push_back(concat("nest ", nest_name,
+                                      ": duplicate induction variable '",
+                                      loop.iv, "'"));
+        }
+        if (loop.step < 1) {
+            problems.push_back(concat("nest ", nest_name, ": loop '",
+                                      loop.iv, "' has non-positive step ",
+                                      loop.step));
+        }
+        try {
+            loop.lower.evaluate(program.paramDefaults());
+            loop.upper.evaluate(program.paramDefaults());
+        } catch (const FatalError &err) {
+            problems.push_back(concat("nest ", nest_name, ": loop '",
+                                      loop.iv, "': ", err.what()));
+        }
+    }
+    if (nest.body().empty())
+        problems.push_back(concat("nest ", nest_name, ": empty body"));
+
+    checkStmts(program, nest, nest.body(), "body", problems);
+    checkStmts(program, nest, nest.preheader(), "preheader", problems);
+    checkStmts(program, nest, nest.postheader(), "postheader", problems);
+    return problems;
+}
+
+std::vector<std::string>
+validateProgram(const Program &program)
+{
+    std::vector<std::string> problems;
+    checkArrayExtents(program, problems);
+    for (const LoopNest &nest : program.nests()) {
+        std::vector<std::string> nest_problems =
+            validateNest(program, nest);
+        problems.insert(problems.end(), nest_problems.begin(),
+                        nest_problems.end());
+    }
+    return problems;
+}
 
 std::vector<std::string>
 validateNestStrict(const Program &program, const LoopNest &nest,
@@ -190,16 +297,7 @@ validateProgramStrict(const Program &program,
                       const ValidateOptions &options)
 {
     std::vector<std::string> problems;
-    for (const ArrayDecl &decl : program.arrays()) {
-        for (const Bound &extent : decl.extents) {
-            try {
-                extent.evaluate(program.paramDefaults());
-            } catch (const FatalError &err) {
-                problems.push_back(
-                    concat("array '", decl.name, "': ", err.what()));
-            }
-        }
-    }
+    checkArrayExtents(program, problems);
     for (const LoopNest &nest : program.nests()) {
         std::vector<std::string> nest_problems =
             validateNestStrict(program, nest, options);

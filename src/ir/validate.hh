@@ -1,15 +1,17 @@
 /**
  * @file
- * Strict structural IR validation for the transformation safety net.
+ * IR validation: the basic well-formedness checks every freshly
+ * parsed program must pass, plus the strict invariants every
+ * *transformed* nest must also keep (the transformation safety net's
+ * per-stage gate).
  *
- * validation.hh checks the basics a freshly parsed program must
- * satisfy (declared arrays, matching ranks, evaluable bounds). This
- * module layers the invariants every *transformed* nest must also
- * keep, so the pipeline can check each stage's output before
- * committing it:
+ * Basic checks (validateProgram/validateNest): unique induction
+ * variables per nest, positive steps, declared arrays with matching
+ * ranks, subscript depths equal to the nest depth, and evaluable
+ * bounds/extents under the program's parameter defaults.
  *
- *  - everything validateNest checks (ranks, depths, evaluable bounds,
- *    positive steps, non-empty body);
+ * Strict checks (validateProgramStrict/validateNestStrict) layer on:
+ *
  *  - internal consistency of every reference: all rows of H and the
  *    offset c agree on the array's rank, every row has one column per
  *    loop (acyclic nest structure: subscripts depend on the nest's
@@ -27,6 +29,7 @@
 #ifndef UJAM_IR_VALIDATE_HH
 #define UJAM_IR_VALIDATE_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,6 +37,17 @@
 
 namespace ujam
 {
+
+/**
+ * Check a program for basic structural problems (see file comment).
+ *
+ * @return A list of human-readable problems; empty when valid.
+ */
+std::vector<std::string> validateProgram(const Program &program);
+
+/** Like validateProgram but for one nest against a program's arrays. */
+std::vector<std::string> validateNest(const Program &program,
+                                      const LoopNest &nest);
 
 /** Switches for the strict checks. */
 struct ValidateOptions
@@ -56,6 +70,13 @@ std::vector<std::string> validateNestStrict(
 /** Strictly validate every nest of a program. */
 std::vector<std::string> validateProgramStrict(
     const Program &program, const ValidateOptions &options = {});
+
+/**
+ * Invoke fn on every scalar-variable read in the expression tree
+ * (shared by the strict validator and the static analyzer).
+ */
+void forEachScalarRead(const ExprPtr &expr,
+                       const std::function<void(const std::string &)> &fn);
 
 } // namespace ujam
 

@@ -50,8 +50,14 @@ tokenize(const std::string &source)
     std::vector<Token> tokens;
     int line = 1;
     std::size_t i = 0;
+    std::size_t line_start = 0; // byte offset where the current line begins
 
-    auto push = [&](TokenKind kind, std::string text = "") {
+    auto col_at = [&](std::size_t offset) {
+        return static_cast<int>(offset - line_start) + 1;
+    };
+
+    // col = 0 means "the token starts at the cursor position i".
+    auto push = [&](TokenKind kind, std::string text = "", int col = 0) {
         // Collapse consecutive newlines and drop leading ones.
         if (kind == TokenKind::Newline &&
             (tokens.empty() || tokens.back().kind == TokenKind::Newline)) {
@@ -61,6 +67,7 @@ tokenize(const std::string &source)
         token.kind = kind;
         token.text = std::move(text);
         token.line = line;
+        token.col = col > 0 ? col : col_at(i);
         tokens.push_back(std::move(token));
     };
 
@@ -70,6 +77,7 @@ tokenize(const std::string &source)
             push(TokenKind::Newline);
             ++line;
             ++i;
+            line_start = i;
             continue;
         }
         if (std::isspace(static_cast<unsigned char>(c))) {
@@ -100,26 +108,28 @@ tokenize(const std::string &source)
             std::string spelling = source.substr(start, i - start);
             // std::stod would silently parse a prefix of "1..5".
             if (dots > 1) {
-                fatal("line ", line, ": malformed numeric literal '",
-                      spelling, "'");
+                fatal("line ", line, ":", col_at(start),
+                      ": malformed numeric literal '", spelling, "'");
             }
             Token token;
             token.kind = dots ? TokenKind::Float : TokenKind::Integer;
             token.text = spelling;
             token.line = line;
+            token.col = col_at(start);
             try {
                 if (dots)
                     token.floatValue = std::stod(spelling);
                 else
                     token.intValue = std::stoll(spelling);
             } catch (const std::exception &) {
-                fatal("line ", line, ": malformed numeric literal '",
-                      spelling, "'");
+                fatal("line ", line, ":", col_at(start),
+                      ": malformed numeric literal '", spelling, "'");
             }
             // Bound/subscript evaluation multiplies literals together;
             // capping them here keeps those products inside int64.
             if (!dots && token.intValue > kMaxIntLiteral) {
-                fatal("line ", line, ": integer literal ", spelling,
+                fatal("line ", line, ":", col_at(start),
+                      ": integer literal ", spelling,
                       " exceeds the limit of ", kMaxIntLiteral);
             }
             tokens.push_back(std::move(token));
@@ -133,7 +143,8 @@ tokenize(const std::string &source)
                 ++i;
             }
             push(TokenKind::Ident,
-                 toLower(source.substr(start, i - start)));
+                 toLower(source.substr(start, i - start)),
+                 col_at(start));
             continue;
         }
         switch (c) {
@@ -162,7 +173,8 @@ tokenize(const std::string &source)
             push(TokenKind::Equals);
             break;
           default:
-            fatal("line ", line, ": unexpected character '", c, "'");
+            fatal("line ", line, ":", col_at(i),
+                  ": unexpected character '", c, "'");
         }
         ++i;
     }
@@ -170,6 +182,7 @@ tokenize(const std::string &source)
     Token end_token;
     end_token.kind = TokenKind::End;
     end_token.line = line;
+    end_token.col = col_at(i);
     tokens.push_back(end_token);
     return tokens;
 }

@@ -61,6 +61,7 @@ struct Token
     std::int64_t intValue = 0;
     double floatValue = 0.0;
     int line = 0;            //!< 1-based source line
+    int col = 0;             //!< 1-based byte column of the first char
 };
 
 /**

@@ -26,14 +26,15 @@ constexpr std::size_t kMaxExprDepth = 256;
 class Parser
 {
   public:
-    explicit Parser(const std::string &source)
-        : tokens_(tokenize(source))
+    Parser(const std::string &source, std::string source_name)
+        : tokens_(tokenize(source)), source_name_(std::move(source_name))
     {}
 
     Program
     parse()
     {
         Program program;
+        program.setSourceName(source_name_);
         std::string pending_nest_name;
         for (;;) {
             skipNewlines();
@@ -109,7 +110,15 @@ class Parser
     [[noreturn]] void
     errorHere(const std::string &message) const
     {
-        fatal("line ", peek().line, ": ", message);
+        fatal(source_name_, ":", peek().line, ":", peek().col, ": ",
+              message);
+    }
+
+    /** @return The source position of the token at the cursor. */
+    SourceLoc
+    locHere() const
+    {
+        return SourceLoc{peek().line, peek().col};
     }
 
     /** RAII depth bump that rejects runaway recursion. */
@@ -273,8 +282,9 @@ class Parser
             std::vector<Stmt> &postheader, std::vector<Stmt> &body)
     {
         DepthGuard guard(*this, loop_depth_, kMaxLoopDepth, "loops");
-        advance(); // 'do'
         Loop loop;
+        loop.loc = locHere();
+        advance(); // 'do'
         loop.iv = expect(TokenKind::Ident, "induction variable").text;
         expect(TokenKind::Equals, "'='");
         loop.lower = parseBound();
@@ -333,31 +343,39 @@ class Parser
     Stmt
     parseStmt(const std::vector<Loop> &loops)
     {
+        SourceLoc stmt_loc = locHere();
         if (checkIdent("prefetch")) {
             advance();
+            SourceLoc ref_loc = locHere();
             std::string array =
                 expect(TokenKind::Ident, "array name").text;
-            ArrayRef ref = parseRefSubscripts(array, loops);
+            ArrayRef ref = parseRefSubscripts(array, loops, ref_loc);
             endStatement();
-            return Stmt::prefetch(std::move(ref));
+            Stmt stmt = Stmt::prefetch(std::move(ref));
+            stmt.setLoc(stmt_loc);
+            return stmt;
         }
         std::string name = expect(TokenKind::Ident, "assignment target").text;
         if (peek().kind == TokenKind::LParen) {
-            ArrayRef lhs = parseRefSubscripts(name, loops);
+            ArrayRef lhs = parseRefSubscripts(name, loops, stmt_loc);
             expect(TokenKind::Equals, "'='");
             ExprPtr rhs = parseExpr(loops);
             endStatement();
-            return Stmt::assignArray(std::move(lhs), std::move(rhs));
+            Stmt stmt = Stmt::assignArray(std::move(lhs), std::move(rhs));
+            stmt.setLoc(stmt_loc);
+            return stmt;
         }
         expect(TokenKind::Equals, "'='");
         ExprPtr rhs = parseExpr(loops);
         endStatement();
-        return Stmt::assignScalar(std::move(name), std::move(rhs));
+        Stmt stmt = Stmt::assignScalar(std::move(name), std::move(rhs));
+        stmt.setLoc(stmt_loc);
+        return stmt;
     }
 
     ArrayRef
     parseRefSubscripts(const std::string &array,
-                       const std::vector<Loop> &loops)
+                       const std::vector<Loop> &loops, SourceLoc loc)
     {
         expect(TokenKind::LParen, "'('");
         std::vector<IntVector> rows;
@@ -371,7 +389,9 @@ class Parser
         IntVector offset(offsets.size());
         for (std::size_t d = 0; d < offsets.size(); ++d)
             offset[d] = offsets[d];
-        return ArrayRef(array, std::move(rows), std::move(offset));
+        ArrayRef ref(array, std::move(rows), std::move(offset));
+        ref.setLoc(loc);
+        return ref;
     }
 
     void
@@ -500,15 +520,19 @@ class Parser
             return inner;
         }
         if (peek().kind == TokenKind::Ident) {
+            SourceLoc loc = locHere();
             std::string name = advance().text;
-            if (peek().kind == TokenKind::LParen)
-                return Expr::arrayRead(parseRefSubscripts(name, loops));
+            if (peek().kind == TokenKind::LParen) {
+                return Expr::arrayRead(
+                    parseRefSubscripts(name, loops, loc));
+            }
             return Expr::scalar(std::move(name));
         }
         errorHere("expected an expression");
     }
 
     std::vector<Token> tokens_;
+    std::string source_name_;
     std::size_t pos_ = 0;
     std::size_t loop_depth_ = 0;
     std::size_t expr_depth_ = 0;
@@ -517,9 +541,9 @@ class Parser
 } // namespace
 
 Program
-parseProgram(const std::string &source)
+parseProgram(const std::string &source, const std::string &source_name)
 {
-    Parser parser(source);
+    Parser parser(source, source_name);
     return parser.parse();
 }
 

@@ -32,11 +32,19 @@ namespace ujam
 /**
  * Parse DSL source into a Program.
  *
- * @param source DSL text.
+ * Loops, statements and array references are stamped with their
+ * source line/column (see ir/source_loc.hh) so diagnostics can point
+ * at real text.
+ *
+ * @param source      DSL text.
+ * @param source_name Name reported in diagnostics (a path, say);
+ *                    stored as the program's sourceName().
  * @return The parsed program.
- * @throws FatalError with line information on syntax errors.
+ * @throws FatalError with "name:line:col" information on syntax
+ *         errors.
  */
-Program parseProgram(const std::string &source);
+Program parseProgram(const std::string &source,
+                     const std::string &source_name = "<input>");
 
 /**
  * Parse a source containing exactly one nest and return it.

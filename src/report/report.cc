@@ -136,9 +136,20 @@ safetyReport(const PipelineResult &result)
 {
     std::ostringstream os;
     os << "=== ujam safety report ===\n";
+    std::size_t lint_skips = 0;
+    for (const NestOutcome &outcome : result.outcomes) {
+        if (!outcome.lintSkipped)
+            continue;
+        ++lint_skips;
+        os << (outcome.name.empty() ? "<unnamed>" : outcome.name)
+           << ": skipped by strict lint ("
+           << result.lint.errorCount() << " error finding(s) in the "
+           << "run; see the lint report)\n";
+    }
     if (result.containedFaults() == 0) {
-        os << "no faults contained; all " << result.outcomes.size()
-           << " nest(s) passed every enabled check\n";
+        os << "no faults contained; all "
+           << result.outcomes.size() - lint_skips
+           << " transformed nest(s) passed every enabled check\n";
         return os.str();
     }
     for (const StageDiagnostic &diag : result.programDiagnostics)

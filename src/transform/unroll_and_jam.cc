@@ -12,15 +12,20 @@ namespace
 Stmt
 shiftStmt(const Stmt &stmt, const IntVector &offset)
 {
-    if (stmt.isPrefetch())
-        return Stmt::prefetch(stmt.prefetchRef().shifted(offset));
-    ExprPtr rhs = stmt.rhs()->rewriteArrayReads(
-        [&](const ArrayRef &ref) {
-            return Expr::arrayRead(ref.shifted(offset));
-        });
-    if (stmt.lhsIsArray())
-        return Stmt::assignArray(stmt.lhsRef().shifted(offset), rhs);
-    return Stmt::assignScalar(stmt.lhsScalar(), rhs);
+    Stmt out;
+    if (stmt.isPrefetch()) {
+        out = Stmt::prefetch(stmt.prefetchRef().shifted(offset));
+    } else {
+        ExprPtr rhs = stmt.rhs()->rewriteArrayReads(
+            [&](const ArrayRef &ref) {
+                return Expr::arrayRead(ref.shifted(offset));
+            });
+        out = stmt.lhsIsArray()
+                  ? Stmt::assignArray(stmt.lhsRef().shifted(offset), rhs)
+                  : Stmt::assignScalar(stmt.lhsScalar(), rhs);
+    }
+    out.setLoc(stmt.loc()); // an unroll copy keeps its source position
+    return out;
 }
 
 /**

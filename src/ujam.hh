@@ -44,7 +44,7 @@
 #include "ir/loop_nest.hh"
 #include "ir/printer.hh"
 #include "ir/stmt.hh"
-#include "ir/validation.hh"
+#include "ir/validate.hh"
 #include "linalg/int_vector.hh"
 #include "linalg/merge_solver.hh"
 #include "linalg/rat_matrix.hh"

@@ -1,6 +1,6 @@
 #include "workloads/suite.hh"
 
-#include "ir/validation.hh"
+#include "ir/validate.hh"
 #include "parser/parser.hh"
 #include "support/diagnostics.hh"
 

@@ -1,0 +1,705 @@
+/**
+ * @file
+ * The static analyzer: rule catalog, renderers (golden files), the
+ * lint-aware pipeline, and the accuracy contract against the
+ * differential oracle -- every nest the safety net rolls back must
+ * already carry an error finding, purely statically.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "analysis/linter.hh"
+#include "analysis/render.hh"
+#include "driver/driver.hh"
+#include "ir/builder.hh"
+#include "ir/validate.hh"
+#include "parser/parser.hh"
+#include "report/report.hh"
+#include "support/diagnostics.hh"
+#include "workloads/corpus.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace ujam;
+
+MachineModel
+alpha()
+{
+    return MachineModel::decAlpha21064();
+}
+
+LintResult
+lintSource(const std::string &source,
+           const std::string &name = "<input>",
+           const LintOptions &options = {})
+{
+    return lintProgram(parseProgram(source, name), alpha(), options);
+}
+
+/** All findings for one rule id. */
+std::vector<LintDiagnostic>
+findingsFor(const LintResult &result, const std::string &rule)
+{
+    std::vector<LintDiagnostic> out;
+    for (const LintDiagnostic &diag : result.diagnostics) {
+        if (diag.ruleId == rule)
+            out.push_back(diag);
+    }
+    return out;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << "cannot open " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+const std::string kGoldenDir = UJAM_TEST_GOLDEN_DIR;
+
+// --- rule catalog stability -----------------------------------------
+
+TEST(LintCatalog, RuleIdsAreStable)
+{
+    // Appending new rules is fine; renumbering or dropping one breaks
+    // every consumer of the SARIF output. This list is the contract.
+    std::vector<std::string> expected = {
+        "UJ001", "UJ002", "UJ003", "UJ004", "UJ005", "UJ006", "UJ007",
+        "UJ008", "UJ009", "UJ010", "UJ011", "UJ012", "UJ013", "UJ014",
+    };
+    ASSERT_GE(lintRules().size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(lintRules()[i]->id(), expected[i]);
+        EXPECT_STRNE(lintRules()[i]->summary(), "");
+    }
+}
+
+// --- individual rules -----------------------------------------------
+
+TEST(LintRules, PerfectNestViolation)
+{
+    LintResult result = lintSource("param n = 8\n"
+                                   "real a(n, n)\n"
+                                   "do i = 1, n\n"
+                                   "  do j = 1, n\n"
+                                   "    pre t = a(i, 1)\n"
+                                   "    a(i, j) = a(i, j) + t\n"
+                                   "  end do\n"
+                                   "end do\n");
+    auto findings = findingsFor(result, "UJ001");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Error);
+    EXPECT_EQ(findings[0].loc.line, 5);
+}
+
+TEST(LintRules, ShallowNestNote)
+{
+    LintResult result = lintSource("param n = 8\n"
+                                   "real a(n)\n"
+                                   "do i = 1, n\n"
+                                   "  a(i) = a(i) + 1.0\n"
+                                   "end do\n");
+    auto findings = findingsFor(result, "UJ002");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Note);
+    EXPECT_EQ(result.errorCount(), 0u);
+}
+
+TEST(LintRules, UndeclaredArrayAndRankMismatch)
+{
+    LintResult result = lintSource("param n = 8\n"
+                                   "real a(n, n)\n"
+                                   "do i = 1, n\n"
+                                   "  do j = 1, n\n"
+                                   "    a(i, j) = c(i, j) + 1.0\n"
+                                   "  end do\n"
+                                   "end do\n");
+    auto findings = findingsFor(result, "UJ003");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("undeclared array 'c'"),
+              std::string::npos);
+    EXPECT_EQ(findings[0].loc.line, 5);
+    EXPECT_TRUE(result.nestHasErrors(0));
+}
+
+TEST(LintRules, UnevaluableBound)
+{
+    // Builder-made program: loop bound over a parameter that has no
+    // default. The parser cannot produce this; the API can.
+    Program program;
+    program.declareArray({"a", {Bound::constant(8), Bound::constant(8)}});
+    LoopNest nest = NestBuilder()
+                        .name("unevaluable")
+                        .loop("i", 1, 8)
+                        .loop("j", 1, 8)
+                        .assign("a", {idx("i"), idx("j")}, lit(0.0))
+                        .build();
+    nest.loop(0).upper = Bound::param("m");
+    program.addNest(nest);
+
+    LintResult result = lintProgram(program, alpha(), {});
+    auto findings = findingsFor(result, "UJ004");
+    ASSERT_GE(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Error);
+    EXPECT_NE(findings[0].message.find("does not evaluate"),
+              std::string::npos);
+}
+
+TEST(LintRules, NonRectangularBound)
+{
+    Program program;
+    program.declareArray({"a", {Bound::constant(8), Bound::constant(8)}});
+    LoopNest nest = NestBuilder()
+                        .name("triangular")
+                        .loop("i", 1, 8)
+                        .loop("j", 1, 8)
+                        .assign("a", {idx("i"), idx("j")}, lit(0.0))
+                        .build();
+    nest.loop(1).upper = Bound::param("i"); // triangular: j <= i
+    program.addNest(nest);
+
+    LintResult result = lintProgram(program, alpha(), {});
+    auto findings = findingsFor(result, "UJ005");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("rectangular"), std::string::npos);
+}
+
+TEST(LintRules, ZeroTripWarning)
+{
+    LintResult result = lintSource("param n = 8\n"
+                                   "real a(n, n)\n"
+                                   "do i = n, 1\n"
+                                   "  do j = 1, n\n"
+                                   "    a(i, j) = a(i, j) + 1.0\n"
+                                   "  end do\n"
+                                   "end do\n");
+    auto findings = findingsFor(result, "UJ006");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Warn);
+    EXPECT_EQ(findings[0].loc.line, 3);
+}
+
+TEST(LintRules, OverflowRiskWarning)
+{
+    Program program;
+    program.declareArray({"a", {Bound::constant(8)}});
+    LoopNest nest = NestBuilder()
+                        .name("huge")
+                        .loop("i", 1, 8)
+                        .assign("a", {idx("i")}, lit(0.0))
+                        .build();
+    nest.loop(0).upper = Bound::constant(std::int64_t(1) << 33);
+    program.addNest(nest);
+
+    LintResult result = lintProgram(program, alpha(), {});
+    auto findings = findingsFor(result, "UJ007");
+    ASSERT_GE(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Warn);
+}
+
+TEST(LintRules, CoupledSubscriptsWarning)
+{
+    LintResult result = lintSource("param n = 8\n"
+                                   "real a(n, n)\n"
+                                   "do i = 1, n\n"
+                                   "  do j = 1, n\n"
+                                   "    a(i + j, j) = a(i + j, j) + 1.0\n"
+                                   "  end do\n"
+                                   "end do\n");
+    auto findings = findingsFor(result, "UJ008");
+    // One finding per distinct reference shape, not per occurrence.
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Warn);
+    EXPECT_NE(findings[0].message.find("coupled"), std::string::npos);
+}
+
+TEST(LintRules, ReachViolation)
+{
+    LintResult result = lintSource("param n = 8\n"
+                                   "real a(n, n)\n"
+                                   "real b(n, n)\n"
+                                   "do i = 1, n\n"
+                                   "  do j = 1, n\n"
+                                   "    b(i, j) = a(i + 20, j)\n"
+                                   "  end do\n"
+                                   "end do\n");
+    auto findings = findingsFor(result, "UJ009");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Error);
+    EXPECT_EQ(findings[0].loc.line, 6);
+    EXPECT_NE(findings[0].message.find("outside extent"),
+              std::string::npos);
+}
+
+TEST(LintRules, CarriedScalarError)
+{
+    LintResult result = lintSource("param n = 8\n"
+                                   "real a(n, n)\n"
+                                   "real b(n, n)\n"
+                                   "do i = 1, n\n"
+                                   "  do j = 1, n\n"
+                                   "    b(i, j) = s + 1.0\n"
+                                   "    s = a(i, j) * 2.0\n"
+                                   "  end do\n"
+                                   "end do\n");
+    auto findings = findingsFor(result, "UJ010");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Error);
+    EXPECT_EQ(findings[0].loc.line, 6);
+}
+
+TEST(LintRules, ScalarReductionIsANoteNotAnError)
+{
+    LintResult result = lintSource("param n = 8\n"
+                                   "real a(n, n)\n"
+                                   "do i = 1, n\n"
+                                   "  do j = 1, n\n"
+                                   "    s = s + a(i, j)\n"
+                                   "  end do\n"
+                                   "end do\n");
+    auto findings = findingsFor(result, "UJ010");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Note);
+    EXPECT_NE(findings[0].message.find("reduction"), std::string::npos);
+    EXPECT_EQ(result.errorCount(), 0u);
+}
+
+TEST(LintRules, BlockedUnrollExplanation)
+{
+    // Flow dependence b(i,j) -> b(i-1,j+1): carried by i at distance
+    // 1 with a backward inner component, so i is not unrollable.
+    LintResult result = lintSource("param n = 8\n"
+                                   "real b(n, n)\n"
+                                   "do i = 2, n\n"
+                                   "  do j = 1, n\n"
+                                   "    b(i, j) = b(i - 1, j + 1) + 1.0\n"
+                                   "  end do\n"
+                                   "end do\n");
+    auto findings = findingsFor(result, "UJ011");
+    ASSERT_GE(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Note);
+    EXPECT_NE(findings[0].message.find("loop 'i'"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("flow"), std::string::npos);
+}
+
+TEST(LintRules, CrossSetWriteWarning)
+{
+    LintResult result = lintSource("param n = 8\n"
+                                   "real a(n, n)\n"
+                                   "do i = 1, n\n"
+                                   "  do j = 1, n\n"
+                                   "    a(i, j) = a(j, i) + 1.0\n"
+                                   "  end do\n"
+                                   "end do\n");
+    auto findings = findingsFor(result, "UJ012");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Warn);
+    EXPECT_NE(findings[0].message.find("uniformly generated"),
+              std::string::npos);
+}
+
+TEST(LintRules, InductionVariableMisuse)
+{
+    LintResult result = lintSource("param n = 8\n"
+                                   "real a(n, n)\n"
+                                   "do i = 1, n\n"
+                                   "  do j = 1, n\n"
+                                   "    a(i, j) = i + 1.0\n"
+                                   "  end do\n"
+                                   "end do\n");
+    auto findings = findingsFor(result, "UJ013");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Error);
+    EXPECT_NE(findings[0].message.find("induction variable"),
+              std::string::npos);
+}
+
+TEST(LintRules, RegisterPressureNote)
+{
+    // The "shal" suite workload needs 84 registers at its
+    // balance-optimal unroll on a 32-register machine; the rule must
+    // name both the wish and the settlement.
+    Program program = loadSuiteProgram(suiteLoop("shal"));
+    LintResult result = lintProgram(program, alpha(), {});
+    auto findings = findingsFor(result, "UJ014");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Note);
+    EXPECT_NE(findings[0].message.find("registers"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("settles"), std::string::npos);
+}
+
+// --- linter behavior ------------------------------------------------
+
+TEST(Linter, SeverityOrderingAndFiltering)
+{
+    std::string source = readFile(kGoldenDir + "/golden.uj");
+    LintResult all = lintSource(source, "golden.uj");
+    ASSERT_GE(all.diagnostics.size(), 4u);
+    for (std::size_t i = 1; i < all.diagnostics.size(); ++i) {
+        EXPECT_GE(static_cast<int>(all.diagnostics[i - 1].severity),
+                  static_cast<int>(all.diagnostics[i].severity));
+    }
+
+    LintOptions errors_only;
+    errors_only.minSeverity = LintSeverity::Error;
+    LintResult filtered = lintSource(source, "golden.uj", errors_only);
+    EXPECT_EQ(filtered.diagnostics.size(), filtered.errorCount());
+    EXPECT_EQ(filtered.errorCount(), all.errorCount());
+}
+
+TEST(Linter, CleanProgramIsClean)
+{
+    LintResult result =
+        lintSource("param n = 8\n"
+                   "real a(n, n)\n"
+                   "real b(n, n)\n"
+                   "do i = 1, n\n"
+                   "  do j = 1, n\n"
+                   "    b(i, j) = a(i, j) + a(i, j - 1)\n"
+                   "  end do\n"
+                   "end do\n");
+    EXPECT_EQ(result.errorCount(), 0u);
+    EXPECT_EQ(result.warnCount(), 0u);
+}
+
+TEST(Linter, SuiteWorkloadsHaveNoErrorFindings)
+{
+    // The evaluation suite goes through the pipeline without a single
+    // rollback (the safety-net tests assert that), so a lint error on
+    // any of its kernels would be a false positive.
+    for (const SuiteLoop &loop : testSuite()) {
+        Program program = loadSuiteProgram(loop);
+        LintResult result = lintProgram(program, alpha(), {});
+        EXPECT_EQ(result.errorCount(), 0u)
+            << loop.name << ":\n" << renderText(result);
+    }
+}
+
+// --- renderers ------------------------------------------------------
+
+TEST(LintRender, SourceExcerptCaretIsUtf8Aware)
+{
+    // Byte column 11 on a line whose first 10 bytes hold 7 code
+    // points ("-- \xC3\xA9\xC3\xA8\xC3\xAA " = dash dash space
+    // e-acute e-grave e-circumflex space): the caret must sit 7
+    // columns in, not 10.
+    std::string source = "-- \xC3\xA9\xC3\xA8\xC3\xAA x = 1\n";
+    std::string excerpt = sourceExcerpt(source, SourceLoc{1, 11});
+    EXPECT_EQ(excerpt,
+              "  -- \xC3\xA9\xC3\xA8\xC3\xAA x = 1\n  "
+              "       ^\n");
+
+    // ASCII positions are unaffected.
+    EXPECT_EQ(sourceExcerpt("abc\ndef\n", SourceLoc{2, 2}),
+              "  def\n   ^\n");
+    // Unknown locations and out-of-range lines render nothing.
+    EXPECT_EQ(sourceExcerpt("abc\n", SourceLoc{}), "");
+    EXPECT_EQ(sourceExcerpt("abc\n", SourceLoc{7, 1}), "");
+}
+
+TEST(LintRender, TextMatchesGolden)
+{
+    std::string source = readFile(kGoldenDir + "/golden.uj");
+    LintResult result = lintSource(source, "golden.uj");
+    std::string text = renderText(result, source);
+    std::string golden = readFile(kGoldenDir + "/lint_text.golden");
+    if (std::getenv("UJAM_UPDATE_GOLDEN")) {
+        std::ofstream(kGoldenDir + "/lint_text.golden") << text;
+        GTEST_SKIP() << "golden updated";
+    }
+    EXPECT_EQ(text, golden);
+}
+
+TEST(LintRender, SarifMatchesGolden)
+{
+    std::string source = readFile(kGoldenDir + "/golden.uj");
+    LintResult result = lintSource(source, "golden.uj");
+    std::string sarif = renderSarif(result);
+    std::string golden = readFile(kGoldenDir + "/lint_sarif.golden");
+    if (std::getenv("UJAM_UPDATE_GOLDEN")) {
+        std::ofstream(kGoldenDir + "/lint_sarif.golden") << sarif;
+        GTEST_SKIP() << "golden updated";
+    }
+    EXPECT_EQ(sarif, golden);
+
+    // Structural invariants beyond the byte-for-byte match.
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    for (const auto &rule : lintRules())
+        EXPECT_NE(sarif.find(std::string("\"id\": \"") + rule->id() +
+                             "\""),
+                  std::string::npos);
+}
+
+TEST(LintRender, JsonEscapesAndCounts)
+{
+    LintResult result;
+    result.sourceName = "we\"ird\\name.uj";
+    LintDiagnostic diag;
+    diag.ruleId = "UJ001";
+    diag.severity = LintSeverity::Error;
+    diag.message = "line1\nline2\t\"quoted\"";
+    result.diagnostics.push_back(diag);
+
+    std::string json = renderJson(result);
+    EXPECT_NE(json.find("we\\\"ird\\\\name.uj"), std::string::npos);
+    EXPECT_NE(json.find("line1\\nline2\\t\\\"quoted\\\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+    // Unknown location: no line/col keys at all.
+    EXPECT_EQ(json.find("\"line\""), std::string::npos);
+}
+
+// --- SARIF smoke over the workload corpora --------------------------
+
+TEST(LintCorpus, SarifOverSuiteAndCorpusKeepsItsInvariants)
+{
+    std::vector<LintResult> results;
+
+    // Suite workloads come from real DSL text: every finding must
+    // carry a resolvable location (its line exists in the source and
+    // the caret renderer accepts it).
+    for (const SuiteLoop &loop : testSuite()) {
+        Program program = parseProgram(loop.source, "suite:" + loop.name);
+        LintResult result = lintProgram(program, alpha(), {});
+        for (const LintDiagnostic &diag : result.diagnostics) {
+            EXPECT_TRUE(diag.loc.known())
+                << loop.name << ": " << diag.toString(result.sourceName);
+            EXPECT_NE(sourceExcerpt(loop.source, diag.loc), "")
+                << loop.name << ": " << diag.toString(result.sourceName);
+        }
+        results.push_back(std::move(result));
+    }
+
+    // Corpus routines are synthesized IR (no source text); their
+    // findings legitimately carry no location, and the SARIF writer
+    // must omit the region rather than fabricate line 0.
+    CorpusConfig config;
+    config.routines = 12;
+    config.seed = 20260806;
+    config.threads = 1;
+    for (const CorpusRoutine &routine : generateCorpus(config)) {
+        Program program;
+        for (const LoopNest &nest : routine.nests) {
+            for (const Access &access : nest.accesses()) {
+                if (program.hasArray(access.ref.array()))
+                    continue;
+                ArrayDecl decl;
+                decl.name = access.ref.array();
+                for (std::size_t d = 0; d < access.ref.dims(); ++d)
+                    decl.extents.push_back(Bound::constant(300));
+                program.declareArray(std::move(decl));
+            }
+            program.addNest(nest);
+        }
+        program.setSourceName("corpus:" + routine.name);
+        results.push_back(lintProgram(program, alpha(), {}));
+    }
+
+    // No duplicate findings within any run.
+    for (const LintResult &result : results) {
+        std::set<std::string> seen;
+        for (const LintDiagnostic &diag : result.diagnostics) {
+            std::string key = concat(diag.ruleId, "@", diag.nestIndex,
+                                     "@", diag.loc.toString(), "@",
+                                     diag.message);
+            EXPECT_TRUE(seen.insert(key).second)
+                << result.sourceName << ": duplicate " << key;
+        }
+    }
+
+    std::string sarif = renderSarifRuns(results);
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_EQ(sarif.find("\"startLine\": 0"), std::string::npos);
+
+    // Every reported ruleId is in the declared catalog.
+    std::set<std::string> catalog;
+    for (const auto &rule : lintRules())
+        catalog.insert(rule->id());
+    for (const LintResult &result : results) {
+        for (const LintDiagnostic &diag : result.diagnostics)
+            EXPECT_TRUE(catalog.count(diag.ruleId)) << diag.ruleId;
+    }
+}
+
+// --- pipeline integration -------------------------------------------
+
+const char *kHazardSource =
+    "param n = 8\n"
+    "real a(n, n)\n"
+    "real b(n, n)\n"
+    "real c(n, n)\n"
+    "! nest: prehdr\n"
+    "do i = 1, n\n"
+    "  do j = 1, n\n"
+    "    pre t = a(i, 1)\n"
+    "    a(i, j) = a(i, j) + t\n"
+    "  end do\n"
+    "end do\n"
+    "! nest: reach\n"
+    "do i = 1, n\n"
+    "  do j = 1, n\n"
+    "    b(i, j) = a(i + 20, j)\n"
+    "  end do\n"
+    "end do\n"
+    "! nest: carried\n"
+    "do i = 1, n\n"
+    "  do j = 1, n\n"
+    "    b(i, j) = a(i, j) + a(i, j - 1) + s\n"
+    "    s = a(i, j) * 0.5\n"
+    "  end do\n"
+    "end do\n"
+    "! nest: clean\n"
+    "do i = 1, n\n"
+    "  do j = 1, n\n"
+    "    c(i, j) = a(i, j) + a(i, j - 1)\n"
+    "  end do\n"
+    "end do\n";
+
+PipelineConfig
+oracleConfig(LintMode lint)
+{
+    PipelineConfig config;
+    config.safety.oracle = true;
+    // Cap the unroll so the jammed main loop actually executes at
+    // n = 8 (at the default cap of 8 the 9-copy body needs 9 trips
+    // and align() leaves everything to the un-jammed fringe nest,
+    // which would make the carried-scalar hazard unobservable).
+    config.optimizer.maxUnroll = 4;
+    config.lint = lint;
+    return config;
+}
+
+TEST(LintPipeline, WarnModeReportsWithoutSkipping)
+{
+    Program program = parseProgram(kHazardSource, "hazards.uj");
+    PipelineResult result =
+        optimizeProgram(program, alpha(), oracleConfig(LintMode::Warn));
+    EXPECT_GE(result.lint.errorCount(), 3u);
+    for (const NestOutcome &outcome : result.outcomes)
+        EXPECT_FALSE(outcome.lintSkipped);
+    // Warn mode leaves the hazards in: the safety net must do the
+    // containing.
+    EXPECT_GT(result.containedFaults(), 0u);
+    EXPECT_NE(result.summary().find("lint:"), std::string::npos);
+}
+
+TEST(LintPipeline, StrictModeSkipsFlaggedNestsAndAvoidsAllRollbacks)
+{
+    Program program = parseProgram(kHazardSource, "hazards.uj");
+
+    // Without lint, the hazard nests are only saved by the safety
+    // net: the run must contain at least one fault.
+    PipelineResult unchecked =
+        optimizeProgram(program, alpha(), oracleConfig(LintMode::Off));
+    EXPECT_GT(unchecked.containedFaults(), 0u);
+
+    // Every rolled-back nest must have been statically flagged at
+    // error severity -- the analyzer predicts the safety net.
+    LintResult lint = lintProgram(program, alpha(), {});
+    for (std::size_t n = 0; n < unchecked.outcomes.size(); ++n) {
+        if (!unchecked.outcomes[n].contained.empty()) {
+            EXPECT_TRUE(lint.nestHasErrors(n))
+                << "nest " << n << " rolled back without a lint error";
+        }
+    }
+
+    // Strict mode: flagged nests are skipped before any stage runs,
+    // so nothing is ever rolled back, and the clean nest still gets
+    // its transformation.
+    PipelineResult strict =
+        optimizeProgram(program, alpha(), oracleConfig(LintMode::Strict));
+    EXPECT_EQ(strict.containedFaults(), 0u)
+        << safetyReport(strict);
+    EXPECT_TRUE(strict.outcomes[0].lintSkipped);
+    EXPECT_TRUE(strict.outcomes[1].lintSkipped);
+    EXPECT_TRUE(strict.outcomes[2].lintSkipped);
+    EXPECT_FALSE(strict.outcomes[3].lintSkipped);
+    EXPECT_TRUE(strict.outcomes[3].decision.transforms());
+    EXPECT_NE(safetyReport(strict).find("skipped by strict lint"),
+              std::string::npos);
+
+    // The crafted carried-scalar nest is only interesting if the
+    // optimizer actually unrolls it when unchecked; guard the guard.
+    EXPECT_FALSE(unchecked.outcomes[2].contained.empty())
+        << "nest 'carried' no longer rolls back; strengthen the kernel";
+}
+
+/**
+ * The acceptance contract on the generated corpus: run a slice of
+ * Table 1 routines through the oracle-checked pipeline, and require
+ * that every nest the safety net rolled back was flagged at error
+ * severity by the purely static analyzer -- no interpreter runs, no
+ * transforms, just the rules. Strict mode must then be rollback-free.
+ */
+TEST(LintPipeline, OracleRollbacksAreStaticallyPredictedOnTheCorpus)
+{
+    CorpusConfig corpus_config;
+    corpus_config.routines = 15;
+    corpus_config.seed = 20260806;
+    corpus_config.threads = 1;
+    std::vector<CorpusRoutine> corpus = generateCorpus(corpus_config);
+
+    std::size_t exercised = 0;
+    for (const CorpusRoutine &routine : corpus) {
+        for (const LoopNest &nest : routine.nests) {
+            // Shrink bounds and synthesize conforming declarations so
+            // the oracle's interpreter runs stay cheap (the same
+            // reduction the safety-net fuzz tests apply).
+            LoopNest small = nest;
+            for (std::size_t k = 0; k < small.depth(); ++k) {
+                if (small.loop(k).upper.evaluate({}) > 10)
+                    small.loop(k).upper = Bound::constant(10);
+            }
+            Program program;
+            bool ranks_consistent = true;
+            for (const Access &access : small.accesses()) {
+                if (program.hasArray(access.ref.array())) {
+                    if (program.array(access.ref.array())
+                            .extents.size() != access.ref.dims()) {
+                        ranks_consistent = false;
+                    }
+                    continue;
+                }
+                ArrayDecl decl;
+                decl.name = access.ref.array();
+                for (std::size_t d = 0; d < access.ref.dims(); ++d)
+                    decl.extents.push_back(Bound::constant(16));
+                program.declareArray(std::move(decl));
+            }
+            if (!ranks_consistent)
+                continue;
+            program.addNest(small);
+            if (!validateProgramStrict(program).empty())
+                continue;
+            ++exercised;
+
+            PipelineResult result = optimizeProgram(
+                program, alpha(), oracleConfig(LintMode::Off));
+            if (result.containedFaults() == 0)
+                continue;
+
+            LintResult lint = lintProgram(program, alpha(), {});
+            EXPECT_TRUE(lint.nestHasErrors(0))
+                << routine.name << ": rolled back but not flagged:\n"
+                << safetyReport(result);
+
+            PipelineResult strict = optimizeProgram(
+                program, alpha(), oracleConfig(LintMode::Strict));
+            EXPECT_EQ(strict.containedFaults(), 0u)
+                << routine.name << ":\n" << safetyReport(strict);
+        }
+    }
+    EXPECT_GT(exercised, 10u);
+}
+
+} // namespace

@@ -9,7 +9,7 @@
 
 #include "driver/driver.hh"
 #include "ir/interp.hh"
-#include "ir/validation.hh"
+#include "ir/validate.hh"
 #include "parser/parser.hh"
 #include "sim/simulator.hh"
 #include "workloads/suite.hh"

@@ -9,7 +9,7 @@
 #include "ir/builder.hh"
 #include "ir/interp.hh"
 #include "ir/printer.hh"
-#include "ir/validation.hh"
+#include "ir/validate.hh"
 #include "support/diagnostics.hh"
 
 namespace ujam

@@ -8,7 +8,7 @@
 
 #include "ir/interp.hh"
 #include "ir/printer.hh"
-#include "ir/validation.hh"
+#include "ir/validate.hh"
 #include "parser/lexer.hh"
 #include "parser/parser.hh"
 #include "support/diagnostics.hh"
@@ -214,15 +214,48 @@ end do
     EXPECT_TRUE(nest.body()[1].lhsIsArray());
 }
 
-TEST(Parser, ErrorsCarryLineNumbers)
+TEST(Parser, ErrorsCarryFileLineAndColumn)
 {
     try {
         parseProgram("do i = 1, 5\n  a(i = 2\nend do\n");
         FAIL() << "expected syntax error";
     } catch (const FatalError &err) {
-        EXPECT_NE(std::string(err.what()).find("line 2"),
-                  std::string::npos);
+        EXPECT_NE(std::string(err.what()).find("<input>:2:"),
+                  std::string::npos)
+            << err.what();
     }
+    try {
+        parseProgram("do i = 1, 5\n  a(i = 2\nend do\n", "bad.uj");
+        FAIL() << "expected syntax error";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("bad.uj:2:"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(Parser, StampsSourceLocations)
+{
+    Program program = parseProgram(
+        "param n = 8\nreal a(n)\n! nest: k\ndo i = 1, n\n"
+        "  a(i) = a(i) + 1.0\nend do\n",
+        "loc.uj");
+    EXPECT_EQ(program.sourceName(), "loc.uj");
+    ASSERT_EQ(program.nests().size(), 1u);
+    const LoopNest &nest = program.nests().front();
+    EXPECT_EQ(nest.loop(0).loc.line, 4);
+    EXPECT_EQ(nest.loop(0).loc.col, 1);
+    ASSERT_EQ(nest.body().size(), 1u);
+    EXPECT_EQ(nest.body()[0].loc().line, 5);
+    EXPECT_EQ(nest.body()[0].loc().col, 3);
+    EXPECT_EQ(nest.body()[0].lhsRef().loc().line, 5);
+    std::vector<Access> accesses = nest.accesses();
+    ASSERT_EQ(accesses.size(), 2u);
+    // The RHS read points at its own column, not the statement's.
+    EXPECT_EQ(accesses[0].ref.loc().line, 5);
+    EXPECT_EQ(accesses[0].ref.loc().col, 10);
+    // Locations never participate in structural equality.
+    EXPECT_EQ(accesses[0].ref, accesses[1].ref);
 }
 
 TEST(Parser, RejectsUnknownIvInSubscript)

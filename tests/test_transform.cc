@@ -12,7 +12,7 @@
 
 #include "ir/interp.hh"
 #include "ir/printer.hh"
-#include "ir/validation.hh"
+#include "ir/validate.hh"
 #include "parser/parser.hh"
 #include "support/diagnostics.hh"
 #include "support/rng.hh"

@@ -9,7 +9,7 @@
 
 #include "ir/interp.hh"
 #include "ir/printer.hh"
-#include "ir/validation.hh"
+#include "ir/validate.hh"
 #include "parser/parser.hh"
 #include "sim/simulator.hh"
 #include "support/diagnostics.hh"
