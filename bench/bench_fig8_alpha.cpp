@@ -31,8 +31,10 @@ main(int argc, char **argv)
 {
     using namespace ujam;
     MachineModel machine = MachineModel::decAlpha21064();
+    auto rows = runFigure(machine);
     printFigure("=== Figure 8: Performance of Test Loops on DEC Alpha ===",
-                machine, runFigure(machine));
+                machine, rows);
+    writeBenchJson("BENCH_FIG8_ALPHA.json", figureJson(machine, rows));
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

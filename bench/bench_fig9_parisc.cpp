@@ -30,9 +30,12 @@ main(int argc, char **argv)
 {
     using namespace ujam;
     MachineModel machine = MachineModel::hpPa7100();
+    auto rows = runFigure(machine);
     printFigure(
         "=== Figure 9: Performance of Test Loops on HP PA-RISC ===",
-        machine, runFigure(machine));
+        machine, rows);
+    writeBenchJson("BENCH_FIG9_PARISC.json",
+                   figureJson(machine, rows));
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Machine-readable benchmark artifacts.
+ *
+ * Every bench binary that reports numbers worth tracking writes a
+ * BENCH_*.json file (built with the shared support/json writer) so
+ * future PRs can diff performance mechanically instead of scraping
+ * stdout. Files land in the repository root by default
+ * (UJAM_REPO_ROOT, baked in by CMake); set UJAM_BENCH_DIR to redirect
+ * them, e.g. into a CI artifact directory.
+ */
+
+#ifndef UJAM_BENCH_BENCH_JSON_HH
+#define UJAM_BENCH_BENCH_JSON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace ujam
+{
+
+/** @return The directory BENCH_*.json files go to. */
+inline std::string
+benchOutputDir()
+{
+    if (const char *dir = std::getenv("UJAM_BENCH_DIR"))
+        return dir;
+#ifdef UJAM_REPO_ROOT
+    return UJAM_REPO_ROOT;
+#else
+    return ".";
+#endif
+}
+
+/**
+ * Write one benchmark artifact and say where it went.
+ *
+ * @param filename e.g. "BENCH_SCALING.json" (no directory).
+ * @param json     The document text.
+ * @return True when the file was written.
+ */
+inline bool
+writeBenchJson(const std::string &filename, const std::string &json)
+{
+    std::string path = benchOutputDir() + "/" + filename;
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "bench: cannot write '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    out << json << "\n";
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+}
+
+} // namespace ujam
+
+#endif // UJAM_BENCH_BENCH_JSON_HH

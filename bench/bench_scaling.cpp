@@ -3,8 +3,9 @@
  * Scaling benchmark for the parallel pipeline and the
  * allocation-free table kernels.
  *
- * Three sections, all emitted as one JSON object on stdout so future
- * PRs can track the trajectory mechanically:
+ * Three sections, emitted as one JSON document -- on stdout and as
+ * BENCH_SCALING.json in the repository root -- so future PRs can
+ * track the trajectory mechanically:
  *
  *   - corpus_census:   per-routine dependence analysis of the
  *                      1187-routine Table-1 corpus, serial vs. 2/4/N
@@ -13,7 +14,7 @@
  *                      serial vs. parallel per-nest fan-out.
  *   - table_build:     buildNestTables wall time vs. unroll-space
  *                      size on the deepest suite nest (the kernels
- *                      this PR rewrote from per-point decode scans to
+ *                      rewritten from per-point decode scans to
  *                      stride walks).
  *
  * Every section reports the median of repeated runs.
@@ -25,8 +26,10 @@
 #include <functional>
 #include <vector>
 
+#include "bench_json.hh"
 #include "core/tables.hh"
 #include "driver/driver.hh"
+#include "support/json.hh"
 #include "support/thread_pool.hh"
 #include "workloads/corpus.hh"
 #include "workloads/suite.hh"
@@ -78,19 +81,19 @@ main()
                  widths.end());
     const int reps = 5;
 
-    std::printf("{\n");
-    std::printf("  \"hardware_threads\": %zu,\n", hw);
+    JsonWriter json(2);
+    json.beginObject();
+    json.field("hardware_threads", std::uint64_t(hw));
 
     // --- corpus census ---------------------------------------------------
     {
         CorpusConfig config; // full 1187 routines
         config.threads = 1;
         auto corpus = generateCorpus(config);
-        std::printf("  \"corpus_census\": {\n");
-        std::printf("    \"routines\": %zu,\n", corpus.size());
+        json.key("corpus_census").beginObject();
+        json.field("routines", std::uint64_t(corpus.size()));
         double serial = 0.0;
-        for (std::size_t w = 0; w < widths.size(); ++w) {
-            std::size_t threads = widths[w];
+        for (std::size_t threads : widths) {
             double t = medianSeconds(reps, [&] {
                 CorpusStats stats = analyzeCorpus(corpus, threads);
                 if (stats.totalDeps == 0)
@@ -98,26 +101,25 @@ main()
             });
             if (threads == 1)
                 serial = t;
-            std::printf("    \"threads_%zu_seconds\": %.6f,\n", threads,
-                        t);
+            json.key("threads_" + std::to_string(threads) +
+                     "_seconds");
+            json.valueFixed(t, 6);
         }
-        std::printf("    \"serial_seconds\": %.6f,\n", serial);
+        json.key("serial_seconds").valueFixed(serial, 6);
         double t4 = medianSeconds(
             reps, [&] { (void)analyzeCorpus(corpus, 4); });
-        std::printf("    \"speedup_at_4_threads\": %.2f\n",
-                    serial / t4);
-        std::printf("  },\n");
+        json.key("speedup_at_4_threads").valueFixed(serial / t4, 2);
+        json.endObject();
     }
 
     // --- suite pipeline --------------------------------------------------
     {
         Program program = wholeSuiteProgram();
         MachineModel machine = MachineModel::decAlpha21064();
-        std::printf("  \"suite_pipeline\": {\n");
-        std::printf("    \"nests\": %zu,\n", program.nests().size());
+        json.key("suite_pipeline").beginObject();
+        json.field("nests", std::uint64_t(program.nests().size()));
         double serial = 0.0, best = 0.0;
-        for (std::size_t w = 0; w < widths.size(); ++w) {
-            std::size_t threads = widths[w];
+        for (std::size_t threads : widths) {
             PipelineConfig config;
             config.threads = threads;
             double t = medianSeconds(reps, [&] {
@@ -129,12 +131,13 @@ main()
             if (threads == 1)
                 serial = t;
             best = (best == 0.0) ? t : std::min(best, t);
-            std::printf("    \"threads_%zu_seconds\": %.6f,\n", threads,
-                        t);
+            json.key("threads_" + std::to_string(threads) +
+                     "_seconds");
+            json.valueFixed(t, 6);
         }
-        std::printf("    \"serial_seconds\": %.6f,\n", serial);
-        std::printf("    \"best_speedup\": %.2f\n", serial / best);
-        std::printf("  },\n");
+        json.key("serial_seconds").valueFixed(serial, 6);
+        json.key("best_speedup").valueFixed(serial / best, 2);
+        json.endObject();
     }
 
     // --- table construction vs. unroll-space size ------------------------
@@ -150,32 +153,36 @@ main()
                 deepest = &nest;
         }
         Subspace localized =
-            Subspace::coordinate(deepest->depth(), {deepest->depth() - 1});
+            Subspace::coordinate(deepest->depth(),
+                                 {deepest->depth() - 1});
         std::vector<std::size_t> dims;
         for (std::size_t k = 0; k + 1 < deepest->depth() && k < 2; ++k)
             dims.push_back(k);
 
-        std::printf("  \"table_build\": {\n");
-        std::printf("    \"nest_depth\": %zu,\n", deepest->depth());
-        std::printf("    \"sweep\": [\n");
+        json.key("table_build").beginObject();
+        json.field("nest_depth", std::uint64_t(deepest->depth()));
+        json.key("sweep").beginArray();
         const std::vector<std::int64_t> limits = {4, 8, 16, 32, 64};
-        for (std::size_t s = 0; s < limits.size(); ++s) {
-            UnrollSpace space(deepest->depth(), dims, limits[s]);
+        for (std::int64_t limit : limits) {
+            UnrollSpace space(deepest->depth(), dims, limit);
             double t = medianSeconds(3, [&] {
                 NestTables tables =
                     buildNestTables(*deepest, space, localized);
                 if (tables.perUgs.empty())
                     std::fprintf(stderr, "unexpected empty tables\n");
             });
-            std::printf("      {\"limit\": %lld, \"points\": %zu, "
-                        "\"seconds\": %.6f}%s\n",
-                        static_cast<long long>(limits[s]), space.size(),
-                        t, s + 1 < limits.size() ? "," : "");
+            json.beginObject();
+            json.field("limit", limit);
+            json.field("points", std::uint64_t(space.size()));
+            json.key("seconds").valueFixed(t, 6);
+            json.endObject();
         }
-        std::printf("    ]\n");
-        std::printf("  }\n");
+        json.endArray();
+        json.endObject();
     }
 
-    std::printf("}\n");
+    json.endObject();
+    std::printf("%s\n", json.str().c_str());
+    writeBenchJson("BENCH_SCALING.json", json.str());
     return 0;
 }

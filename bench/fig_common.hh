@@ -21,8 +21,10 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hh"
 #include "core/optimizer.hh"
 #include "sim/simulator.hh"
+#include "support/json.hh"
 #include "support/string_utils.hh"
 #include "transform/scalar_replacement.hh"
 #include "transform/unroll_and_jam.hh"
@@ -107,6 +109,37 @@ printFigure(const char *title, const MachineModel &machine,
     std::printf("%-12s %-12s %8.2f   %-12s %8.2f   (geometric mean)\n",
                 "ALL", "", std::exp(geo_nc / n), "",
                 std::exp(geo_c / n));
+}
+
+/** The figure as a machine-readable document (BENCH_FIG*.json). */
+inline std::string
+figureJson(const MachineModel &machine,
+           const std::vector<FigureRow> &rows)
+{
+    JsonWriter json(2);
+    json.beginObject();
+    json.field("machine", machine.name);
+    json.field("machine_balance", machine.machineBalance());
+    json.key("rows").beginArray();
+    double geo_nc = 0.0;
+    double geo_c = 0.0;
+    for (const FigureRow &row : rows) {
+        json.beginObject();
+        json.field("loop", row.loop);
+        json.field("unroll_no_cache", row.unrollNoCache.toString());
+        json.field("unroll_cache", row.unrollCache.toString());
+        json.field("normalized_no_cache", row.normalizedNoCache);
+        json.field("normalized_cache", row.normalizedCache);
+        json.endObject();
+        geo_nc += std::log(row.normalizedNoCache);
+        geo_c += std::log(row.normalizedCache);
+    }
+    json.endArray();
+    double n = static_cast<double>(rows.size());
+    json.field("geomean_no_cache", std::exp(geo_nc / n));
+    json.field("geomean_cache", std::exp(geo_c / n));
+    json.endObject();
+    return json.str();
 }
 
 } // namespace ujam

@@ -1,9 +1,8 @@
 #include "analysis/render.hh"
 
-#include <cstdio>
-
 #include "analysis/rule.hh"
 #include "support/diagnostics.hh"
+#include "support/json.hh"
 
 namespace ujam
 {
@@ -11,46 +10,11 @@ namespace ujam
 namespace
 {
 
-/** JSON string escaping (quotes, backslash, control characters). */
-std::string
-jsonEscape(const std::string &text)
-{
-    std::string out;
-    out.reserve(text.size() + 2);
-    for (unsigned char c : text) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (c < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += static_cast<char>(c);
-            }
-        }
-    }
-    return out;
-}
-
+/** Shorthand for the shared escaping writer (support/json.hh). */
 std::string
 quoted(const std::string &text)
 {
-    return "\"" + jsonEscape(text) + "\"";
+    return jsonQuote(text);
 }
 
 /** SARIF severity levels use "warning", ours prints the same. */

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * ujam-serve: the batch optimization service.
+ *
+ *     ujam-serve --batch [OPTIONS]          read NDJSON requests from
+ *                                           stdin, answer on stdout
+ *     ujam-serve --socket PATH [OPTIONS]    serve a Unix domain socket
+ *                                           until a shutdown request
+ *     ujam-serve --client PATH [FILE]       send FILE's (or stdin's)
+ *                                           frames to a running server
+ *
+ * Options:
+ *     --threads N        worker threads (0 = one per core)
+ *     --queue N          socket admission-queue bound (default 64)
+ *     --cache-dir DIR    persistent result-cache directory
+ *     --cache-mem N      in-memory cache entries (default 256)
+ *     --deadline-ms N    default deadline for requests without one
+ *     --dump-metrics     print the metrics document to stderr on exit
+ *
+ * See service/protocol.hh for the wire format. Exit status: 0 on a
+ * clean run, 2 on usage or startup errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "service/client.hh"
+#include "service/server.hh"
+#include "support/diagnostics.hh"
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ujam-serve --batch | --socket PATH | --client PATH "
+        "[FILE]\n"
+        "       [--threads N] [--queue N] [--cache-dir DIR]\n"
+        "       [--cache-mem N] [--deadline-ms N] [--dump-metrics]\n");
+}
+
+/** --client: stream frames from `in` to a running server. */
+int
+runClient(const std::string &socket_path, std::istream &in)
+{
+    ujam::ServeClient client;
+    if (!client.connect(socket_path)) {
+        std::fprintf(stderr, "ujam-serve: cannot connect to '%s'\n",
+                     socket_path.c_str());
+        return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string response = client.request(line);
+        if (response.empty()) {
+            std::fprintf(stderr,
+                         "ujam-serve: server closed the connection\n");
+            return 2;
+        }
+        std::printf("%s\n", response.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ujam;
+
+    enum class Mode
+    {
+        None,
+        Batch,
+        Socket,
+        Client
+    };
+
+    Mode mode = Mode::None;
+    ServerConfig config;
+    std::string client_file;
+    bool dump_metrics = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--batch") == 0) {
+            mode = Mode::Batch;
+        } else if (std::strcmp(arg, "--socket") == 0 && i + 1 < argc) {
+            mode = Mode::Socket;
+            config.socketPath = argv[++i];
+        } else if (std::strcmp(arg, "--client") == 0 && i + 1 < argc) {
+            mode = Mode::Client;
+            config.socketPath = argv[++i];
+        } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+            config.threads = std::strtoul(argv[++i], nullptr, 10);
+        } else if (std::strcmp(arg, "--queue") == 0 && i + 1 < argc) {
+            config.queueLimit = std::strtoul(argv[++i], nullptr, 10);
+        } else if (std::strcmp(arg, "--cache-dir") == 0 &&
+                   i + 1 < argc) {
+            config.cacheDir = argv[++i];
+        } else if (std::strcmp(arg, "--cache-mem") == 0 &&
+                   i + 1 < argc) {
+            config.cacheMemEntries =
+                std::strtoul(argv[++i], nullptr, 10);
+        } else if (std::strcmp(arg, "--deadline-ms") == 0 &&
+                   i + 1 < argc) {
+            config.defaultDeadlineMs = std::atoll(argv[++i]);
+        } else if (std::strcmp(arg, "--dump-metrics") == 0) {
+            dump_metrics = true;
+        } else if (arg[0] == '-') {
+            usage();
+            return 2;
+        } else if (mode == Mode::Client && client_file.empty()) {
+            client_file = arg;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+
+    if (mode == Mode::None) {
+        usage();
+        return 2;
+    }
+
+    if (mode == Mode::Client) {
+        if (client_file.empty())
+            return runClient(config.socketPath, std::cin);
+        std::ifstream in(client_file);
+        if (!in) {
+            std::fprintf(stderr, "ujam-serve: cannot open '%s'\n",
+                         client_file.c_str());
+            return 2;
+        }
+        return runClient(config.socketPath, in);
+    }
+
+    try {
+        UjamServer server(std::move(config));
+        if (mode == Mode::Batch) {
+            server.runBatch(std::cin, std::cout);
+        } else {
+            server.start();
+            server.waitForShutdown();
+            server.stop();
+        }
+        if (dump_metrics) {
+            std::fprintf(stderr, "%s\n",
+                         server.metricsSnapshot().c_str());
+        }
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+        return 2;
+    }
+    return 0;
+}

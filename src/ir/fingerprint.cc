@@ -1,0 +1,63 @@
+#include "ir/fingerprint.hh"
+
+#include <sstream>
+
+#include "ir/printer.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+void
+renderStmtList(std::ostringstream &os, const char *label,
+               const std::vector<Stmt> &stmts,
+               const std::vector<std::string> &ivs)
+{
+    for (const Stmt &stmt : stmts)
+        os << "  " << label << " " << renderStmt(stmt, ivs) << "\n";
+}
+
+} // namespace
+
+std::string
+canonicalNest(const LoopNest &nest)
+{
+    std::ostringstream os;
+    os << "nest \"" << nest.name() << "\" depth=" << nest.depth()
+       << "\n";
+    std::vector<std::string> ivs = nest.ivNames();
+    for (std::size_t k = 0; k < nest.depth(); ++k) {
+        const Loop &loop = nest.loop(k);
+        os << "  loop " << loop.iv << " = " << loop.lower.toString()
+           << " .. " << loop.upper.toString() << " step " << loop.step
+           << "\n";
+    }
+    renderStmtList(os, "pre ", nest.preheader(), ivs);
+    renderStmtList(os, "body", nest.body(), ivs);
+    renderStmtList(os, "post", nest.postheader(), ivs);
+    return os.str();
+}
+
+std::string
+canonicalProgram(const Program &program)
+{
+    std::ostringstream os;
+    os << "ujam-ir-v1\n";
+    // ParamBindings is an ordered map, so iteration order is the
+    // canonical name order already.
+    for (const auto &[name, value] : program.paramDefaults())
+        os << "param " << name << " = " << value << "\n";
+    for (const ArrayDecl &decl : program.arrays()) {
+        os << "array " << decl.name << "(";
+        for (std::size_t d = 0; d < decl.extents.size(); ++d)
+            os << (d ? ", " : "") << decl.extents[d].toString();
+        os << ")\n";
+    }
+    for (const LoopNest &nest : program.nests())
+        os << canonicalNest(nest);
+    return os.str();
+}
+
+} // namespace ujam

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Canonical IR serialization for content addressing.
+ *
+ * canonicalProgram() renders a Program into a deterministic byte
+ * string that captures exactly the inputs the optimization pipeline
+ * consumes -- parameters, array shapes, and per-nest loops and
+ * statements -- and nothing it does not: source locations,
+ * whitespace, comments and statement formatting in the original DSL
+ * text all vanish. Two programs that parse to structurally identical
+ * IR therefore serialize identically, which is what makes the
+ * rendering a safe cache key for analysis and transformation results
+ * (the pipeline is a pure function of this IR, the machine model and
+ * the pipeline configuration).
+ */
+
+#ifndef UJAM_IR_FINGERPRINT_HH
+#define UJAM_IR_FINGERPRINT_HH
+
+#include <string>
+
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/** @return The nest's canonical rendering (loops, pre/body/post). */
+std::string canonicalNest(const LoopNest &nest);
+
+/**
+ * @return The program's canonical rendering: parameter defaults in
+ * name order, array declarations in declaration order, then every
+ * nest via canonicalNest() in program order.
+ */
+std::string canonicalProgram(const Program &program);
+
+} // namespace ujam
+
+#endif // UJAM_IR_FINGERPRINT_HH

@@ -4,6 +4,7 @@
 
 #include "core/rrs.hh"
 #include "ir/printer.hh"
+#include "support/json.hh"
 #include "support/string_utils.hh"
 
 namespace ujam
@@ -164,6 +165,122 @@ safetyReport(const PipelineResult &result)
        << " fault(s) contained; each affected nest was rolled back to "
           "its pre-stage IR and the run continued\n";
     return os.str();
+}
+
+namespace
+{
+
+void
+intVectorJson(JsonWriter &json, const char *name, const IntVector &v)
+{
+    json.key(name).beginArray();
+    for (std::int64_t elem : v)
+        json.value(elem);
+    json.endArray();
+}
+
+void
+diagnosticsJson(JsonWriter &json, const char *name,
+                const std::vector<StageDiagnostic> &diags)
+{
+    json.key(name).beginArray();
+    for (const StageDiagnostic &diag : diags)
+        json.value(diag.toString());
+    json.endArray();
+}
+
+void
+lintJson(JsonWriter &json, const LintResult &lint)
+{
+    json.key("lint").beginObject();
+    json.field("source", lint.sourceName);
+    json.field("errors", std::uint64_t(lint.errorCount()));
+    json.field("warnings", std::uint64_t(lint.warnCount()));
+    json.field("notes", std::uint64_t(lint.noteCount()));
+    json.key("diagnostics").beginArray();
+    for (const LintDiagnostic &diag : lint.diagnostics) {
+        json.beginObject();
+        json.field("rule", diag.ruleId);
+        json.field("severity", lintSeverityName(diag.severity));
+        if (diag.loc.known()) {
+            json.field("line", std::int64_t(diag.loc.line));
+            json.field("col", std::int64_t(diag.loc.col));
+        }
+        json.field("nest", diag.nestName);
+        json.field("nest_index", std::uint64_t(diag.nestIndex));
+        json.field("message", diag.message);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+} // namespace
+
+std::string
+pipelineResultJson(const PipelineResult &result, bool include_program)
+{
+    JsonWriter json;
+    json.beginObject();
+
+    json.key("summary").beginObject();
+    json.field("nests", std::uint64_t(result.outcomes.size()));
+    json.field("fusions", std::uint64_t(result.fusions));
+    json.field("contained_faults",
+               std::uint64_t(result.containedFaults()));
+    json.endObject();
+
+    json.key("outcomes").beginArray();
+    for (const NestOutcome &outcome : result.outcomes) {
+        json.beginObject();
+        json.field("name", outcome.name);
+        json.field("lint_skipped", outcome.lintSkipped);
+        json.field("normalized", outcome.normalized);
+        json.field("pieces", std::uint64_t(outcome.pieces));
+        json.field("interchanged", outcome.interchanged);
+        if (outcome.interchanged) {
+            json.key("permutation").beginArray();
+            for (std::size_t k : outcome.permutation)
+                json.value(std::uint64_t(k));
+            json.endArray();
+        }
+        intVectorJson(json, "unroll", outcome.decision.unroll);
+        intVectorJson(json, "safety_bounds",
+                      outcome.decision.safetyBounds);
+        json.field("predicted_balance",
+                   outcome.decision.predictedBalance);
+        json.field("machine_balance",
+                   outcome.decision.machineBalance);
+        json.field("registers", outcome.decision.registers);
+        json.field("loads_removed",
+                   std::uint64_t(outcome.loadsRemoved));
+        json.field("prefetches", std::uint64_t(outcome.prefetches));
+        diagnosticsJson(json, "contained", outcome.contained);
+        json.endObject();
+    }
+    json.endArray();
+
+    diagnosticsJson(json, "program_diagnostics",
+                    result.programDiagnostics);
+
+    if (!result.lint.sourceName.empty())
+        lintJson(json, result.lint);
+
+    if (include_program)
+        json.field("program", renderProgram(result.program));
+
+    json.endObject();
+    return json.str();
+}
+
+std::string
+lintResultJson(const LintResult &lint)
+{
+    JsonWriter json;
+    json.beginObject();
+    lintJson(json, lint);
+    json.endObject();
+    return json.str();
 }
 
 } // namespace ujam

@@ -57,6 +57,28 @@ std::string reuseSummary(const LoopNest &nest);
  */
 std::string safetyReport(const PipelineResult &result);
 
+/**
+ * Render a pipeline run as one compact JSON object (the shared
+ * support/json writer, single line): the transformed program text,
+ * per-nest outcomes, contained faults and -- when lint ran -- the
+ * analyzer findings. This is the machine-readable twin of
+ * PipelineResult::summary() and the payload ujam-serve caches and
+ * returns; it is deterministic for a given result (no timings, no
+ * environment).
+ *
+ * @param result          A finished pipeline run.
+ * @param include_program Emit the transformed program's source text.
+ * @return One-line JSON object text.
+ */
+std::string pipelineResultJson(const PipelineResult &result,
+                               bool include_program = true);
+
+/**
+ * @return An analyzer run as one compact JSON object (same "lint"
+ * schema pipelineResultJson embeds, as a standalone document).
+ */
+std::string lintResultJson(const LintResult &lint);
+
 } // namespace ujam
 
 #endif // UJAM_REPORT_REPORT_HH

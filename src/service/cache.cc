@@ -1,0 +1,254 @@
+#include "service/cache.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ir/fingerprint.hh"
+#include "support/sha256.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+/** Shortest round-trip decimal rendering (locale-independent). */
+std::string
+num(double v)
+{
+    char buf[40];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    if (ec != std::errc())
+        return "?";
+    return std::string(buf, end);
+}
+
+void
+renderMachine(std::ostringstream &os, const MachineModel &machine)
+{
+    os << "machine.name = " << machine.name << "\n"
+       << "machine.memOpsPerCycle = " << num(machine.memOpsPerCycle)
+       << "\n"
+       << "machine.flopsPerCycle = " << num(machine.flopsPerCycle)
+       << "\n"
+       << "machine.fpRegisters = " << machine.fpRegisters << "\n"
+       << "machine.cacheBytes = " << machine.cacheBytes << "\n"
+       << "machine.lineBytes = " << machine.lineBytes << "\n"
+       << "machine.associativity = " << machine.associativity << "\n"
+       << "machine.elementBytes = " << machine.elementBytes << "\n"
+       << "machine.cacheHitCycles = " << num(machine.cacheHitCycles)
+       << "\n"
+       << "machine.missPenaltyCycles = "
+       << num(machine.missPenaltyCycles) << "\n"
+       << "machine.l2Bytes = " << machine.l2Bytes << "\n"
+       << "machine.l2LineBytes = " << machine.l2LineBytes << "\n"
+       << "machine.l2Associativity = " << machine.l2Associativity
+       << "\n"
+       << "machine.l2HitCycles = " << num(machine.l2HitCycles) << "\n"
+       << "machine.prefetchPerCycle = " << num(machine.prefetchPerCycle)
+       << "\n"
+       << "machine.issueWidth = " << machine.issueWidth << "\n"
+       << "machine.memPorts = " << machine.memPorts << "\n"
+       << "machine.fpUnits = " << machine.fpUnits << "\n"
+       << "machine.loadLatency = " << machine.loadLatency << "\n"
+       << "machine.fpLatency = " << machine.fpLatency << "\n";
+}
+
+void
+renderConfig(std::ostringstream &os, const PipelineConfig &config)
+{
+    // Every semantic field by name. PipelineConfig::threads and
+    // OptimizerConfig::threads are deliberately absent: the fan-outs
+    // are bit-identical at every width, so thread counts must map to
+    // the same key (verified by ServiceCache.ThreadCountExcluded).
+    const OptimizerConfig &opt = config.optimizer;
+    os << "optimizer.maxUnroll = " << opt.maxUnroll << "\n"
+       << "optimizer.maxLoops = " << opt.maxLoops << "\n"
+       << "optimizer.useCacheModel = " << opt.useCacheModel << "\n"
+       << "optimizer.limitRegisters = " << opt.limitRegisters << "\n"
+       << "optimizer.locality.cacheLineElems = "
+       << opt.locality.cacheLineElems << "\n"
+       << "optimizer.locality.localizedTrip = "
+       << num(opt.locality.localizedTrip) << "\n";
+
+    os << "pipeline.fuse = " << config.fuse << "\n"
+       << "pipeline.normalize = " << config.normalize << "\n"
+       << "pipeline.distribute = " << config.distribute << "\n"
+       << "pipeline.interchange = " << config.interchange << "\n"
+       << "pipeline.scalarReplace = " << config.scalarReplace << "\n"
+       << "pipeline.prefetch = " << config.prefetch << "\n"
+       << "pipeline.prefetchConfig.distanceIters = "
+       << config.prefetchConfig.distanceIters << "\n";
+
+    const SafetyConfig &safety = config.safety;
+    os << "safety.validate = " << safety.validate << "\n"
+       << "safety.oracle = " << safety.oracle << "\n"
+       << "safety.oracleTrials = " << safety.oracleTrials << "\n"
+       << "safety.tolerance = " << num(safety.tolerance) << "\n"
+       << "safety.oracleSeed = " << safety.oracleSeed << "\n";
+    os << "safety.oracleParams =";
+    for (const auto &[name, value] : safety.oracleParams)
+        os << " " << name << ":" << value;
+    os << "\n";
+    os << "safety.faults =";
+    for (const FaultSpec &spec : safety.faults)
+        os << " " << spec.toString();
+    os << "\n";
+
+    os << "lint.mode = " << lintModeName(config.lint) << "\n"
+       << "lint.maxUnroll = " << config.lintOptions.maxUnroll << "\n"
+       << "lint.haloElems = " << config.lintOptions.haloElems << "\n"
+       << "lint.minSeverity = "
+       << lintSeverityName(config.lintOptions.minSeverity) << "\n";
+}
+
+} // namespace
+
+std::string
+canonicalRequestText(const std::string &op, const Program &program,
+                     const MachineModel &machine,
+                     const PipelineConfig &config)
+{
+    std::ostringstream os;
+    os << "ujam-serve-cache-v1\n";
+    os << "op = " << op << "\n";
+    renderMachine(os, machine);
+    renderConfig(os, config);
+    os << "program:\n" << canonicalProgram(program);
+    return os.str();
+}
+
+std::string
+computeCacheKey(const std::string &op, const Program &program,
+                const MachineModel &machine,
+                const PipelineConfig &config)
+{
+    return sha256Hex(
+        canonicalRequestText(op, program, machine, config));
+}
+
+// --- ResultCache -----------------------------------------------------------
+
+ResultCache::ResultCache(std::size_t memory_capacity,
+                         std::string disk_dir)
+    : capacity_(memory_capacity == 0 ? 1 : memory_capacity),
+      diskDir_(std::move(disk_dir))
+{}
+
+std::string
+ResultCache::diskPath(const std::string &key) const
+{
+    // Content-addressed layout: <dir>/<first two hex chars>/<key>.
+    // The fan-out keeps directories small under sustained traffic.
+    return diskDir_ + "/" + key.substr(0, 2) + "/" + key;
+}
+
+void
+ResultCache::insertLocked(const std::string &key, std::string value)
+{
+    auto found = index_.find(key);
+    if (found != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, found->second);
+        found->second->second = std::move(value);
+        return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_[key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+    }
+}
+
+std::optional<std::string>
+ResultCache::get(const std::string &key, CacheTier *tier)
+{
+    if (tier)
+        *tier = CacheTier::Miss;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto found = index_.find(key);
+        if (found != index_.end()) {
+            lru_.splice(lru_.begin(), lru_, found->second);
+            if (tier)
+                *tier = CacheTier::Memory;
+            return found->second->second;
+        }
+    }
+    if (diskDir_.empty())
+        return std::nullopt;
+
+    std::ifstream in(diskPath(key), std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (!in.good() && !in.eof())
+        return std::nullopt;
+    std::string value = text.str();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        insertLocked(key, value);
+    }
+    if (tier)
+        *tier = CacheTier::Disk;
+    return value;
+}
+
+void
+ResultCache::put(const std::string &key, const std::string &value)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        insertLocked(key, value);
+    }
+    if (diskDir_.empty())
+        return;
+
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::string path = diskPath(key);
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    if (ec)
+        return; // persistence is best-effort; memory tier still serves
+
+    // Atomic publish: write a unique temp file, then rename into
+    // place. Readers either see the old content or the new, never a
+    // torn write; concurrent writers of the same key write identical
+    // bytes (content addressing), so last-rename-wins is benign.
+    static std::atomic<std::uint64_t> temp_serial{0};
+    std::string temp = diskDir_ + "/.tmp-" +
+                       std::to_string(::getpid()) + "-" +
+                       std::to_string(temp_serial.fetch_add(1));
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            return;
+        }
+        out.write(value.data(),
+                  static_cast<std::streamsize>(value.size()));
+        if (!out.good()) {
+            out.close();
+            fs::remove(temp, ec);
+            return;
+        }
+    }
+    fs::rename(temp, path, ec);
+    if (ec)
+        fs::remove(temp, ec);
+}
+
+std::size_t
+ResultCache::memoryEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+} // namespace ujam

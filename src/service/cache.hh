@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The content-addressed result cache.
+ *
+ * The pipeline is a pure function of (parsed program IR, machine
+ * model, pipeline configuration): the paper's tables -- like the
+ * uniformly generated sets they are built from -- depend on nothing
+ * else, and every stage on top is deterministic. That makes results
+ * safe to memoize under a key that canonically serializes exactly
+ * those three inputs (computeCacheKey); anything non-semantic --
+ * request ids, whitespace, the worker thread count -- is excluded, so
+ * equal work hits, and any semantic change (one optimizer knob, one
+ * machine parameter, one statement) misses.
+ *
+ * Storage is two-tier: a bounded in-memory LRU in front of an
+ * optional on-disk store (one file per key, atomically written), so
+ * a restarted server is warm from its first request. Both tiers are
+ * safe for concurrent use.
+ */
+
+#ifndef UJAM_SERVICE_CACHE_HH
+#define UJAM_SERVICE_CACHE_HH
+
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "driver/driver.hh"
+
+namespace ujam
+{
+
+/**
+ * @return The canonical text hashed into a cache key: an "op" tag,
+ * every semantic MachineModel and PipelineConfig field by name, and
+ * the canonical program rendering. Exposed separately from the hash
+ * so tests can assert *why* two keys differ.
+ */
+std::string canonicalRequestText(const std::string &op,
+                                 const Program &program,
+                                 const MachineModel &machine,
+                                 const PipelineConfig &config);
+
+/** @return The SHA-256 hex cache key for a request. */
+std::string computeCacheKey(const std::string &op, const Program &program,
+                            const MachineModel &machine,
+                            const PipelineConfig &config);
+
+/** Where a cache probe was answered from. */
+enum class CacheTier
+{
+    Miss,
+    Memory,
+    Disk
+};
+
+/**
+ * Two-tier LRU + persistent store mapping hex keys to result text.
+ */
+class ResultCache
+{
+  public:
+    /**
+     * @param memory_capacity Max in-memory entries (>= 1).
+     * @param disk_dir        Persistence directory; empty = memory
+     *                        only. Created (with parents) on first
+     *                        store.
+     */
+    explicit ResultCache(std::size_t memory_capacity,
+                         std::string disk_dir = "");
+
+    /**
+     * Look up a key.
+     *
+     * A disk hit is promoted into the memory tier.
+     *
+     * @param key  The hex key.
+     * @param tier Set to where the value came from (or Miss).
+     * @return The stored value, or nothing.
+     */
+    std::optional<std::string> get(const std::string &key,
+                                   CacheTier *tier = nullptr);
+
+    /** Insert (or refresh) a key in both tiers. */
+    void put(const std::string &key, const std::string &value);
+
+    /** @return Current in-memory entry count. */
+    std::size_t memoryEntries() const;
+
+    /** @return Configured in-memory capacity. */
+    std::size_t memoryCapacity() const { return capacity_; }
+
+    /** @return The persistence directory ("" = memory only). */
+    const std::string &diskDir() const { return diskDir_; }
+
+  private:
+    std::string diskPath(const std::string &key) const;
+    void insertLocked(const std::string &key, std::string value);
+
+    std::size_t capacity_;
+    std::string diskDir_;
+
+    mutable std::mutex mutex_;
+    /** Most recent at the front. */
+    std::list<std::pair<std::string, std::string>> lru_;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, std::string>>::iterator>
+        index_;
+};
+
+} // namespace ujam
+
+#endif // UJAM_SERVICE_CACHE_HH

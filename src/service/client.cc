@@ -1,0 +1,95 @@
+#include "service/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace ujam
+{
+
+ServeClient::~ServeClient()
+{
+    close();
+}
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+bool
+ServeClient::connect(const std::string &socket_path, int retry_ms)
+{
+    close();
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    auto give_up =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(retry_ms);
+    while (true) {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0)
+            return false;
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            fd_ = fd;
+            return true;
+        }
+        ::close(fd);
+        if (std::chrono::steady_clock::now() >= give_up)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+std::string
+ServeClient::request(const std::string &line)
+{
+    if (fd_ < 0)
+        return "";
+
+    std::string frame = line + "\n";
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        ssize_t n = ::send(fd_, frame.data() + sent,
+                           frame.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            close();
+            return "";
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    char chunk[64 * 1024];
+    while (true) {
+        std::size_t newline = buffer_.find('\n');
+        if (newline != std::string::npos) {
+            std::string response = buffer_.substr(0, newline);
+            buffer_.erase(0, newline + 1);
+            return response;
+        }
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+            close();
+            return "";
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace ujam

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A thin blocking client for the ujam-serve socket.
+ *
+ * One connection, one request frame out, one response frame back --
+ * exactly the shape the CLI's client mode and the server smoke tests
+ * need. connect() retries briefly so a test can start a server and a
+ * client concurrently without an external readiness handshake.
+ */
+
+#ifndef UJAM_SERVICE_CLIENT_HH
+#define UJAM_SERVICE_CLIENT_HH
+
+#include <string>
+
+namespace ujam
+{
+
+/** See the file comment. */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /**
+     * Connect to a listening ujam-serve socket.
+     *
+     * @param socket_path The server's Unix-domain-socket path.
+     * @param retry_ms    Keep retrying for this long before failing
+     *                    (covers a server still binding).
+     * @return True once connected.
+     */
+    bool connect(const std::string &socket_path, int retry_ms = 2000);
+
+    /** @return True while the connection is usable. */
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Send one request frame and read one response frame.
+     *
+     * @param line A request without the trailing newline.
+     * @return The response without its newline, or "" on a dead
+     *         connection (e.g. closed after an overloaded reply).
+     */
+    std::string request(const std::string &line);
+
+    /** Close the connection (idempotent). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string buffer_; //!< bytes read past the last frame
+};
+
+} // namespace ujam
+
+#endif // UJAM_SERVICE_CLIENT_HH

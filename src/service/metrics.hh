@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Service observability: atomic counters and fixed-bucket latency
+ * histograms.
+ *
+ * Every mutation is a relaxed atomic increment, so recording from
+ * any number of worker threads is wait-free and never perturbs
+ * request latency. metricsJson() renders a stable schema (fixed key
+ * order, cumulative "le" buckets) so dashboards and tests can diff
+ * two snapshots mechanically. Counter values are exact; a snapshot
+ * taken while workers are active is a consistent-enough point-in-time
+ * read (each counter individually correct, no torn values).
+ */
+
+#ifndef UJAM_SERVICE_METRICS_HH
+#define UJAM_SERVICE_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ujam
+{
+
+/**
+ * A fixed-bucket latency histogram over microseconds.
+ *
+ * Bucket upper bounds are powers of four starting at 1us (1, 4, 16,
+ * ..., ~67s) plus a final overflow bucket, covering everything from a
+ * cache hit to a pathological optimize with 13 buckets of ~2x worst
+ * case resolution per decade.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 14;
+
+    /** @return The inclusive upper bound of bucket i in microseconds
+     * (the last bucket is unbounded). */
+    static std::uint64_t bucketBound(std::size_t i);
+
+    /** Record one observation of micros microseconds. */
+    void record(std::uint64_t micros);
+
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    sumMicros() const
+    {
+        return sumMicros_.load(std::memory_order_relaxed);
+    }
+
+    /** @return The raw (non-cumulative) count of bucket i. */
+    std::uint64_t
+    bucketCount(std::size_t i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sumMicros_{0};
+};
+
+/** One relaxed atomic counter. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    get() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Everything ujam-serve counts. */
+struct ServiceMetrics
+{
+    // --- requests, by outcome ---
+    Counter requestsTotal;
+    Counter requestsOk;
+    Counter requestsError;     //!< parse/validate/usage failures
+    Counter requestsOverloaded; //!< rejected by admission control
+    Counter requestsTimeout;    //!< deadline expired
+
+    // --- requests, by operation ---
+    Counter opOptimize;
+    Counter opLint;
+    Counter opMetrics;
+    Counter opPing;
+    Counter opShutdown;
+
+    // --- result cache ---
+    Counter cacheMemoryHits;
+    Counter cacheDiskHits;
+    Counter cacheMisses;
+    Counter cacheStores;
+    Counter cacheBypassed; //!< requests sent with "no_cache"
+
+    // --- pipeline outcomes ---
+    Counter nestsOptimized;
+    Counter lintRejections;  //!< nests skipped by strict lint
+    Counter containedFaults; //!< safety-net rollbacks across requests
+
+    // --- per-stage latency ---
+    LatencyHistogram parseLatency;    //!< DSL parse + validate
+    LatencyHistogram optimizeLatency; //!< optimizeProgram / lintProgram
+    LatencyHistogram renderLatency;   //!< result JSON assembly
+    LatencyHistogram totalLatency;    //!< request receipt to response
+    LatencyHistogram cacheProbeLatency; //!< key derivation + lookup
+};
+
+/**
+ * @return The metrics as a stable one-line JSON document. Gauge
+ * fields the cache owns (entry counts) are passed in by the caller.
+ *
+ * @param metrics        The counters to snapshot.
+ * @param cache_entries  Current in-memory cache entries.
+ * @param cache_capacity Configured in-memory cache capacity.
+ */
+std::string metricsJson(const ServiceMetrics &metrics,
+                        std::uint64_t cache_entries,
+                        std::uint64_t cache_capacity);
+
+} // namespace ujam
+
+#endif // UJAM_SERVICE_METRICS_HH

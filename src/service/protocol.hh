@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The ujam-serve wire protocol.
+ *
+ * Newline-delimited JSON, one request object per line, one response
+ * object per line, in order. The same frames flow over the Unix
+ * domain socket and through `--batch` stdin/stdout, so tests and CI
+ * exercise the identical parser and renderer without a socket.
+ *
+ * Request:
+ *
+ *   {"op": "optimize" | "lint" | "metrics" | "ping" | "shutdown",
+ *    "id": "any string, echoed back",          (optional)
+ *    "source": "<DSL text>",                   (optimize/lint)
+ *    "machine": "alpha|parisc|wide|wide-prefetch",  (default alpha)
+ *    "options": { ... pipeline knobs ... },    (optional)
+ *    "deadline_ms": N,   // budget from receipt; 0 = already expired
+ *    "no_cache": true}                         (optional)
+ *
+ * Options: max_unroll, max_loops, use_cache_model, limit_registers,
+ * localized_trip, fuse, normalize, distribute, interchange,
+ * scalar_replace, prefetch, prefetch_distance, validate, oracle,
+ * lint ("off"/"warn"/"strict"), min_severity ("note"/"warn"/"error"),
+ * threads. Unknown option names are an error (they would otherwise
+ * silently change the cache key semantics a client expects).
+ *
+ * Response:
+ *
+ *   {"id": ..., "op": ..., "status": "ok" | "error" | "timeout" |
+ *    "overloaded", "error": "...",             (status != ok)
+ *    "result": { ... }}                        (status == ok)
+ *
+ * Responses deliberately carry no timing or cache-tier fields: a
+ * response is a pure function of the request, so a cache hit is
+ * byte-identical to the miss that populated it. Timings and hit
+ * rates live in the metrics document instead.
+ */
+
+#ifndef UJAM_SERVICE_PROTOCOL_HH
+#define UJAM_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "driver/driver.hh"
+
+namespace ujam
+{
+
+/** Request operations. */
+enum class ServiceOp
+{
+    Optimize,
+    Lint,
+    Metrics,
+    Ping,
+    Shutdown
+};
+
+/** @return The op's wire spelling. */
+const char *serviceOpName(ServiceOp op);
+
+/** A decoded, validated request. */
+struct ServiceRequest
+{
+    ServiceOp op = ServiceOp::Ping;
+    std::string id;               //!< echoed verbatim ("" = absent)
+    std::string source;           //!< DSL text (optimize/lint)
+    std::string machineName = "alpha";
+    MachineModel machine;         //!< resolved preset
+    PipelineConfig config;        //!< resolved pipeline knobs
+    /** Deadline budget in ms from receipt; unset = no deadline. */
+    std::optional<std::int64_t> deadlineMs;
+    bool noCache = false;         //!< skip the result cache
+};
+
+/** parseRequest outcome: a request or an error message. */
+struct RequestParse
+{
+    std::optional<ServiceRequest> request;
+    std::string error; //!< non-empty iff request is empty
+
+    bool ok() const { return request.has_value(); }
+};
+
+/**
+ * Decode one request line.
+ *
+ * Never throws; malformed JSON, wrong types, unknown ops, unknown
+ * option names and out-of-range values all come back as errors.
+ *
+ * @param line One NDJSON frame without the trailing newline.
+ */
+RequestParse parseRequest(const std::string &line);
+
+/**
+ * @return The machine preset for a wire name
+ * (alpha/parisc/wide/wide-prefetch), or nothing.
+ */
+std::optional<MachineModel> machinePreset(const std::string &name);
+
+/** @return A one-line error response frame. */
+std::string errorResponse(const std::string &id, const std::string &op,
+                          const std::string &status,
+                          const std::string &message);
+
+/**
+ * @return A one-line success response frame wrapping a pre-rendered
+ * result object.
+ */
+std::string okResponse(const std::string &id, const std::string &op,
+                       const std::string &result_json);
+
+} // namespace ujam
+
+#endif // UJAM_SERVICE_PROTOCOL_HH

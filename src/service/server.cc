@@ -1,0 +1,531 @@
+#include "service/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "ir/validate.hh"
+#include "parser/parser.hh"
+#include "report/report.hh"
+#include "support/diagnostics.hh"
+#include "support/json.hh"
+#include "support/thread_pool.hh"
+
+namespace ujam
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+microsSince(Clock::time_point start)
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start)
+        .count();
+}
+
+/** Write all of text to fd, ignoring SIGPIPE-worthy failures. */
+void
+writeAll(int fd, const std::string &text)
+{
+    std::size_t sent = 0;
+    while (sent < text.size()) {
+        ssize_t n = ::send(fd, text.data() + sent, text.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            return; // client went away; nothing to salvage
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+UjamServer::UjamServer(ServerConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cacheMemEntries, config_.cacheDir)
+{
+    if (config_.threads == 0)
+        config_.threads = ThreadPool::defaultThreads();
+    if (config_.queueLimit == 0)
+        config_.queueLimit = 1;
+}
+
+UjamServer::~UjamServer()
+{
+    stop();
+}
+
+std::string
+UjamServer::metricsSnapshot() const
+{
+    return metricsJson(metrics_, cache_.memoryEntries(),
+                       cache_.memoryCapacity());
+}
+
+bool
+UjamServer::stopping() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stopRequested_;
+}
+
+void
+UjamServer::requestStop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopRequested_ = true;
+    }
+    wake_.notify_all();
+    stopped_.notify_all();
+}
+
+// --- request execution -----------------------------------------------------
+
+std::string
+UjamServer::runOptimize(const ServiceRequest &request,
+                        Clock::time_point arrival,
+                        Clock::time_point deadline, bool has_deadline)
+{
+    const char *op_name = serviceOpName(request.op);
+    PipelineConfig config = request.config;
+    // The server parallelizes across requests; one request's nest
+    // fan-out stays serial so the shared pool is never entered
+    // reentrantly from a worker thread.
+    config.threads = 1;
+    config.optimizer.threads = 1;
+
+    // Environment-injected fault specs change pipeline behavior, so
+    // they must be part of the cache key; resolving them here keeps
+    // computeCacheKey a pure function of its arguments.
+    for (FaultSpec &spec : faultSpecsFromEnv())
+        config.safety.faults.push_back(std::move(spec));
+
+    // Parse + structural validation.
+    Clock::time_point parse_start = Clock::now();
+    Program program;
+    try {
+        program = parseProgram(request.source, "<request>");
+        std::vector<std::string> problems = validateProgram(program);
+        if (!problems.empty()) {
+            metrics_.parseLatency.record(microsSince(parse_start));
+            metrics_.requestsError.add();
+            return errorResponse(request.id, op_name, "error",
+                                 "invalid program: " +
+                                     problems.front());
+        }
+    } catch (const FatalError &err) {
+        metrics_.parseLatency.record(microsSince(parse_start));
+        metrics_.requestsError.add();
+        return errorResponse(request.id, op_name, "error", err.what());
+    }
+    metrics_.parseLatency.record(microsSince(parse_start));
+
+    if (has_deadline && Clock::now() > deadline) {
+        metrics_.requestsTimeout.add();
+        return errorResponse(request.id, op_name, "timeout",
+                             "deadline expired after parse");
+    }
+
+    // Cache probe on the canonical (IR, machine, config) key.
+    std::string key;
+    if (!request.noCache) {
+        Clock::time_point probe_start = Clock::now();
+        key = computeCacheKey(op_name, program, request.machine,
+                              config);
+        CacheTier tier = CacheTier::Miss;
+        std::optional<std::string> hit = cache_.get(key, &tier);
+        metrics_.cacheProbeLatency.record(microsSince(probe_start));
+        if (hit) {
+            if (tier == CacheTier::Memory)
+                metrics_.cacheMemoryHits.add();
+            else
+                metrics_.cacheDiskHits.add();
+            metrics_.requestsOk.add();
+            return okResponse(request.id, op_name, *hit);
+        }
+        metrics_.cacheMisses.add();
+    } else {
+        metrics_.cacheBypassed.add();
+    }
+
+    // Run the pipeline (or the analyzer alone for "lint").
+    Clock::time_point run_start = Clock::now();
+    std::string result_json;
+    try {
+        if (request.op == ServiceOp::Lint) {
+            LintResult lint = lintProgram(program, request.machine,
+                                          config.lintOptions);
+            metrics_.optimizeLatency.record(microsSince(run_start));
+
+            Clock::time_point render_start = Clock::now();
+            result_json = lintResultJson(lint);
+            metrics_.renderLatency.record(microsSince(render_start));
+        } else {
+            PipelineResult result =
+                optimizeProgram(program, request.machine, config);
+            metrics_.optimizeLatency.record(microsSince(run_start));
+
+            metrics_.nestsOptimized.add(result.outcomes.size());
+            metrics_.containedFaults.add(result.containedFaults());
+            for (const NestOutcome &outcome : result.outcomes) {
+                if (outcome.lintSkipped)
+                    metrics_.lintRejections.add();
+            }
+
+            Clock::time_point render_start = Clock::now();
+            result_json = pipelineResultJson(result);
+            metrics_.renderLatency.record(microsSince(render_start));
+        }
+    } catch (const FatalError &err) {
+        metrics_.requestsError.add();
+        return errorResponse(request.id, op_name, "error", err.what());
+    } catch (const PanicError &err) {
+        metrics_.requestsError.add();
+        return errorResponse(request.id, op_name, "error", err.what());
+    }
+
+    if (has_deadline && Clock::now() > deadline) {
+        // The work is done but the client stopped caring; the result
+        // still lands in the cache so the retry is free.
+        if (!request.noCache) {
+            cache_.put(key, result_json);
+            metrics_.cacheStores.add();
+        }
+        metrics_.requestsTimeout.add();
+        return errorResponse(request.id, op_name, "timeout",
+                             "deadline expired during optimization");
+    }
+
+    if (!request.noCache) {
+        cache_.put(key, result_json);
+        metrics_.cacheStores.add();
+    }
+    metrics_.requestsOk.add();
+    (void)arrival;
+    return okResponse(request.id, op_name, result_json);
+}
+
+std::string
+UjamServer::process(const ServiceRequest &request,
+                    Clock::time_point arrival)
+{
+    const char *op_name = serviceOpName(request.op);
+    std::optional<std::int64_t> deadline_ms = request.deadlineMs;
+    if (!deadline_ms)
+        deadline_ms = config_.defaultDeadlineMs;
+    bool has_deadline = deadline_ms.has_value();
+    Clock::time_point deadline =
+        has_deadline
+            ? arrival + std::chrono::milliseconds(*deadline_ms)
+            : Clock::time_point::max();
+
+    if (has_deadline && Clock::now() > deadline) {
+        metrics_.requestsTimeout.add();
+        return errorResponse(request.id, op_name, "timeout",
+                             "deadline expired before processing");
+    }
+
+    switch (request.op) {
+      case ServiceOp::Ping: {
+        metrics_.requestsOk.add();
+        JsonWriter json;
+        json.beginObject().field("pong", true).endObject();
+        return okResponse(request.id, op_name, json.str());
+      }
+      case ServiceOp::Metrics:
+        // A live gauge, deliberately uncacheable and volatile.
+        metrics_.requestsOk.add();
+        return okResponse(request.id, op_name, metricsSnapshot());
+      case ServiceOp::Shutdown: {
+        metrics_.requestsOk.add();
+        JsonWriter json;
+        json.beginObject().field("stopping", true).endObject();
+        std::string response =
+            okResponse(request.id, op_name, json.str());
+        requestStop();
+        return response;
+      }
+      case ServiceOp::Optimize:
+      case ServiceOp::Lint:
+        return runOptimize(request, arrival, deadline, has_deadline);
+    }
+    metrics_.requestsError.add();
+    return errorResponse(request.id, op_name, "error", "unhandled op");
+}
+
+std::string
+UjamServer::processLine(const std::string &line,
+                        Clock::time_point arrival)
+{
+    metrics_.requestsTotal.add();
+    std::string response;
+    RequestParse parsed = parseRequest(line);
+    if (!parsed.ok()) {
+        metrics_.requestsError.add();
+        response = errorResponse("", "", "error", parsed.error);
+    } else {
+        switch (parsed.request->op) {
+          case ServiceOp::Optimize:
+            metrics_.opOptimize.add();
+            break;
+          case ServiceOp::Lint:
+            metrics_.opLint.add();
+            break;
+          case ServiceOp::Metrics:
+            metrics_.opMetrics.add();
+            break;
+          case ServiceOp::Ping:
+            metrics_.opPing.add();
+            break;
+          case ServiceOp::Shutdown:
+            metrics_.opShutdown.add();
+            break;
+        }
+        response = process(*parsed.request, arrival);
+    }
+    metrics_.totalLatency.record(microsSince(arrival));
+    return response;
+}
+
+std::string
+UjamServer::processLine(const std::string &line)
+{
+    return processLine(line, Clock::now());
+}
+
+// --- batch front end -------------------------------------------------------
+
+std::size_t
+UjamServer::runBatch(std::istream &in, std::ostream &out)
+{
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty())
+            lines.push_back(line);
+    }
+
+    std::vector<std::string> responses(lines.size());
+    std::size_t width = std::min(config_.threads, lines.size());
+    if (width <= 1) {
+        for (std::size_t i = 0; i < lines.size(); ++i)
+            responses[i] = processLine(lines[i]);
+    } else {
+        // A private worker group (not the shared pool: requests may
+        // reach it through optimizeProgram) filling index-addressed
+        // slots; output order is input order at every width.
+        std::atomic<std::size_t> next{0};
+        auto work = [&] {
+            while (true) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= lines.size())
+                    break;
+                responses[i] = processLine(lines[i]);
+            }
+        };
+        std::vector<std::thread> workers;
+        workers.reserve(width);
+        for (std::size_t w = 0; w < width; ++w)
+            workers.emplace_back(work);
+        for (std::thread &worker : workers)
+            worker.join();
+    }
+
+    for (const std::string &response : responses)
+        out << response << "\n";
+    out.flush();
+    return lines.size();
+}
+
+// --- socket front end ------------------------------------------------------
+
+void
+UjamServer::start()
+{
+    if (config_.socketPath.empty())
+        fatal("ujam-serve: no socket path configured");
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.socketPath.size() >= sizeof(addr.sun_path)) {
+        fatal("ujam-serve: socket path too long: ",
+              config_.socketPath);
+    }
+    std::strncpy(addr.sun_path, config_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0)
+        fatal("ujam-serve: socket(): ", std::strerror(errno));
+
+    ::unlink(config_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        std::string reason = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        fatal("ujam-serve: bind(", config_.socketPath, "): ", reason);
+    }
+    if (::listen(listenFd_, 128) != 0) {
+        std::string reason = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        fatal("ujam-serve: listen(): ", reason);
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopRequested_ = false;
+        started_ = true;
+    }
+    threads_.emplace_back([this] { acceptLoop(); });
+    for (std::size_t w = 0; w < config_.threads; ++w)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+void
+UjamServer::acceptLoop()
+{
+    while (!stopping()) {
+        pollfd poller{listenFd_, POLLIN, 0};
+        int ready = ::poll(&poller, 1, 100);
+        if (ready <= 0)
+            continue;
+        int fd = ::accept4(listenFd_, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd < 0)
+            continue;
+
+        bool admitted = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!stopRequested_ &&
+                pending_.size() < config_.queueLimit) {
+                pending_.push_back(fd);
+                admitted = true;
+            }
+        }
+        if (admitted) {
+            wake_.notify_one();
+        } else {
+            // Explicit backpressure instead of unbounded queuing.
+            metrics_.requestsTotal.add();
+            metrics_.requestsOverloaded.add();
+            writeAll(fd,
+                     errorResponse("", "", "overloaded",
+                                   "admission queue full") +
+                         "\n");
+            ::close(fd);
+        }
+    }
+}
+
+void
+UjamServer::workerLoop()
+{
+    while (true) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return stopRequested_ || !pending_.empty();
+            });
+            if (pending_.empty()) {
+                // stopRequested_ and nothing left to drain.
+                return;
+            }
+            fd = pending_.front();
+            pending_.pop_front();
+        }
+        handleConnection(fd);
+    }
+}
+
+void
+UjamServer::handleConnection(int fd)
+{
+    constexpr std::size_t kMaxBuffered = 9u << 20;
+    std::string buffer;
+    char chunk[64 * 1024];
+
+    while (true) {
+        // Serve every complete frame currently buffered.
+        std::size_t newline;
+        while ((newline = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, newline);
+            buffer.erase(0, newline + 1);
+            if (line.empty())
+                continue;
+            writeAll(fd, processLine(line) + "\n");
+        }
+        if (stopping())
+            break; // graceful: current frames done, no new reads
+
+        pollfd poller{fd, POLLIN, 0};
+        int ready = ::poll(&poller, 1, 200);
+        if (ready < 0)
+            break;
+        if (ready == 0)
+            continue; // timeout: re-check stopping()
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break; // EOF or error
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        if (buffer.size() > kMaxBuffered) {
+            metrics_.requestsTotal.add();
+            metrics_.requestsError.add();
+            writeAll(fd,
+                     errorResponse("", "", "error",
+                                   "frame larger than 8 MiB") +
+                         "\n");
+            break;
+        }
+    }
+    ::close(fd);
+}
+
+void
+UjamServer::stop()
+{
+    requestStop();
+    for (std::thread &thread : threads_) {
+        if (thread.joinable())
+            thread.join();
+    }
+    threads_.clear();
+
+    bool was_started;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        was_started = started_;
+        started_ = false;
+        for (int fd : pending_)
+            ::close(fd);
+        pending_.clear();
+    }
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (was_started && !config_.socketPath.empty())
+        ::unlink(config_.socketPath.c_str());
+}
+
+void
+UjamServer::waitForShutdown()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopped_.wait(lock, [this] { return stopRequested_; });
+}
+
+} // namespace ujam

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The ujam-serve server: batch optimization over NDJSON frames.
+ *
+ * One UjamServer owns the result cache, the metrics and the request
+ * execution path (processLine). Two front ends feed it the identical
+ * frames:
+ *
+ *  - runBatch(): read request lines from a stream, answer on another
+ *    (stdin/stdout in the CLI). Lines are processed by a private
+ *    worker group into index-addressed slots and emitted in input
+ *    order, so batch output is bit-identical at every thread count.
+ *  - start()/stop(): a Unix-domain-socket accept loop with a bounded
+ *    admission queue. When the queue is full a connection is answered
+ *    with an explicit "overloaded" frame and closed instead of
+ *    queuing without bound. Workers poll with a short timeout so a
+ *    graceful stop never hangs on an idle client.
+ *
+ * Per-request deadlines ("deadline_ms", measured from receipt) are
+ * checked at stage boundaries -- admission, post-parse, post-optimize
+ * -- and an expired request answers "timeout". A "shutdown" request
+ * begins a graceful stop: no new connections, queued work drains,
+ * workers exit after their current frame.
+ *
+ * Requests run the existing pipeline (driver/optimizeProgram, the
+ * analyzer for "lint") with per-nest parallelism disabled: the server
+ * parallelizes across requests, which keeps every response a pure --
+ * and therefore cacheable -- function of its request.
+ */
+
+#ifndef UJAM_SERVICE_SERVER_HH
+#define UJAM_SERVICE_SERVER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/cache.hh"
+#include "service/metrics.hh"
+#include "service/protocol.hh"
+
+namespace ujam
+{
+
+/** Server construction knobs. */
+struct ServerConfig
+{
+    std::string socketPath;      //!< socket mode listen path
+    std::size_t threads = 0;     //!< workers; 0 = one per core
+    std::size_t queueLimit = 64; //!< pending-connection bound
+    /** Deadline applied to requests that do not carry one. */
+    std::optional<std::int64_t> defaultDeadlineMs;
+    std::size_t cacheMemEntries = 256; //!< in-memory LRU capacity
+    std::string cacheDir;        //!< persistent tier; "" = memory only
+};
+
+/** See the file comment. */
+class UjamServer
+{
+  public:
+    explicit UjamServer(ServerConfig config);
+    ~UjamServer();
+
+    UjamServer(const UjamServer &) = delete;
+    UjamServer &operator=(const UjamServer &) = delete;
+
+    /**
+     * Answer one request frame.
+     *
+     * Thread-safe; never throws. The response has no trailing
+     * newline.
+     *
+     * @param line    The frame.
+     * @param arrival When the frame was received (deadline anchor).
+     */
+    std::string processLine(
+        const std::string &line,
+        std::chrono::steady_clock::time_point arrival);
+
+    /** processLine anchored at the call instant. */
+    std::string processLine(const std::string &line);
+
+    /**
+     * Batch mode: one response line per input line, in input order.
+     *
+     * @return The number of requests processed.
+     */
+    std::size_t runBatch(std::istream &in, std::ostream &out);
+
+    /**
+     * Socket mode: bind, listen and serve until stop().
+     * @throws FatalError when the socket cannot be created or bound.
+     */
+    void start();
+
+    /**
+     * Graceful stop: stop accepting, drain the admission queue, join
+     * every thread, unlink the socket. Idempotent; also runs from the
+     * destructor.
+     */
+    void stop();
+
+    /** Block until a shutdown request (or stop()) arrives. */
+    void waitForShutdown();
+
+    /** @return True once a stop was requested. */
+    bool stopping() const;
+
+    const ServiceMetrics &metrics() const { return metrics_; }
+    ResultCache &cache() { return cache_; }
+
+    /** @return The metrics document including cache gauges. */
+    std::string metricsSnapshot() const;
+
+  private:
+    std::string process(const ServiceRequest &request,
+                        std::chrono::steady_clock::time_point arrival);
+    std::string runOptimize(
+        const ServiceRequest &request,
+        std::chrono::steady_clock::time_point arrival,
+        std::chrono::steady_clock::time_point deadline,
+        bool has_deadline);
+    void acceptLoop();
+    void workerLoop();
+    void handleConnection(int fd);
+    void requestStop();
+
+    ServerConfig config_;
+    ServiceMetrics metrics_;
+    ResultCache cache_;
+
+    int listenFd_ = -1;
+    std::vector<std::thread> threads_; //!< accept + workers
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;    //!< workers: queue or stop
+    std::condition_variable stopped_; //!< waitForShutdown
+    std::deque<int> pending_;         //!< accepted, unserved sockets
+    bool stopRequested_ = false;
+    bool started_ = false;
+};
+
+} // namespace ujam
+
+#endif // UJAM_SERVICE_SERVER_HH

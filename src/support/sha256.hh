@@ -1,0 +1,62 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4), self-contained.
+ *
+ * The service's content-addressed result cache keys entries by the
+ * digest of a canonical request rendering, so the hash must be
+ * stable across platforms and collision-resistant enough that two
+ * distinct requests never share a cache slot in practice. A
+ * cryptographic digest gives both without external dependencies.
+ */
+
+#ifndef UJAM_SUPPORT_SHA256_HH
+#define UJAM_SUPPORT_SHA256_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ujam
+{
+
+/** Incremental SHA-256 hasher. */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    /** Restart as if freshly constructed. */
+    void reset();
+
+    /** Absorb len bytes. */
+    void update(const void *data, std::size_t len);
+
+    /** Absorb a string's bytes. */
+    void
+    update(const std::string &text)
+    {
+        update(text.data(), text.size());
+    }
+
+    /** Finish and return the 32-byte digest (object unusable after
+     * unless reset). */
+    std::array<std::uint8_t, 32> digest();
+
+    /** Finish and return the digest as 64 lowercase hex characters. */
+    std::string hexDigest();
+
+  private:
+    void compress(const std::uint8_t block[64]);
+
+    std::array<std::uint32_t, 8> state_;
+    std::uint64_t totalBytes_ = 0;
+    std::uint8_t buffer_[64];
+    std::size_t bufferLen_ = 0;
+};
+
+/** @return The hex SHA-256 digest of text, one-shot. */
+std::string sha256Hex(const std::string &text);
+
+} // namespace ujam
+
+#endif // UJAM_SUPPORT_SHA256_HH

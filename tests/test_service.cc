@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Tests for the ujam-serve subsystem: the cache key (what is and is
+ * not semantic), the two-tier result cache, the NDJSON protocol
+ * parser (including a deterministic malformed-input fuzz), batch-mode
+ * determinism -- responses bit-identical across thread widths and
+ * across hit/miss -- persistence across a server restart, the metrics
+ * schema, and a socket smoke test with concurrent clients, deadline
+ * expiry and graceful shutdown (the TSan target).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "parser/parser.hh"
+#include "service/cache.hh"
+#include "service/client.hh"
+#include "service/protocol.hh"
+#include "service/server.hh"
+#include "support/json.hh"
+#include "support/rng.hh"
+#include "workloads/suite.hh"
+
+namespace ujam
+{
+namespace
+{
+
+const char *kSource = R"(
+param n = 64
+real a(n, n)
+real b(n, n)
+! nest: sweep
+do j = 1, n
+  do i = 1, n
+    a(i, j) = a(i, j) + b(j, i)
+  end do
+end do
+)";
+
+Program
+sourceProgram()
+{
+    return parseProgram(kSource, "<test>");
+}
+
+/** A fresh per-test directory under the gtest temp root. */
+std::string
+scratchDir(const std::string &tag)
+{
+    return testing::TempDir() + "ujam-serve-" + tag + "-" +
+           std::to_string(getpid());
+}
+
+std::string
+requestLine(const std::string &op, const std::string &id,
+            const std::string &source,
+            const std::string &options_json = "")
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("op", op);
+    if (!id.empty())
+        json.field("id", id);
+    if (!source.empty())
+        json.field("source", source);
+    if (!options_json.empty())
+        json.key("options").rawValue(options_json);
+    json.endObject();
+    return json.str();
+}
+
+std::string
+batch(UjamServer &server, const std::string &input)
+{
+    std::istringstream in(input);
+    std::ostringstream out;
+    server.runBatch(in, out);
+    return out.str();
+}
+
+/** @return response.status, or "<unparseable>" on a broken frame. */
+std::string
+responseStatus(const std::string &frame)
+{
+    JsonParseResult parsed = parseJson(frame);
+    if (!parsed.ok() || !parsed.value->isObject())
+        return "<unparseable>";
+    const JsonValue *status = parsed.value->find("status");
+    return status && status->isString() ? status->stringValue
+                                        : "<unparseable>";
+}
+
+// --- the cache key --------------------------------------------------
+
+TEST(ServiceCache, KeyChangesWithEverySemanticInput)
+{
+    Program program = sourceProgram();
+    PipelineConfig config;
+    MachineModel alpha = MachineModel::decAlpha21064();
+    std::string base =
+        computeCacheKey("optimize", program, alpha, config);
+
+    std::vector<std::string> keys{base};
+    auto vary = [&](auto mutate) {
+        PipelineConfig c = config;
+        MachineModel m = alpha;
+        std::string op = "optimize";
+        mutate(c, m, op);
+        keys.push_back(computeCacheKey(op, program, m, c));
+        EXPECT_NE(keys.back(), base);
+    };
+
+    vary([](PipelineConfig &, MachineModel &m, std::string &) {
+        m = MachineModel::hpPa7100();
+    });
+    vary([](PipelineConfig &, MachineModel &m, std::string &) {
+        // The preset *definition* is semantic, not just its name.
+        m.fpRegisters += 1;
+    });
+    vary([](PipelineConfig &c, MachineModel &, std::string &) {
+        c.lint = LintMode::Strict;
+    });
+    vary([](PipelineConfig &c, MachineModel &, std::string &) {
+        c.lintOptions.maxUnroll += 1;
+    });
+    vary([](PipelineConfig &c, MachineModel &, std::string &) {
+        c.optimizer.maxUnroll += 1;
+    });
+    vary([](PipelineConfig &c, MachineModel &, std::string &) {
+        c.prefetch = true;
+    });
+    vary([](PipelineConfig &c, MachineModel &, std::string &) {
+        c.prefetchConfig.distanceIters += 1;
+    });
+    vary([](PipelineConfig &c, MachineModel &, std::string &) {
+        c.safety.oracle = true;
+    });
+    vary([](PipelineConfig &c, MachineModel &, std::string &) {
+        c.safety.faults.push_back(
+            parseFaultSpecs("unroll:0:throw").front());
+    });
+    vary([](PipelineConfig &, MachineModel &, std::string &op) {
+        op = "lint";
+    });
+
+    // All distinct pairwise, not merely distinct from the base.
+    std::sort(keys.begin(), keys.end());
+    EXPECT_EQ(std::unique(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(ServiceCache, ThreadCountExcluded)
+{
+    Program program = sourceProgram();
+    MachineModel alpha = MachineModel::decAlpha21064();
+    PipelineConfig config;
+    std::string base =
+        computeCacheKey("optimize", program, alpha, config);
+
+    for (std::size_t threads : {std::size_t(1), std::size_t(8)}) {
+        PipelineConfig c = config;
+        c.threads = threads;
+        c.optimizer.threads = threads;
+        EXPECT_EQ(computeCacheKey("optimize", program, alpha, c),
+                  base);
+    }
+}
+
+TEST(ServiceCache, FormattingInsensitive)
+{
+    // Same nest, different whitespace and comments: the key hashes
+    // the parsed IR, not the source bytes.
+    const char *reformatted = R"(
+param n = 64
+
+
+real a(n, n)
+real b(n, n)
+! nest: sweep
+! a scribble that changes nothing
+do j = 1, n
+    do i = 1, n
+      a(i, j)   =   a(i, j) + b(j, i)
+    end do
+end do
+)";
+    MachineModel alpha = MachineModel::decAlpha21064();
+    PipelineConfig config;
+    EXPECT_EQ(computeCacheKey("optimize", sourceProgram(), alpha,
+                              config),
+              computeCacheKey("optimize",
+                              parseProgram(reformatted, "<other>"),
+                              alpha, config));
+}
+
+// --- the result cache -----------------------------------------------
+
+TEST(ResultCacheTier, LruEvictsTheColdestEntry)
+{
+    ResultCache cache(2);
+    cache.put("k1", "v1");
+    cache.put("k2", "v2");
+    ASSERT_TRUE(cache.get("k1")); // k1 now warmer than k2
+    cache.put("k3", "v3");        // evicts k2
+
+    EXPECT_EQ(cache.memoryEntries(), 2u);
+    EXPECT_TRUE(cache.get("k1"));
+    EXPECT_FALSE(cache.get("k2"));
+    EXPECT_EQ(cache.get("k3").value(), "v3");
+}
+
+TEST(ResultCacheTier, DiskSurvivesAndPromotes)
+{
+    std::string dir = scratchDir("tier");
+    {
+        ResultCache cache(4, dir);
+        cache.put("deadbeef", "payload");
+    }
+    ResultCache reopened(4, dir);
+    CacheTier tier = CacheTier::Miss;
+    std::optional<std::string> hit = reopened.get("deadbeef", &tier);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(*hit, "payload");
+    EXPECT_EQ(tier, CacheTier::Disk);
+
+    // The disk hit was promoted into the memory tier.
+    reopened.get("deadbeef", &tier);
+    EXPECT_EQ(tier, CacheTier::Memory);
+}
+
+// --- protocol parsing -----------------------------------------------
+
+TEST(ServiceProtocol, RejectsMalformedRequests)
+{
+    const char *bad[] = {
+        "",
+        "not json",
+        "[1, 2]",
+        "{}",
+        "{\"op\": 7}",
+        "{\"op\": \"bogus\"}",
+        "{\"op\": \"optimize\"}",                    // missing source
+        "{\"op\": \"optimize\", \"source\": 3}",
+        "{\"op\": \"ping\", \"id\": 5}",
+        "{\"op\": \"ping\", \"surprise\": true}",
+        "{\"op\": \"optimize\", \"source\": \"x\","
+        " \"machine\": \"cray\"}",
+        "{\"op\": \"optimize\", \"source\": \"x\","
+        " \"options\": {\"max_unroll\": 0}}",
+        "{\"op\": \"optimize\", \"source\": \"x\","
+        " \"options\": {\"frobnicate\": 1}}",
+        "{\"op\": \"optimize\", \"source\": \"x\","
+        " \"deadline_ms\": -1}",
+    };
+    for (const char *line : bad) {
+        RequestParse parsed = parseRequest(line);
+        EXPECT_FALSE(parsed.ok()) << line;
+        EXPECT_FALSE(parsed.error.empty()) << line;
+    }
+}
+
+TEST(ServiceProtocol, AcceptsTheDocumentedOptions)
+{
+    RequestParse parsed = parseRequest(
+        requestLine("optimize", "r1", kSource,
+                    R"({"max_unroll": 6, "lint": "strict",
+                        "prefetch": true, "prefetch_distance": 4,
+                        "oracle": true, "threads": 3})"));
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const ServiceRequest &request = *parsed.request;
+    EXPECT_EQ(request.id, "r1");
+    EXPECT_EQ(request.config.optimizer.maxUnroll, 6);
+    EXPECT_EQ(request.config.lintOptions.maxUnroll, 6);
+    EXPECT_EQ(request.config.lint, LintMode::Strict);
+    EXPECT_TRUE(request.config.prefetch);
+    EXPECT_EQ(request.config.prefetchConfig.distanceIters, 4);
+    EXPECT_TRUE(request.config.safety.oracle);
+    EXPECT_EQ(request.config.threads, 3u);
+}
+
+// --- batch mode -----------------------------------------------------
+
+TEST(ServiceBatch, HitIsByteIdenticalToMiss)
+{
+    UjamServer server({});
+    std::string line = requestLine("optimize", "same", kSource);
+    std::string first = batch(server, line + "\n");
+    std::string second = batch(server, line + "\n");
+
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(server.metrics().cacheMisses.get(), 1u);
+    EXPECT_EQ(server.metrics().cacheMemoryHits.get(), 1u);
+}
+
+TEST(ServiceBatch, OutputInvariantAcrossThreadWidths)
+{
+    std::string input;
+    for (const SuiteLoop &loop : testSuite()) {
+        if (loop.number > 6)
+            break;
+        input += requestLine("optimize", loop.name, loop.source) +
+                 "\n";
+        input += requestLine("lint", "lint-" + loop.name, loop.source,
+                             R"({"lint": "warn"})") +
+                 "\n";
+    }
+
+    std::string reference;
+    for (std::size_t width : {std::size_t(1), std::size_t(2),
+                              std::size_t(8)}) {
+        ServerConfig config;
+        config.threads = width;
+        UjamServer server(std::move(config));
+        std::string output = batch(server, input);
+        if (reference.empty())
+            reference = output;
+        else
+            EXPECT_EQ(output, reference) << "width " << width;
+    }
+}
+
+TEST(ServiceBatch, PersistentCacheSurvivesRestart)
+{
+    std::string dir = scratchDir("restart");
+    std::string line = requestLine("optimize", "r", kSource);
+
+    std::string cold;
+    {
+        ServerConfig config;
+        config.cacheDir = dir;
+        UjamServer server(std::move(config));
+        cold = batch(server, line + "\n");
+        EXPECT_EQ(server.metrics().cacheStores.get(), 1u);
+    }
+
+    ServerConfig config;
+    config.cacheDir = dir;
+    UjamServer restarted(std::move(config));
+    std::string warm = batch(restarted, line + "\n");
+
+    EXPECT_EQ(warm, cold);
+    EXPECT_EQ(restarted.metrics().cacheDiskHits.get(), 1u);
+    EXPECT_EQ(restarted.metrics().cacheMisses.get(), 0u);
+}
+
+TEST(ServiceBatch, NoCacheBypassesBothTiers)
+{
+    UjamServer server({});
+    std::string line =
+        "{\"op\": \"optimize\", \"no_cache\": true, \"source\": " +
+        jsonQuote(kSource) + "}";
+    std::string first = batch(server, line + "\n");
+    std::string second = batch(server, line + "\n");
+
+    EXPECT_EQ(first, second); // still deterministic, just uncached
+    EXPECT_EQ(server.metrics().cacheBypassed.get(), 2u);
+    EXPECT_EQ(server.metrics().cacheStores.get(), 0u);
+}
+
+TEST(ServiceBatch, ZeroDeadlineTimesOutDeterministically)
+{
+    UjamServer server({});
+    std::string response = server.processLine(
+        "{\"op\": \"optimize\", \"deadline_ms\": 0, \"source\": " +
+        jsonQuote(kSource) + "}");
+    EXPECT_EQ(responseStatus(response), "timeout");
+    EXPECT_EQ(server.metrics().requestsTimeout.get(), 1u);
+}
+
+// --- metrics --------------------------------------------------------
+
+TEST(ServiceMetricsDoc, StableSchemaAndCumulativeBuckets)
+{
+    UjamServer server({});
+    batch(server, requestLine("optimize", "m", kSource) + "\n");
+
+    JsonParseResult parsed = parseJson(server.metricsSnapshot());
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const JsonValue &root = *parsed.value;
+    for (const char *section :
+         {"requests", "cache", "pipeline", "latency_us"}) {
+        const JsonValue *value = root.find(section);
+        ASSERT_NE(value, nullptr) << section;
+        EXPECT_TRUE(value->isObject()) << section;
+    }
+    EXPECT_EQ(root.find("requests")->find("total")->asInt(), 1);
+    EXPECT_EQ(root.find("pipeline")->find("nests_optimized")->asInt(),
+              1);
+
+    // Each histogram's cumulative "le" counts must be non-decreasing
+    // and end at the observation count.
+    const JsonValue *stage = root.find("latency_us")->find("total");
+    ASSERT_NE(stage, nullptr);
+    const JsonValue *buckets = stage->find("buckets");
+    ASSERT_TRUE(buckets && buckets->isArray());
+    std::int64_t previous = 0;
+    for (const JsonValue &bucket : buckets->elements) {
+        std::int64_t count = *bucket.find("count")->asInt();
+        EXPECT_GE(count, previous);
+        previous = count;
+    }
+    EXPECT_EQ(previous, *stage->find("count")->asInt());
+}
+
+// --- protocol fuzz (ctest -L fuzz-fast) -----------------------------
+
+TEST(ServiceFuzz, BatchParserSurvivesMalformedFrames)
+{
+    UjamServer server({});
+    std::string seed_line = requestLine("optimize", "fuzz", kSource);
+    Rng rng(20260806);
+
+    for (int i = 0; i < 400; ++i) {
+        std::string line = seed_line;
+        switch (rng.range(0, 3)) {
+          case 0: // flip random bytes
+            for (int n = rng.range(1, 8); n > 0; --n) {
+                std::size_t at = rng.range(0, line.size() - 1);
+                line[at] = static_cast<char>(rng.range(1, 255));
+            }
+            break;
+          case 1: // truncate
+            line.resize(rng.range(0, line.size() - 1));
+            break;
+          case 2: // splice random JSON-ish fragments
+            line.insert(rng.range(0, line.size() - 1),
+                        "{\"\\u0000\":[1e309,{}]}");
+            break;
+          case 3: { // pure garbage
+            line.clear();
+            for (int n = rng.range(1, 64); n > 0; --n)
+                line.push_back(static_cast<char>(rng.range(0, 255)));
+            break;
+          }
+        }
+        if (line.empty() || line.find('\n') != std::string::npos)
+            continue;
+        // Whatever came in, a well-formed response frame comes out.
+        std::string response = server.processLine(line);
+        EXPECT_NE(responseStatus(response), "<unparseable>")
+            << "input: " << line;
+    }
+}
+
+// --- socket mode (the TSan smoke) -----------------------------------
+
+TEST(ServiceSocket, ConcurrentClientsDeadlinesAndShutdown)
+{
+    ServerConfig config;
+    config.socketPath = "/tmp/ujam-serve-test-" +
+                        std::to_string(getpid()) + ".sock";
+    config.threads = 4;
+    UjamServer server(std::move(config));
+    server.start();
+    const std::string socket_path = "/tmp/ujam-serve-test-" +
+                                    std::to_string(getpid()) +
+                                    ".sock";
+
+    std::string optimize_line = requestLine("optimize", "c", kSource);
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([&, c] {
+            ServeClient client;
+            if (!client.connect(socket_path)) {
+                failures.fetch_add(1);
+                return;
+            }
+            for (int round = 0; round < 3; ++round) {
+                if (responseStatus(client.request(
+                        "{\"op\": \"ping\"}")) != "ok")
+                    failures.fetch_add(1);
+                if (responseStatus(client.request(optimize_line)) !=
+                    "ok")
+                    failures.fetch_add(1);
+            }
+            if (c == 0) {
+                // One expired deadline: a deterministic timeout.
+                std::string frame =
+                    "{\"op\": \"optimize\", \"deadline_ms\": 0, "
+                    "\"source\": " +
+                    jsonQuote(kSource) + "}";
+                if (responseStatus(client.request(frame)) !=
+                    "timeout")
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &client : clients)
+        client.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    // Graceful shutdown by request, not by destructor.
+    ServeClient closer;
+    ASSERT_TRUE(closer.connect(socket_path));
+    EXPECT_EQ(responseStatus(closer.request("{\"op\": \"shutdown\"}")),
+              "ok");
+    server.waitForShutdown();
+    server.stop();
+    EXPECT_GT(server.metrics().cacheMemoryHits.get(), 0u);
+}
+
+} // namespace
+} // namespace ujam
