@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The codegen backend end to end: emit, compile and run wall times
+ * per evaluation-suite nest, written to BENCH_CODEGEN.json.
+ *
+ * For every suite loop, both variants (original and the default
+ * pipeline's transformed program) are lowered to C, compiled at the
+ * differential flags (-O0, FP contraction off) and executed; the
+ * report records per-variant emit/compile/run seconds and whether the
+ * two binaries and the interpreter oracle agreed bit-exactly. Exit
+ * status 1 on any disagreement or toolchain failure; exits 0 with a
+ * note (and no artifact) when the container has no host C compiler,
+ * mirroring the self-skipping CodegenRoundtrip test.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_json.hh"
+#include "codegen/c_emitter.hh"
+#include "codegen/checksum.hh"
+#include "codegen/compile.hh"
+#include "driver/driver.hh"
+#include "ir/interp.hh"
+#include "support/json.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace ujam;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::string compiler = hostCCompiler();
+    if (compiler.empty()) {
+        std::printf("bench_codegen: no host C compiler on PATH; "
+                    "skipping\n");
+        return 0;
+    }
+
+    MachineModel machine = MachineModel::decAlpha21064();
+    PipelineConfig config;
+    constexpr std::uint64_t kSeed = 9717;
+
+    bool all_agree = true;
+    double total_emit = 0, total_compile = 0, total_run = 0;
+
+    JsonWriter json(2);
+    json.beginObject();
+    json.field("compiler", compiler);
+    json.field("cflags", kDefaultCFlags);
+    json.field("seed", kSeed);
+    json.key("loops").beginArray();
+
+    for (const SuiteLoop &loop : testSuite()) {
+        Program original = loadSuiteProgram(loop);
+        PipelineResult result =
+            optimizeProgram(original, machine, config);
+
+        Clock::time_point emit_start = Clock::now();
+        CodegenOptions options;
+        options.seed = kSeed;
+        CodegenUnit original_unit = emitCProgram(original, options);
+        options.variantLabel = "transformed";
+        CodegenUnit transformed_unit =
+            emitCProgram(result.program, options);
+        double emit_s = secondsSince(emit_start);
+
+        Interpreter interp(original);
+        interp.seedArrays(kSeed);
+        interp.run();
+        std::uint64_t oracle = interpreterChecksum(interp, original);
+
+        VariantRun original_run = compileAndRun(
+            original_unit.source, loop.name + "-orig", "", kSeed);
+        VariantRun transformed_run = compileAndRun(
+            transformed_unit.source, loop.name + "-ujam", "", kSeed);
+
+        bool agree = original_run.ok && transformed_run.ok &&
+                     original_run.checksum == oracle &&
+                     transformed_run.checksum == oracle;
+        if (!agree) {
+            all_agree = false;
+            std::fprintf(stderr, "FAIL: %s: %s%s\n",
+                         loop.name.c_str(),
+                         original_run.ok ? ""
+                                         : original_run.error.c_str(),
+                         transformed_run.ok
+                             ? ""
+                             : transformed_run.error.c_str());
+        }
+
+        total_emit += emit_s;
+        total_compile += original_run.compileSeconds +
+                         transformed_run.compileSeconds;
+        total_run +=
+            original_run.runSeconds + transformed_run.runSeconds;
+
+        json.beginObject();
+        json.field("name", loop.name);
+        json.key("emit_seconds").valueFixed(emit_s, 6);
+        json.key("original").beginObject();
+        json.key("compile_seconds")
+            .valueFixed(original_run.compileSeconds, 6);
+        json.key("run_seconds")
+            .valueFixed(original_run.runSeconds, 6);
+        json.endObject();
+        json.key("transformed").beginObject();
+        json.key("compile_seconds")
+            .valueFixed(transformed_run.compileSeconds, 6);
+        json.key("run_seconds")
+            .valueFixed(transformed_run.runSeconds, 6);
+        json.endObject();
+        json.field("checksum", checksumHex(oracle));
+        json.field("agree", agree);
+        json.endObject();
+    }
+
+    json.endArray();
+    json.key("totals").beginObject();
+    json.key("emit_seconds").valueFixed(total_emit, 6);
+    json.key("compile_seconds").valueFixed(total_compile, 6);
+    json.key("run_seconds").valueFixed(total_run, 6);
+    json.endObject();
+    json.field("all_agree", all_agree);
+    json.endObject();
+
+    std::printf("%s\n", json.str().c_str());
+    writeBenchJson("BENCH_CODEGEN.json", json.str());
+
+    if (!all_agree) {
+        std::fprintf(stderr, "FAIL: compiled variants disagree with "
+                             "the interpreter oracle\n");
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+#include "codegen/checksum.hh"
+
+#include <cstring>
+
+namespace ujam
+{
+
+std::uint64_t
+checksumDoubles(std::uint64_t state, const double *data,
+                std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &data[i], sizeof(bits));
+        for (int b = 0; b < 8; ++b) {
+            state ^= (bits >> (8 * b)) & 0xffu;
+            state *= 1099511628211ULL;
+        }
+    }
+    return state;
+}
+
+std::uint64_t
+interpreterArrayChecksum(const Interpreter &interp,
+                         const std::string &array)
+{
+    const std::vector<double> &data = interp.arrayData(array);
+    return checksumDoubles(kChecksumSeed, data.data(), data.size());
+}
+
+std::uint64_t
+interpreterChecksum(const Interpreter &interp, const Program &program)
+{
+    std::uint64_t state = kChecksumSeed;
+    for (const ArrayDecl &decl : program.arrays()) {
+        const std::vector<double> &data = interp.arrayData(decl.name);
+        state = checksumDoubles(state, data.data(), data.size());
+    }
+    return state;
+}
+
+std::string
+checksumHex(std::uint64_t value)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string hex(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        hex[static_cast<std::size_t>(i)] = digits[value & 0xf];
+        value >>= 4;
+    }
+    return hex;
+}
+
+} // namespace ujam

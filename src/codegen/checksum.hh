@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The result checksum shared by generated C and the interpreter.
+ *
+ * A compiled variant proves semantic equivalence by printing one
+ * 64-bit checksum over every array's full storage (guard halo
+ * included, declaration order, element order). The same function is
+ * implemented here over interpreter state and emitted as C into every
+ * generated translation unit, so "compiled output matches the
+ * ir/interp oracle" is a single integer comparison -- and because the
+ * hash covers raw IEEE-754 bit patterns, agreement is bit-exact by
+ * construction, not within a tolerance.
+ *
+ * The hash is FNV-1a over each double's little-endian byte rendering
+ * (bytes extracted arithmetically from the bit pattern, so the value
+ * is endianness-independent).
+ */
+
+#ifndef UJAM_CODEGEN_CHECKSUM_HH
+#define UJAM_CODEGEN_CHECKSUM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "ir/interp.hh"
+
+namespace ujam
+{
+
+/** FNV-1a 64-bit offset basis: the initial hash state. */
+constexpr std::uint64_t kChecksumSeed = 14695981039346656037ULL;
+
+/**
+ * Fold count doubles into a running FNV-1a state.
+ *
+ * @param state The hash state so far (start from kChecksumSeed).
+ * @param data  The values.
+ * @param count How many.
+ * @return The updated state.
+ */
+std::uint64_t checksumDoubles(std::uint64_t state, const double *data,
+                              std::size_t count);
+
+/**
+ * @return The checksum of one array's full storage (halo included)
+ * in a finished interpreter, starting from kChecksumSeed.
+ */
+std::uint64_t interpreterArrayChecksum(const Interpreter &interp,
+                                       const std::string &array);
+
+/**
+ * @return The combined checksum over every array of the program in
+ * declaration order -- the value a generated binary prints as
+ * "ujam: checksum <hex>".
+ */
+std::uint64_t interpreterChecksum(const Interpreter &interp,
+                                  const Program &program);
+
+/** @return value as 16 lowercase hex digits (zero padded). */
+std::string checksumHex(std::uint64_t value);
+
+} // namespace ujam
+
+#endif // UJAM_CODEGEN_CHECKSUM_HH

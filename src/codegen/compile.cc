@@ -1,0 +1,217 @@
+#include "codegen/compile.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "support/diagnostics.hh"
+#include "support/string_utils.hh"
+
+namespace ujam
+{
+
+namespace fs = std::filesystem;
+
+const char *const kDefaultCFlags = "-O0 -ffp-contract=off";
+
+namespace
+{
+
+/** @return True iff name resolves to an executable on PATH. */
+bool
+onPath(const std::string &name)
+{
+    const char *path = std::getenv("PATH");
+    if (!path)
+        return false;
+    std::istringstream dirs(path);
+    std::string dir;
+    while (std::getline(dirs, dir, ':')) {
+        if (dir.empty())
+            continue;
+        std::error_code ec;
+        fs::path candidate = fs::path(dir) / name;
+        fs::file_status st = fs::status(candidate, ec);
+        if (ec || !fs::is_regular_file(st))
+            continue;
+        if ((st.permissions() & fs::perms::others_exec) !=
+                fs::perms::none ||
+            (st.permissions() & fs::perms::owner_exec) !=
+                fs::perms::none) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** @return Seconds elapsed running a shell command. */
+double
+timedSystem(const std::string &command, int &status)
+{
+    auto start = std::chrono::steady_clock::now();
+    status = std::system(command.c_str());
+    auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** @return A fresh private directory under the system temp dir. */
+fs::path
+makeWorkDir(const std::string &tag)
+{
+    std::error_code ec;
+    fs::path base = fs::temp_directory_path(ec);
+    if (ec)
+        base = "/tmp";
+    // Unique per process and per call; no mkdtemp in std::filesystem.
+    static int serial = 0;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+        fs::path dir = base / concat("ujam-codegen-", tag, "-",
+                                     static_cast<long>(::getpid()), "-",
+                                     serial++);
+        if (fs::create_directory(dir, ec) && !ec)
+            return dir;
+    }
+    return {};
+}
+
+/** @return The first 16-hex-digit value after prefix, if any. */
+std::optional<std::uint64_t>
+parseHexAfter(const std::string &output, const std::string &prefix)
+{
+    std::size_t at = output.find(prefix);
+    if (at == std::string::npos)
+        return std::nullopt;
+    at += prefix.size();
+    std::uint64_t value = 0;
+    int digits = 0;
+    while (at < output.size() && digits < 16) {
+        char c = output[at];
+        int nibble;
+        if (c >= '0' && c <= '9')
+            nibble = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            nibble = c - 'a' + 10;
+        else
+            break;
+        value = (value << 4) | static_cast<std::uint64_t>(nibble);
+        ++digits;
+        ++at;
+    }
+    if (digits == 0)
+        return std::nullopt;
+    return value;
+}
+
+} // namespace
+
+std::string
+hostCCompiler()
+{
+    if (const char *env = std::getenv("UJAM_CC")) {
+        if (*env)
+            return env;
+    }
+    for (const char *name : {"cc", "gcc", "clang"}) {
+        if (onPath(name))
+            return name;
+    }
+    return "";
+}
+
+VariantRun
+compileAndRun(const std::string &source, const std::string &tag,
+              const std::string &flags, std::uint64_t seed)
+{
+    VariantRun result;
+    std::string compiler = hostCCompiler();
+    if (compiler.empty()) {
+        result.error = "no host C compiler found (set UJAM_CC or put "
+                       "cc/gcc/clang on PATH)";
+        return result;
+    }
+    fs::path dir = makeWorkDir(tag);
+    if (dir.empty()) {
+        result.error = "could not create a temporary work directory";
+        return result;
+    }
+
+    fs::path src = dir / concat(tag, ".c");
+    fs::path bin = dir / tag;
+    fs::path log = dir / concat(tag, ".log");
+    {
+        std::ofstream out(src, std::ios::binary);
+        out << source;
+        if (!out) {
+            result.error = concat("could not write ", src.string());
+            std::error_code ec;
+            fs::remove_all(dir, ec);
+            return result;
+        }
+    }
+
+    std::string use_flags = flags.empty() ? kDefaultCFlags : flags;
+    std::string compile_cmd =
+        concat(compiler, " ", use_flags, " -o '", bin.string(), "' '",
+               src.string(), "' > '", log.string(), "' 2>&1");
+    int status = 0;
+    result.compileSeconds = timedSystem(compile_cmd, status);
+    if (status != 0) {
+        result.error = concat("compilation failed (", compiler, " ",
+                              use_flags, "): ", trim(readFile(log)));
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+        return result;
+    }
+
+    std::string run_cmd = concat("'", bin.string(), "' ", seed, " > '",
+                                 log.string(), "' 2>&1");
+    result.runSeconds = timedSystem(run_cmd, status);
+    result.output = readFile(log);
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    if (status != 0) {
+        result.error = concat("generated binary exited with status ",
+                              status, ": ", trim(result.output));
+        return result;
+    }
+
+    std::optional<std::uint64_t> checksum =
+        parseChecksumOutput(result.output);
+    if (!checksum) {
+        result.error = "no \"ujam: checksum\" line in program output";
+        return result;
+    }
+    result.checksum = *checksum;
+    result.ok = true;
+    return result;
+}
+
+std::optional<std::uint64_t>
+parseChecksumOutput(const std::string &output)
+{
+    return parseHexAfter(output, "ujam: checksum ");
+}
+
+std::optional<std::uint64_t>
+parseArrayChecksumOutput(const std::string &output,
+                         const std::string &array)
+{
+    return parseHexAfter(output,
+                         concat("ujam: array ", array, " checksum "));
+}
+
+} // namespace ujam

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The host-compiler harness for generated C.
+ *
+ * Codegen is useful without a C compiler (the emitter is pure string
+ * production), so everything here degrades gracefully: discovery
+ * returns empty when no compiler exists on PATH, and every caller --
+ * the ujam-codegen CLI's --run mode, the CodegenRoundtrip test, the
+ * codegen benchmark -- self-skips in that case rather than failing.
+ *
+ * Variants are compiled at -O0 with FP contraction off by default:
+ * the differential oracle demands bit-exact agreement with the
+ * interpreter's strict left-to-right double evaluation, so the
+ * compiler must neither fuse multiply-adds nor reassociate.
+ */
+
+#ifndef UJAM_CODEGEN_COMPILE_HH
+#define UJAM_CODEGEN_COMPILE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ujam
+{
+
+/**
+ * @return The host C compiler to use: $UJAM_CC when set, else the
+ * first of cc, gcc, clang found on PATH; empty when none exists.
+ */
+std::string hostCCompiler();
+
+/** The flags every differential compile uses unless overridden. */
+extern const char *const kDefaultCFlags;
+
+/** The outcome of compiling and running one generated variant. */
+struct VariantRun
+{
+    bool ok = false;          //!< compiled, ran, and printed a checksum
+    std::string error;        //!< diagnostic when !ok
+    std::string output;       //!< the binary's stdout/stderr
+    double compileSeconds = 0; //!< compiler wall time
+    double runSeconds = 0;     //!< binary wall time
+    std::uint64_t checksum = 0; //!< parsed "ujam: checksum" value
+};
+
+/**
+ * Compile a generated translation unit and run the binary.
+ *
+ * Writes the source into a fresh temporary directory, invokes the
+ * host compiler, runs the produced binary, parses the combined
+ * checksum from its output, and removes the directory again.
+ *
+ * @param source The C translation unit (with main()).
+ * @param tag    Base name for the temporary files ("original", ...).
+ * @param flags  Compiler flags; kDefaultCFlags when empty.
+ * @param seed   Passed as argv[1]; the run seed.
+ * @return The outcome; ok == false with a diagnostic when no
+ *         compiler exists, compilation fails, the binary exits
+ *         nonzero, or no checksum line is printed.
+ */
+VariantRun compileAndRun(const std::string &source,
+                         const std::string &tag,
+                         const std::string &flags = "",
+                         std::uint64_t seed = 9717);
+
+/**
+ * @return The "ujam: checksum <hex>" value in output, if present.
+ */
+std::optional<std::uint64_t> parseChecksumOutput(
+    const std::string &output);
+
+/**
+ * @return The "ujam: array <name> checksum <hex>" value for one
+ * array, if present.
+ */
+std::optional<std::uint64_t> parseArrayChecksumOutput(
+    const std::string &output, const std::string &array);
+
+} // namespace ujam
+
+#endif // UJAM_CODEGEN_COMPILE_HH

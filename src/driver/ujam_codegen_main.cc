@@ -1,0 +1,307 @@
+/**
+ * @file
+ * ujam-codegen: lower a DSL program to C, original and transformed
+ * side by side, and optionally prove them equivalent on real
+ * hardware.
+ *
+ *     ujam-codegen [--machine alpha|parisc|wide] [--out DIR]
+ *                  [--seed N] [--param name=value]... [--no-main]
+ *                  [--fuse] [--distribute] [--interchange]
+ *                  [--prefetch] [--json]
+ *                  [--run] [--cflags "FLAGS"]
+ *                  (FILE | --suite NAME)
+ *
+ * The input program runs through the optimization pipeline; both the
+ * untransformed and the transformed program are emitted as
+ * self-contained C99 translation units into DIR (default ".") as
+ * <stem>.orig.c and <stem>.ujam.c. --json instead prints one JSON
+ * document embedding both sources (the service's codegen payload).
+ *
+ * --run additionally compiles both variants with the host C compiler
+ * (found via $UJAM_CC, else cc/gcc/clang on PATH) at -O0 with FP
+ * contraction off, runs them, and verifies three ways: each binary's
+ * checksum against its own interpreter oracle, and the two binaries
+ * against each other. Stage switches that reorder floating-point
+ * arithmetic across iterations (--interchange) can legitimately
+ * break the third comparison; the default pipeline keeps it
+ * bit-exact.
+ *
+ * Exit status: 0 success; 1 a --run verification failed;
+ * 2 usage, I/O or parse errors; 3 --run could not compile or execute
+ * a variant (including: no host compiler).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/c_emitter.hh"
+#include "codegen/checksum.hh"
+#include "codegen/compile.hh"
+#include "driver/driver.hh"
+#include "ir/interp.hh"
+#include "ir/validate.hh"
+#include "parser/parser.hh"
+#include "report/report.hh"
+#include "support/diagnostics.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ujam-codegen [--machine alpha|parisc|wide] [--out DIR] "
+        "[--seed N] [--param name=value]... [--no-main] [--fuse] "
+        "[--distribute] [--interchange] [--prefetch] [--json] [--run] "
+        "[--cflags FLAGS] (FILE | --suite NAME)\n");
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+    return static_cast<bool>(out);
+}
+
+/** @return The source's base name without directories or extension. */
+std::string
+stemOf(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    std::size_t dot = base.rfind(".ujam");
+    if (dot != std::string::npos && dot + 5 == base.size())
+        base = base.substr(0, dot);
+    return base.empty() ? "program" : base;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ujam;
+
+    MachineModel machine = MachineModel::decAlpha21064();
+    PipelineConfig config;
+    CodegenOptions codegen;
+    std::string out_dir = ".";
+    std::string suite_name;
+    std::string path;
+    std::string cflags;
+    bool json = false;
+    bool run = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--machine") == 0 && i + 1 < argc) {
+            std::string name = argv[++i];
+            if (name == "alpha") {
+                machine = MachineModel::decAlpha21064();
+            } else if (name == "parisc") {
+                machine = MachineModel::hpPa7100();
+            } else if (name == "wide") {
+                machine = MachineModel::wideIlp();
+            } else {
+                usage();
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
+            out_dir = argv[++i];
+        } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+            codegen.seed =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(arg, "--param") == 0 && i + 1 < argc) {
+            std::string binding = argv[++i];
+            std::size_t eq = binding.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                usage();
+                return 2;
+            }
+            codegen.paramOverrides[binding.substr(0, eq)] =
+                std::atoll(binding.c_str() + eq + 1);
+        } else if (std::strcmp(arg, "--no-main") == 0) {
+            codegen.emitMain = false;
+        } else if (std::strcmp(arg, "--fuse") == 0) {
+            config.fuse = true;
+        } else if (std::strcmp(arg, "--distribute") == 0) {
+            config.distribute = true;
+        } else if (std::strcmp(arg, "--interchange") == 0) {
+            config.interchange = true;
+        } else if (std::strcmp(arg, "--prefetch") == 0) {
+            config.prefetch = true;
+        } else if (std::strcmp(arg, "--json") == 0) {
+            json = true;
+        } else if (std::strcmp(arg, "--run") == 0) {
+            run = true;
+        } else if (std::strcmp(arg, "--cflags") == 0 && i + 1 < argc) {
+            cflags = argv[++i];
+        } else if (std::strcmp(arg, "--suite") == 0 && i + 1 < argc) {
+            suite_name = argv[++i];
+        } else if (arg[0] == '-') {
+            usage();
+            return 2;
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (path.empty() == suite_name.empty()) {
+        usage();
+        return 2;
+    }
+    if (run && !codegen.emitMain) {
+        std::fprintf(stderr,
+                     "ujam-codegen: --run requires the generated "
+                     "main() (drop --no-main)\n");
+        return 2;
+    }
+
+    Program program;
+    std::string stem;
+    try {
+        if (!suite_name.empty()) {
+            program = loadSuiteProgram(suiteLoop(suite_name));
+            stem = suite_name;
+        } else {
+            std::ifstream in(path);
+            if (!in) {
+                std::fprintf(stderr,
+                             "ujam-codegen: cannot open '%s'\n",
+                             path.c_str());
+                return 2;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            program = parseProgram(text.str(), path);
+            stem = stemOf(path);
+        }
+        std::vector<std::string> problems = validateProgram(program);
+        if (!problems.empty()) {
+            for (const std::string &problem : problems)
+                std::fprintf(stderr, "ujam-codegen: %s\n",
+                             problem.c_str());
+            return 2;
+        }
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+        return 2;
+    }
+
+    try {
+        PipelineResult result = optimizeProgram(program, machine,
+                                                config);
+
+        auto now = [] { return std::chrono::steady_clock::now(); };
+        auto seconds = [](auto a, auto b) {
+            return std::chrono::duration<double>(b - a).count();
+        };
+
+        CodegenOptions orig_opts = codegen;
+        orig_opts.variantLabel = "original";
+        CodegenOptions trans_opts = codegen;
+        trans_opts.variantLabel = "transformed";
+
+        auto t0 = now();
+        CodegenUnit original = emitCProgram(program, orig_opts);
+        auto t1 = now();
+        CodegenUnit transformed =
+            emitCProgram(result.program, trans_opts);
+        auto t2 = now();
+
+        if (json) {
+            std::printf("%s\n",
+                        codegenResultJson(result, original, transformed,
+                                          codegen.seed)
+                            .c_str());
+        } else {
+            std::string orig_path =
+                concat(out_dir, "/", stem, ".orig.c");
+            std::string trans_path =
+                concat(out_dir, "/", stem, ".ujam.c");
+            if (!writeFile(orig_path, original.source) ||
+                !writeFile(trans_path, transformed.source)) {
+                std::fprintf(stderr,
+                             "ujam-codegen: cannot write under '%s'\n",
+                             out_dir.c_str());
+                return 2;
+            }
+            std::printf("wrote %s\nwrote %s\n", orig_path.c_str(),
+                        trans_path.c_str());
+        }
+
+        if (!run)
+            return 0;
+
+        VariantRun orig_run =
+            compileAndRun(original.source, "original", cflags,
+                          codegen.seed);
+        VariantRun trans_run =
+            compileAndRun(transformed.source, "transformed", cflags,
+                          codegen.seed);
+        for (const auto *variant_run : {&orig_run, &trans_run}) {
+            if (!variant_run->ok) {
+                std::fprintf(stderr, "ujam-codegen: %s\n",
+                             variant_run->error.c_str());
+                return 3;
+            }
+        }
+
+        // Each binary against its own interpreter oracle.
+        Interpreter orig_interp(program, codegen.paramOverrides);
+        orig_interp.seedArrays(codegen.seed);
+        orig_interp.run();
+        std::uint64_t orig_oracle =
+            interpreterChecksum(orig_interp, program);
+        Interpreter trans_interp(result.program,
+                                 codegen.paramOverrides);
+        trans_interp.seedArrays(codegen.seed);
+        trans_interp.run();
+        std::uint64_t trans_oracle =
+            interpreterChecksum(trans_interp, result.program);
+
+        std::vector<CodegenVariantTiming> timings = {
+            {"original", seconds(t0, t1), orig_run.compileSeconds,
+             orig_run.runSeconds, orig_run.checksum},
+            {"transformed", seconds(t1, t2), trans_run.compileSeconds,
+             trans_run.runSeconds, trans_run.checksum},
+        };
+        std::printf("%s", codegenTimingReport(timings).c_str());
+
+        int failures = 0;
+        auto check = [&](const char *what, std::uint64_t got,
+                         std::uint64_t want) {
+            if (got != want) {
+                std::fprintf(stderr,
+                             "ujam-codegen: %s: %s != %s\n", what,
+                             checksumHex(got).c_str(),
+                             checksumHex(want).c_str());
+                ++failures;
+            }
+        };
+        check("original binary vs interpreter", orig_run.checksum,
+              orig_oracle);
+        check("transformed binary vs interpreter", trans_run.checksum,
+              trans_oracle);
+        check("transformed binary vs original binary",
+              trans_run.checksum, orig_run.checksum);
+        if (failures == 0)
+            std::printf("verified: compiled variants and interpreter "
+                        "agree bit-exactly (checksum %s)\n",
+                        checksumHex(orig_run.checksum).c_str());
+        return failures == 0 ? 0 : 1;
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+        return 2;
+    }
+}

@@ -14,6 +14,8 @@
  *     --queue N          socket admission-queue bound (default 64)
  *     --cache-dir DIR    persistent result-cache directory
  *     --cache-mem N      in-memory cache entries (default 256)
+ *     --cache-max-bytes N  disk-cache byte budget; oldest entries are
+ *                          evicted past it (default 0 = unbounded)
  *     --deadline-ms N    default deadline for requests without one
  *     --dump-metrics     print the metrics document to stderr on exit
  *
@@ -41,7 +43,8 @@ usage()
         "usage: ujam-serve --batch | --socket PATH | --client PATH "
         "[FILE]\n"
         "       [--threads N] [--queue N] [--cache-dir DIR]\n"
-        "       [--cache-mem N] [--deadline-ms N] [--dump-metrics]\n");
+        "       [--cache-mem N] [--cache-max-bytes N]\n"
+        "       [--deadline-ms N] [--dump-metrics]\n");
 }
 
 /** --client: stream frames from `in` to a running server. */
@@ -110,6 +113,10 @@ main(int argc, char **argv)
                    i + 1 < argc) {
             config.cacheMemEntries =
                 std::strtoul(argv[++i], nullptr, 10);
+        } else if (std::strcmp(arg, "--cache-max-bytes") == 0 &&
+                   i + 1 < argc) {
+            config.cacheMaxBytes =
+                std::strtoull(argv[++i], nullptr, 10);
         } else if (std::strcmp(arg, "--deadline-ms") == 0 &&
                    i + 1 < argc) {
             config.defaultDeadlineMs = std::atoll(argv[++i]);

@@ -7,21 +7,6 @@
 namespace ujam
 {
 
-/** The alignment term of a Bound: see Bound::alignedUpper. */
-struct BoundAlignedPart
-{
-    Bound lower;
-    Bound upper;
-    std::int64_t factor = 1;
-
-    bool
-    operator==(const BoundAlignedPart &other) const
-    {
-        return lower == other.lower && upper == other.upper &&
-               factor == other.factor;
-    }
-};
-
 Bound
 Bound::constant(std::int64_t c)
 {

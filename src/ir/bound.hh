@@ -81,10 +81,46 @@ class Bound
 
     bool operator==(const Bound &other) const;
 
+    // Structural accessors -- the emission-oriented "visitor" face
+    // used by serializers and the C backend, so they can walk a bound
+    // instead of re-parsing toString().
+
+    /** @return The affine constant term. */
+    std::int64_t constantTerm() const { return constant_; }
+
+    /** @return The (parameter name, coefficient) terms, name-ordered. */
+    const std::map<std::string, std::int64_t> &
+    paramTerms() const
+    {
+        return terms_;
+    }
+
+    /** @return The alignment term, or nullptr when none. */
+    const BoundAlignedPart *alignedPart() const { return aligned_.get(); }
+
   private:
     std::int64_t constant_ = 0;
     std::map<std::string, std::int64_t> terms_;
     std::shared_ptr<const BoundAlignedPart> aligned_;
+};
+
+/**
+ * The alignment term of a Bound (see Bound::alignedUpper): the last
+ * iteration covered when stepping by factor from lower without
+ * passing upper. Public so emitters can render the term structurally.
+ */
+struct BoundAlignedPart
+{
+    Bound lower;
+    Bound upper;
+    std::int64_t factor = 1;
+
+    bool
+    operator==(const BoundAlignedPart &other) const
+    {
+        return lower == other.lower && upper == other.upper &&
+               factor == other.factor;
+    }
 };
 
 } // namespace ujam

@@ -126,6 +126,24 @@ Expr::forEachArrayRead(
     }
 }
 
+void
+Expr::forEachScalarRead(
+    const std::function<void(const std::string &)> &fn) const
+{
+    switch (kind_) {
+      case Kind::Constant:
+      case Kind::ArrayRead:
+        return;
+      case Kind::Scalar:
+        fn(scalar_);
+        return;
+      case Kind::Binary:
+        lhs_->forEachScalarRead(fn);
+        rhs_->forEachScalarRead(fn);
+        return;
+    }
+}
+
 ExprPtr
 Expr::rewriteArrayReads(
     const std::function<ExprPtr(const ArrayRef &)> &fn) const

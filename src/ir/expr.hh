@@ -78,6 +78,10 @@ class Expr
     void forEachArrayRead(
         const std::function<void(const ArrayRef &)> &fn) const;
 
+    /** Invoke fn on every scalar read in the tree, in source order. */
+    void forEachScalarRead(
+        const std::function<void(const std::string &)> &fn) const;
+
     /**
      * Rebuild the tree, replacing each array read by fn's result.
      * Reads for which fn returns nullptr are kept unchanged.
@@ -99,6 +103,15 @@ class Expr
     ExprPtr lhs_;
     ExprPtr rhs_;
 };
+
+/** Null-safe forEachScalarRead over an ExprPtr. */
+inline void
+forEachScalarRead(const ExprPtr &expr,
+                  const std::function<void(const std::string &)> &fn)
+{
+    if (expr)
+        expr->forEachScalarRead(fn);
+}
 
 } // namespace ujam
 

@@ -198,26 +198,6 @@ checkArrayExtents(const Program &program,
 
 } // namespace
 
-void
-forEachScalarRead(const ExprPtr &expr,
-                  const std::function<void(const std::string &)> &fn)
-{
-    if (!expr)
-        return;
-    switch (expr->kind()) {
-      case Expr::Kind::Scalar:
-        fn(expr->scalarName());
-        break;
-      case Expr::Kind::Binary:
-        forEachScalarRead(expr->lhs(), fn);
-        forEachScalarRead(expr->rhs(), fn);
-        break;
-      case Expr::Kind::Constant:
-      case Expr::Kind::ArrayRead:
-        break;
-    }
-}
-
 std::vector<std::string>
 validateNest(const Program &program, const LoopNest &nest)
 {

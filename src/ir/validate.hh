@@ -71,13 +71,6 @@ std::vector<std::string> validateNestStrict(
 std::vector<std::string> validateProgramStrict(
     const Program &program, const ValidateOptions &options = {});
 
-/**
- * Invoke fn on every scalar-variable read in the expression tree
- * (shared by the strict validator and the static analyzer).
- */
-void forEachScalarRead(const ExprPtr &expr,
-                       const std::function<void(const std::string &)> &fn);
-
 } // namespace ujam
 
 #endif // UJAM_IR_VALIDATE_HH

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "codegen/checksum.hh"
 #include "core/rrs.hh"
 #include "ir/printer.hh"
 #include "support/json.hh"
@@ -281,6 +282,61 @@ lintResultJson(const LintResult &lint)
     lintJson(json, lint);
     json.endObject();
     return json.str();
+}
+
+std::string
+codegenResultJson(const PipelineResult &result,
+                  const CodegenUnit &original,
+                  const CodegenUnit &transformed, std::uint64_t seed)
+{
+    JsonWriter json;
+    json.beginObject();
+
+    json.key("summary").beginObject();
+    json.field("nests", std::uint64_t(result.outcomes.size()));
+    json.field("fusions", std::uint64_t(result.fusions));
+    json.field("contained_faults",
+               std::uint64_t(result.containedFaults()));
+    json.endObject();
+
+    json.field("seed", std::uint64_t(seed));
+    json.key("params").beginObject();
+    for (const auto &[name, value] : transformed.params)
+        json.field(name, std::int64_t(value));
+    json.endObject();
+    json.key("arrays").beginArray();
+    for (const std::string &name : transformed.arrayNames)
+        json.value(name);
+    json.endArray();
+
+    json.key("entry").beginObject();
+    json.field("init", "ujam_init");
+    json.field("run", "ujam_run");
+    json.field("checksum", "ujam_checksum");
+    json.endObject();
+
+    json.field("original_c", original.source);
+    json.field("transformed_c", transformed.source);
+
+    json.endObject();
+    return json.str();
+}
+
+std::string
+codegenTimingReport(const std::vector<CodegenVariantTiming> &rows)
+{
+    std::ostringstream os;
+    os << padRight("variant", 14) << padLeft("emit ms", 10)
+       << padLeft("compile ms", 12) << padLeft("run ms", 10)
+       << "  checksum\n";
+    for (const CodegenVariantTiming &row : rows) {
+        os << padRight(row.label, 14)
+           << padLeft(formatFixed(row.emitSeconds * 1e3, 3), 10)
+           << padLeft(formatFixed(row.compileSeconds * 1e3, 3), 12)
+           << padLeft(formatFixed(row.runSeconds * 1e3, 3), 10) << "  "
+           << checksumHex(row.checksum) << "\n";
+    }
+    return os.str();
 }
 
 } // namespace ujam

@@ -14,7 +14,9 @@
 #define UJAM_REPORT_REPORT_HH
 
 #include <string>
+#include <vector>
 
+#include "codegen/c_emitter.hh"
 #include "core/optimizer.hh"
 #include "driver/driver.hh"
 
@@ -78,6 +80,42 @@ std::string pipelineResultJson(const PipelineResult &result,
  * schema pipelineResultJson embeds, as a standalone document).
  */
 std::string lintResultJson(const LintResult &lint);
+
+/**
+ * Render a code-generation run as one compact JSON object: the
+ * pipeline summary (nests, fusions, contained faults), the resolved
+ * parameters and array names, the emission seed, the entry-point ABI
+ * and both generated translation units. Like pipelineResultJson this
+ * is deterministic for given inputs (no timings, no environment), so
+ * ujam-serve can cache it content-addressed.
+ *
+ * @param result      The pipeline run that produced transformed.
+ * @param original    The pre-transformation emission.
+ * @param transformed The post-transformation emission.
+ * @param seed        The default seed both units were emitted with.
+ * @return One-line JSON object text.
+ */
+std::string codegenResultJson(const PipelineResult &result,
+                              const CodegenUnit &original,
+                              const CodegenUnit &transformed,
+                              std::uint64_t seed);
+
+/** One compiled variant's measurements for codegenTimingReport. */
+struct CodegenVariantTiming
+{
+    std::string label;          //!< "original", "transformed", ...
+    double emitSeconds = 0;     //!< emitter wall time
+    double compileSeconds = 0;  //!< host-compiler wall time
+    double runSeconds = 0;      //!< binary wall time
+    std::uint64_t checksum = 0; //!< the printed combined checksum
+};
+
+/**
+ * @return A human-readable table of per-variant emit/compile/run
+ * times and checksums (the ujam-codegen --run epilogue).
+ */
+std::string codegenTimingReport(
+    const std::vector<CodegenVariantTiming> &rows);
 
 } // namespace ujam
 

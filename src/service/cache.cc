@@ -113,13 +113,24 @@ renderConfig(std::ostringstream &os, const PipelineConfig &config)
 std::string
 canonicalRequestText(const std::string &op, const Program &program,
                      const MachineModel &machine,
-                     const PipelineConfig &config)
+                     const PipelineConfig &config,
+                     const CodegenOptions &codegen)
 {
     std::ostringstream os;
-    os << "ujam-serve-cache-v1\n";
+    // v2: the codegen emission fields joined the text. The header is
+    // part of the hashed bytes, so a version bump invalidates every
+    // persisted v1 entry wholesale.
+    os << "ujam-serve-cache-v2\n";
     os << "op = " << op << "\n";
     renderMachine(os, machine);
     renderConfig(os, config);
+    // variantLabel is presentation, not semantics; it stays out.
+    os << "codegen.seed = " << codegen.seed << "\n"
+       << "codegen.emitMain = " << codegen.emitMain << "\n";
+    os << "codegen.paramOverrides =";
+    for (const auto &[name, value] : codegen.paramOverrides)
+        os << " " << name << ":" << value;
+    os << "\n";
     os << "program:\n" << canonicalProgram(program);
     return os.str();
 }
@@ -127,18 +138,20 @@ canonicalRequestText(const std::string &op, const Program &program,
 std::string
 computeCacheKey(const std::string &op, const Program &program,
                 const MachineModel &machine,
-                const PipelineConfig &config)
+                const PipelineConfig &config,
+                const CodegenOptions &codegen)
 {
     return sha256Hex(
-        canonicalRequestText(op, program, machine, config));
+        canonicalRequestText(op, program, machine, config, codegen));
 }
 
 // --- ResultCache -----------------------------------------------------------
 
 ResultCache::ResultCache(std::size_t memory_capacity,
-                         std::string disk_dir)
+                         std::string disk_dir,
+                         std::uint64_t max_disk_bytes)
     : capacity_(memory_capacity == 0 ? 1 : memory_capacity),
-      diskDir_(std::move(disk_dir))
+      diskDir_(std::move(disk_dir)), maxDiskBytes_(max_disk_bytes)
 {}
 
 std::string
@@ -196,6 +209,15 @@ ResultCache::get(const std::string &key, CacheTier *tier)
         std::lock_guard<std::mutex> lock(mutex_);
         insertLocked(key, value);
     }
+    if (maxDiskBytes_ > 0) {
+        // A disk hit refreshes the entry's write time, so the byte
+        // budget evicts least-recently-*used* entries, not merely
+        // oldest-written ones.
+        std::error_code ec;
+        std::filesystem::last_write_time(
+            diskPath(key),
+            std::filesystem::file_time_type::clock::now(), ec);
+    }
     if (tier)
         *tier = CacheTier::Disk;
     return value;
@@ -240,8 +262,72 @@ ResultCache::put(const std::string &key, const std::string &value)
         }
     }
     fs::rename(temp, path, ec);
-    if (ec)
+    if (ec) {
         fs::remove(temp, ec);
+        return;
+    }
+    enforceDiskBudget();
+}
+
+void
+ResultCache::enforceDiskBudget()
+{
+    if (maxDiskBytes_ == 0 || diskDir_.empty())
+        return;
+    namespace fs = std::filesystem;
+    // One sweep at a time; concurrent inserts wait rather than race
+    // to delete the same files.
+    std::lock_guard<std::mutex> sweep(evictMutex_);
+
+    struct DiskEntry
+    {
+        fs::path path;
+        std::uint64_t size;
+        fs::file_time_type mtime;
+    };
+    std::vector<DiskEntry> entries;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (auto dir = fs::directory_iterator(diskDir_, ec);
+         !ec && dir != fs::directory_iterator(); dir.increment(ec)) {
+        // Keys live in two-hex fan-out subdirectories; top-level
+        // files are in-flight .tmp-* writes and are never touched.
+        if (!dir->is_directory(ec))
+            continue;
+        std::error_code sub_ec;
+        for (auto file = fs::directory_iterator(dir->path(), sub_ec);
+             !sub_ec && file != fs::directory_iterator();
+             file.increment(sub_ec)) {
+            std::error_code stat_ec;
+            if (!file->is_regular_file(stat_ec))
+                continue;
+            std::uint64_t size = file->file_size(stat_ec);
+            if (stat_ec)
+                continue;
+            fs::file_time_type mtime =
+                file->last_write_time(stat_ec);
+            if (stat_ec)
+                continue;
+            entries.push_back({file->path(), size, mtime});
+            total += size;
+        }
+    }
+    if (total <= maxDiskBytes_)
+        return;
+
+    std::sort(entries.begin(), entries.end(),
+              [](const DiskEntry &a, const DiskEntry &b) {
+                  return a.mtime < b.mtime;
+              });
+    for (const DiskEntry &entry : entries) {
+        if (total <= maxDiskBytes_)
+            break;
+        std::error_code remove_ec;
+        if (fs::remove(entry.path, remove_ec) && !remove_ec) {
+            total -= entry.size;
+            diskEvictions_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
 }
 
 std::size_t

@@ -15,12 +15,16 @@
  * Storage is two-tier: a bounded in-memory LRU in front of an
  * optional on-disk store (one file per key, atomically written), so
  * a restarted server is warm from its first request. Both tiers are
- * safe for concurrent use.
+ * safe for concurrent use. The disk tier optionally carries a byte
+ * budget: when an insert pushes the store past it, the
+ * least-recently-used entries (disk hits refresh an entry's write
+ * time) are deleted oldest-first until the store fits again.
  */
 
 #ifndef UJAM_SERVICE_CACHE_HH
 #define UJAM_SERVICE_CACHE_HH
 
+#include <atomic>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -28,26 +32,33 @@
 #include <unordered_map>
 #include <utility>
 
+#include "codegen/c_emitter.hh"
 #include "driver/driver.hh"
 
 namespace ujam
 {
 
 /**
- * @return The canonical text hashed into a cache key: an "op" tag,
- * every semantic MachineModel and PipelineConfig field by name, and
- * the canonical program rendering. Exposed separately from the hash
- * so tests can assert *why* two keys differ.
+ * @return The canonical text hashed into a cache key: a format
+ * version header, an "op" tag, every semantic MachineModel,
+ * PipelineConfig and CodegenOptions field by name, and the canonical
+ * program rendering. Exposed separately from the hash so tests can
+ * assert *why* two keys differ. The version header is bumped
+ * whenever a field joins the text (v2: the codegen emission fields),
+ * so persisted entries from an older schema can never be returned
+ * for a newer request shape.
  */
 std::string canonicalRequestText(const std::string &op,
                                  const Program &program,
                                  const MachineModel &machine,
-                                 const PipelineConfig &config);
+                                 const PipelineConfig &config,
+                                 const CodegenOptions &codegen = {});
 
 /** @return The SHA-256 hex cache key for a request. */
 std::string computeCacheKey(const std::string &op, const Program &program,
                             const MachineModel &machine,
-                            const PipelineConfig &config);
+                            const PipelineConfig &config,
+                            const CodegenOptions &codegen = {});
 
 /** Where a cache probe was answered from. */
 enum class CacheTier
@@ -68,9 +79,15 @@ class ResultCache
      * @param disk_dir        Persistence directory; empty = memory
      *                        only. Created (with parents) on first
      *                        store.
+     * @param max_disk_bytes  Disk-tier byte budget summed over entry
+     *                        payloads; 0 = unbounded. When an insert
+     *                        pushes the store past the budget, the
+     *                        oldest entries (by write/refresh time)
+     *                        are evicted until it fits.
      */
     explicit ResultCache(std::size_t memory_capacity,
-                         std::string disk_dir = "");
+                         std::string disk_dir = "",
+                         std::uint64_t max_disk_bytes = 0);
 
     /**
      * Look up a key.
@@ -96,12 +113,26 @@ class ResultCache
     /** @return The persistence directory ("" = memory only). */
     const std::string &diskDir() const { return diskDir_; }
 
+    /** @return The configured disk byte budget (0 = unbounded). */
+    std::uint64_t maxDiskBytes() const { return maxDiskBytes_; }
+
+    /** @return Disk entries evicted by the byte budget so far. */
+    std::uint64_t
+    diskEvictions() const
+    {
+        return diskEvictions_.load(std::memory_order_relaxed);
+    }
+
   private:
     std::string diskPath(const std::string &key) const;
     void insertLocked(const std::string &key, std::string value);
+    void enforceDiskBudget();
 
     std::size_t capacity_;
     std::string diskDir_;
+    std::uint64_t maxDiskBytes_;
+    std::atomic<std::uint64_t> diskEvictions_{0};
+    std::mutex evictMutex_; //!< serializes budget sweeps
 
     mutable std::mutex mutex_;
     /** Most recent at the front. */

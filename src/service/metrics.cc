@@ -60,7 +60,8 @@ histogramJson(JsonWriter &json, const char *name,
 
 std::string
 metricsJson(const ServiceMetrics &metrics, std::uint64_t cache_entries,
-            std::uint64_t cache_capacity)
+            std::uint64_t cache_capacity,
+            std::uint64_t disk_evictions)
 {
     JsonWriter json;
     json.beginObject();
@@ -69,11 +70,15 @@ metricsJson(const ServiceMetrics &metrics, std::uint64_t cache_entries,
     json.field("total", metrics.requestsTotal.get());
     json.field("ok", metrics.requestsOk.get());
     json.field("errors", metrics.requestsError.get());
+    json.field("malformed", metrics.requestsMalformed.get());
+    json.field("bad_op", metrics.requestsBadOp.get());
+    json.field("bad_field", metrics.requestsBadField.get());
     json.field("overloaded", metrics.requestsOverloaded.get());
     json.field("timeouts", metrics.requestsTimeout.get());
     json.key("by_op").beginObject();
     json.field("optimize", metrics.opOptimize.get());
     json.field("lint", metrics.opLint.get());
+    json.field("codegen", metrics.opCodegen.get());
     json.field("metrics", metrics.opMetrics.get());
     json.field("ping", metrics.opPing.get());
     json.field("shutdown", metrics.opShutdown.get());
@@ -88,6 +93,7 @@ metricsJson(const ServiceMetrics &metrics, std::uint64_t cache_entries,
     json.field("bypassed", metrics.cacheBypassed.get());
     json.field("memory_entries", cache_entries);
     json.field("memory_capacity", cache_capacity);
+    json.field("disk_evictions", disk_evictions);
     json.endObject();
 
     json.key("pipeline").beginObject();

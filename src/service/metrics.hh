@@ -94,13 +94,17 @@ struct ServiceMetrics
     // --- requests, by outcome ---
     Counter requestsTotal;
     Counter requestsOk;
-    Counter requestsError;     //!< parse/validate/usage failures
+    Counter requestsError;     //!< all rejected frames (sum of kinds)
+    Counter requestsMalformed; //!< not JSON / not an object / no op
+    Counter requestsBadOp;     //!< well-formed frame, unknown op
+    Counter requestsBadField;  //!< known op, bad field/option value
     Counter requestsOverloaded; //!< rejected by admission control
     Counter requestsTimeout;    //!< deadline expired
 
     // --- requests, by operation ---
     Counter opOptimize;
     Counter opLint;
+    Counter opCodegen;
     Counter opMetrics;
     Counter opPing;
     Counter opShutdown;
@@ -132,10 +136,12 @@ struct ServiceMetrics
  * @param metrics        The counters to snapshot.
  * @param cache_entries  Current in-memory cache entries.
  * @param cache_capacity Configured in-memory cache capacity.
+ * @param disk_evictions Disk entries evicted by the byte budget.
  */
 std::string metricsJson(const ServiceMetrics &metrics,
                         std::uint64_t cache_entries,
-                        std::uint64_t cache_capacity);
+                        std::uint64_t cache_capacity,
+                        std::uint64_t disk_evictions = 0);
 
 } // namespace ujam
 

@@ -1,5 +1,7 @@
 #include "service/protocol.hh"
 
+#include <limits>
+
 #include "support/json.hh"
 
 namespace ujam
@@ -13,6 +15,8 @@ serviceOpName(ServiceOp op)
         return "optimize";
       case ServiceOp::Lint:
         return "lint";
+      case ServiceOp::Codegen:
+        return "codegen";
       case ServiceOp::Metrics:
         return "metrics";
       case ServiceOp::Ping:
@@ -174,6 +178,29 @@ applyOption(const std::string &name, const JsonValue &value,
         // key (results are bit-identical at every width).
         if (readInt(value, name, 0, 1024, integer, errors))
             config.threads = static_cast<std::size_t>(integer);
+    } else if (name == "seed") {
+        if (readInt(value, name, 0, std::int64_t(1) << 62, integer,
+                    errors))
+            request.codegen.seed =
+                static_cast<std::uint64_t>(integer);
+    } else if (name == "emit_main") {
+        if (readBool(value, name, flag, errors))
+            request.codegen.emitMain = flag;
+    } else if (name == "params") {
+        if (!value.isObject()) {
+            errors.fail("option 'params' must be an object of "
+                        "integer parameter overrides");
+        } else {
+            for (const auto &[param_name, param_value] :
+                 value.members) {
+                std::int64_t bound = 0;
+                if (readInt(param_value, "params." + param_name,
+                            std::numeric_limits<std::int64_t>::min(),
+                            std::numeric_limits<std::int64_t>::max(),
+                            bound, errors))
+                    request.codegen.paramOverrides[param_name] = bound;
+            }
+        }
     } else {
         errors.fail("unknown option '" + name + "'");
     }
@@ -185,15 +212,21 @@ RequestParse
 parseRequest(const std::string &line)
 {
     constexpr std::size_t kMaxLine = 8u << 20;
-    if (line.size() > kMaxLine)
-        return {std::nullopt, "request larger than 8 MiB"};
+    if (line.size() > kMaxLine) {
+        return {std::nullopt, "request larger than 8 MiB",
+                RequestErrorKind::Malformed};
+    }
 
     JsonParseResult parsed = parseJson(line);
-    if (!parsed.ok())
-        return {std::nullopt, parsed.error};
+    if (!parsed.ok()) {
+        return {std::nullopt, parsed.error,
+                RequestErrorKind::Malformed};
+    }
     const JsonValue &root = *parsed.value;
-    if (!root.isObject())
-        return {std::nullopt, "request must be a JSON object"};
+    if (!root.isObject()) {
+        return {std::nullopt, "request must be a JSON object",
+                RequestErrorKind::Malformed};
+    }
 
     ServiceRequest request;
     // Requests come from independent clients: run each one's nest
@@ -202,12 +235,16 @@ parseRequest(const std::string &line)
     request.config.threads = 1;
 
     const JsonValue *op = root.find("op");
-    if (!op || !op->isString())
-        return {std::nullopt, "missing string field 'op'"};
+    if (!op || !op->isString()) {
+        return {std::nullopt, "missing string field 'op'",
+                RequestErrorKind::Malformed};
+    }
     if (op->stringValue == "optimize") {
         request.op = ServiceOp::Optimize;
     } else if (op->stringValue == "lint") {
         request.op = ServiceOp::Lint;
+    } else if (op->stringValue == "codegen") {
+        request.op = ServiceOp::Codegen;
     } else if (op->stringValue == "metrics") {
         request.op = ServiceOp::Metrics;
     } else if (op->stringValue == "ping") {
@@ -215,7 +252,8 @@ parseRequest(const std::string &line)
     } else if (op->stringValue == "shutdown") {
         request.op = ServiceOp::Shutdown;
     } else {
-        return {std::nullopt, "unknown op '" + op->stringValue + "'"};
+        return {std::nullopt, "unknown op '" + op->stringValue + "'",
+                RequestErrorKind::BadOp};
     }
 
     FieldErrors errors;
@@ -260,23 +298,29 @@ parseRequest(const std::string &line)
             errors.fail("unknown field '" + name + "'");
         }
     }
-    if (!errors.ok())
-        return {std::nullopt, errors.message};
+    if (!errors.ok()) {
+        return {std::nullopt, errors.message,
+                RequestErrorKind::BadField};
+    }
 
     std::optional<MachineModel> machine =
         machinePreset(request.machineName);
     if (!machine) {
         return {std::nullopt,
-                "unknown machine '" + request.machineName + "'"};
+                "unknown machine '" + request.machineName + "'",
+                RequestErrorKind::BadField};
     }
     request.machine = *machine;
 
     bool needs_source = request.op == ServiceOp::Optimize ||
-                        request.op == ServiceOp::Lint;
-    if (needs_source && request.source.empty())
-        return {std::nullopt, "missing field 'source'"};
+                        request.op == ServiceOp::Lint ||
+                        request.op == ServiceOp::Codegen;
+    if (needs_source && request.source.empty()) {
+        return {std::nullopt, "missing field 'source'",
+                RequestErrorKind::BadField};
+    }
 
-    return {std::move(request), ""};
+    return {std::move(request), "", RequestErrorKind::None};
 }
 
 namespace

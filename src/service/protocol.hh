@@ -9,9 +9,10 @@
  *
  * Request:
  *
- *   {"op": "optimize" | "lint" | "metrics" | "ping" | "shutdown",
+ *   {"op": "optimize" | "lint" | "codegen" | "metrics" | "ping" |
+ *          "shutdown",
  *    "id": "any string, echoed back",          (optional)
- *    "source": "<DSL text>",                   (optimize/lint)
+ *    "source": "<DSL text>",              (optimize/lint/codegen)
  *    "machine": "alpha|parisc|wide|wide-prefetch",  (default alpha)
  *    "options": { ... pipeline knobs ... },    (optional)
  *    "deadline_ms": N,   // budget from receipt; 0 = already expired
@@ -21,8 +22,12 @@
  * localized_trip, fuse, normalize, distribute, interchange,
  * scalar_replace, prefetch, prefetch_distance, validate, oracle,
  * lint ("off"/"warn"/"strict"), min_severity ("note"/"warn"/"error"),
- * threads. Unknown option names are an error (they would otherwise
- * silently change the cache key semantics a client expects).
+ * threads. The "codegen" op additionally honours seed (the default
+ * run seed baked into the generated main()), emit_main (emit a
+ * main(); default true) and params (an object of parameter-name to
+ * integer overrides bound at emission). Unknown option names are an
+ * error (they would otherwise silently change the cache key
+ * semantics a client expects).
  *
  * Response:
  *
@@ -43,6 +48,7 @@
 #include <optional>
 #include <string>
 
+#include "codegen/c_emitter.hh"
 #include "driver/driver.hh"
 
 namespace ujam
@@ -53,6 +59,7 @@ enum class ServiceOp
 {
     Optimize,
     Lint,
+    Codegen,
     Metrics,
     Ping,
     Shutdown
@@ -70,9 +77,24 @@ struct ServiceRequest
     std::string machineName = "alpha";
     MachineModel machine;         //!< resolved preset
     PipelineConfig config;        //!< resolved pipeline knobs
+    CodegenOptions codegen;       //!< emission knobs ("codegen" op)
     /** Deadline budget in ms from receipt; unset = no deadline. */
     std::optional<std::int64_t> deadlineMs;
     bool noCache = false;         //!< skip the result cache
+};
+
+/**
+ * How a rejected frame failed, for the split error counters: a
+ * malformed frame (not JSON, not an object, oversized, no op), an
+ * unknown op on an otherwise well-formed frame, or a bad field or
+ * option value on a known op.
+ */
+enum class RequestErrorKind
+{
+    None,
+    Malformed,
+    BadOp,
+    BadField
 };
 
 /** parseRequest outcome: a request or an error message. */
@@ -80,6 +102,7 @@ struct RequestParse
 {
     std::optional<ServiceRequest> request;
     std::string error; //!< non-empty iff request is empty
+    RequestErrorKind kind = RequestErrorKind::None;
 
     bool ok() const { return request.has_value(); }
 };

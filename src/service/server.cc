@@ -51,7 +51,8 @@ writeAll(int fd, const std::string &text)
 
 UjamServer::UjamServer(ServerConfig config)
     : config_(std::move(config)),
-      cache_(config_.cacheMemEntries, config_.cacheDir)
+      cache_(config_.cacheMemEntries, config_.cacheDir,
+             config_.cacheMaxBytes)
 {
     if (config_.threads == 0)
         config_.threads = ThreadPool::defaultThreads();
@@ -68,7 +69,8 @@ std::string
 UjamServer::metricsSnapshot() const
 {
     return metricsJson(metrics_, cache_.memoryEntries(),
-                       cache_.memoryCapacity());
+                       cache_.memoryCapacity(),
+                       cache_.diskEvictions());
 }
 
 bool
@@ -136,12 +138,14 @@ UjamServer::runOptimize(const ServiceRequest &request,
                              "deadline expired after parse");
     }
 
-    // Cache probe on the canonical (IR, machine, config) key.
+    // Cache probe on the canonical (IR, machine, config, codegen)
+    // key. The codegen fields are defaults for optimize/lint, so
+    // they render identically for every request of those ops.
     std::string key;
     if (!request.noCache) {
         Clock::time_point probe_start = Clock::now();
         key = computeCacheKey(op_name, program, request.machine,
-                              config);
+                              config, request.codegen);
         CacheTier tier = CacheTier::Miss;
         std::optional<std::string> hit = cache_.get(key, &tier);
         metrics_.cacheProbeLatency.record(microsSince(probe_start));
@@ -169,6 +173,29 @@ UjamServer::runOptimize(const ServiceRequest &request,
 
             Clock::time_point render_start = Clock::now();
             result_json = lintResultJson(lint);
+            metrics_.renderLatency.record(microsSince(render_start));
+        } else if (request.op == ServiceOp::Codegen) {
+            PipelineResult result =
+                optimizeProgram(program, request.machine, config);
+            metrics_.optimizeLatency.record(microsSince(run_start));
+
+            metrics_.nestsOptimized.add(result.outcomes.size());
+            metrics_.containedFaults.add(result.containedFaults());
+            for (const NestOutcome &outcome : result.outcomes) {
+                if (outcome.lintSkipped)
+                    metrics_.lintRejections.add();
+            }
+
+            Clock::time_point render_start = Clock::now();
+            CodegenOptions emit = request.codegen;
+            emit.variantLabel = "original";
+            CodegenUnit original = emitCProgram(program, emit);
+            emit.variantLabel = "transformed";
+            CodegenUnit transformed =
+                emitCProgram(result.program, emit);
+            result_json = codegenResultJson(result, original,
+                                            transformed,
+                                            request.codegen.seed);
             metrics_.renderLatency.record(microsSince(render_start));
         } else {
             PipelineResult result =
@@ -257,6 +284,7 @@ UjamServer::process(const ServiceRequest &request,
       }
       case ServiceOp::Optimize:
       case ServiceOp::Lint:
+      case ServiceOp::Codegen:
         return runOptimize(request, arrival, deadline, has_deadline);
     }
     metrics_.requestsError.add();
@@ -272,6 +300,19 @@ UjamServer::processLine(const std::string &line,
     RequestParse parsed = parseRequest(line);
     if (!parsed.ok()) {
         metrics_.requestsError.add();
+        switch (parsed.kind) {
+          case RequestErrorKind::Malformed:
+            metrics_.requestsMalformed.add();
+            break;
+          case RequestErrorKind::BadOp:
+            metrics_.requestsBadOp.add();
+            break;
+          case RequestErrorKind::BadField:
+            metrics_.requestsBadField.add();
+            break;
+          case RequestErrorKind::None:
+            break;
+        }
         response = errorResponse("", "", "error", parsed.error);
     } else {
         switch (parsed.request->op) {
@@ -280,6 +321,9 @@ UjamServer::processLine(const std::string &line,
             break;
           case ServiceOp::Lint:
             metrics_.opLint.add();
+            break;
+          case ServiceOp::Codegen:
+            metrics_.opCodegen.add();
             break;
           case ServiceOp::Metrics:
             metrics_.opMetrics.add();
@@ -484,6 +528,7 @@ UjamServer::handleConnection(int fd)
         if (buffer.size() > kMaxBuffered) {
             metrics_.requestsTotal.add();
             metrics_.requestsError.add();
+            metrics_.requestsMalformed.add();
             writeAll(fd,
                      errorResponse("", "", "error",
                                    "frame larger than 8 MiB") +

@@ -59,6 +59,8 @@ struct ServerConfig
     std::optional<std::int64_t> defaultDeadlineMs;
     std::size_t cacheMemEntries = 256; //!< in-memory LRU capacity
     std::string cacheDir;        //!< persistent tier; "" = memory only
+    /** Disk-tier byte budget; 0 = unbounded. See ResultCache. */
+    std::uint64_t cacheMaxBytes = 0;
 };
 
 /** See the file comment. */

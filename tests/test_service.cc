@@ -446,6 +446,16 @@ TEST(ServiceFuzz, BatchParserSurvivesMalformedFrames)
         EXPECT_NE(responseStatus(response), "<unparseable>")
             << "input: " << line;
     }
+
+    // The split counters cover every rejected *frame*; requestsError
+    // additionally counts well-formed frames whose DSL source fails
+    // to parse, so the sum is a lower bound, never an overcount.
+    const ServiceMetrics &metrics = server.metrics();
+    EXPECT_GE(metrics.requestsError.get(),
+              metrics.requestsMalformed.get() +
+                  metrics.requestsBadOp.get() +
+                  metrics.requestsBadField.get());
+    EXPECT_GT(metrics.requestsMalformed.get(), 0u);
 }
 
 // --- socket mode (the TSan smoke) -----------------------------------
