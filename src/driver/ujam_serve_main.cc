@@ -16,11 +16,33 @@
  *     --cache-mem N      in-memory cache entries (default 256)
  *     --cache-max-bytes N  disk-cache byte budget; oldest entries are
  *                          evicted past it (default 0 = unbounded)
+ *     --cache-shards N   disk-cache shard directories (default 1)
  *     --deadline-ms N    default deadline for requests without one
+ *     --idle-timeout-ms N  close connections idle this long (0 = off)
  *     --dump-metrics     print the metrics document to stderr on exit
  *
+ * Multi-worker socket mode (see service/supervisor.hh):
+ *     --workers N        fork N supervised worker processes; a crash
+ *                        kills only that worker's connections and the
+ *                        slot restarts with backoff
+ *     --dispatch         supervisor accepts and passes connection fds
+ *                        to workers (instead of shared accept)
+ *     --drain-ms N       shutdown drain deadline before SIGKILL
+ *     --breaker-crashes N / --breaker-window-ms N
+ *                        > N crashes inside the window degrade the
+ *                        service to cache-only answers
+ *     --backoff-base-ms N / --backoff-max-ms N
+ *                        worker restart backoff envelope
+ *
+ * Client mode:
+ *     --retries N        resend a frame up to N times when the
+ *                        connection dies mid-request (default 3;
+ *                        idempotent, see service/client.hh)
+ *
  * See service/protocol.hh for the wire format. Exit status: 0 on a
- * clean run, 2 on usage or startup errors.
+ * clean run, 2 on usage or startup errors; a supervised run exits 3
+ * after degrading to cache-only mode and 4 when shutdown had to
+ * SIGKILL a straggling worker.
  */
 
 #include <cstdio>
@@ -30,6 +52,7 @@
 
 #include "service/client.hh"
 #include "service/server.hh"
+#include "service/supervisor.hh"
 #include "support/diagnostics.hh"
 
 namespace
@@ -43,13 +66,20 @@ usage()
         "usage: ujam-serve --batch | --socket PATH | --client PATH "
         "[FILE]\n"
         "       [--threads N] [--queue N] [--cache-dir DIR]\n"
-        "       [--cache-mem N] [--cache-max-bytes N]\n"
-        "       [--deadline-ms N] [--dump-metrics]\n");
+        "       [--cache-mem N] [--cache-max-bytes N] "
+        "[--cache-shards N]\n"
+        "       [--deadline-ms N] [--idle-timeout-ms N] "
+        "[--dump-metrics]\n"
+        "       [--workers N] [--dispatch] [--drain-ms N]\n"
+        "       [--breaker-crashes N] [--breaker-window-ms N]\n"
+        "       [--backoff-base-ms N] [--backoff-max-ms N] "
+        "[--retries N]\n");
 }
 
 /** --client: stream frames from `in` to a running server. */
 int
-runClient(const std::string &socket_path, std::istream &in)
+runClient(const std::string &socket_path, std::istream &in,
+          int retries)
 {
     ujam::ServeClient client;
     if (!client.connect(socket_path)) {
@@ -61,7 +91,7 @@ runClient(const std::string &socket_path, std::istream &in)
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
-        std::string response = client.request(line);
+        std::string response = client.requestWithRetry(line, retries);
         if (response.empty()) {
             std::fprintf(stderr,
                          "ujam-serve: server closed the connection\n");
@@ -89,8 +119,12 @@ main(int argc, char **argv)
 
     Mode mode = Mode::None;
     ServerConfig config;
+    SupervisorConfig supervision;
+    std::size_t workers = 0;
+    bool dispatch = false;
     std::string client_file;
     bool dump_metrics = false;
+    int retries = 3;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -117,9 +151,37 @@ main(int argc, char **argv)
                    i + 1 < argc) {
             config.cacheMaxBytes =
                 std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(arg, "--cache-shards") == 0 &&
+                   i + 1 < argc) {
+            config.cacheShards = std::strtoul(argv[++i], nullptr, 10);
         } else if (std::strcmp(arg, "--deadline-ms") == 0 &&
                    i + 1 < argc) {
             config.defaultDeadlineMs = std::atoll(argv[++i]);
+        } else if (std::strcmp(arg, "--idle-timeout-ms") == 0 &&
+                   i + 1 < argc) {
+            config.idleTimeoutMs = std::atoll(argv[++i]);
+        } else if (std::strcmp(arg, "--workers") == 0 && i + 1 < argc) {
+            workers = std::strtoul(argv[++i], nullptr, 10);
+        } else if (std::strcmp(arg, "--dispatch") == 0) {
+            dispatch = true;
+        } else if (std::strcmp(arg, "--drain-ms") == 0 &&
+                   i + 1 < argc) {
+            supervision.drainMs = std::atoll(argv[++i]);
+        } else if (std::strcmp(arg, "--breaker-crashes") == 0 &&
+                   i + 1 < argc) {
+            supervision.breakerCrashes =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(arg, "--breaker-window-ms") == 0 &&
+                   i + 1 < argc) {
+            supervision.breakerWindowMs = std::atoll(argv[++i]);
+        } else if (std::strcmp(arg, "--backoff-base-ms") == 0 &&
+                   i + 1 < argc) {
+            supervision.backoffBaseMs = std::atoll(argv[++i]);
+        } else if (std::strcmp(arg, "--backoff-max-ms") == 0 &&
+                   i + 1 < argc) {
+            supervision.backoffMaxMs = std::atoll(argv[++i]);
+        } else if (std::strcmp(arg, "--retries") == 0 && i + 1 < argc) {
+            retries = std::atoi(argv[++i]);
         } else if (std::strcmp(arg, "--dump-metrics") == 0) {
             dump_metrics = true;
         } else if (arg[0] == '-') {
@@ -140,14 +202,28 @@ main(int argc, char **argv)
 
     if (mode == Mode::Client) {
         if (client_file.empty())
-            return runClient(config.socketPath, std::cin);
+            return runClient(config.socketPath, std::cin, retries);
         std::ifstream in(client_file);
         if (!in) {
             std::fprintf(stderr, "ujam-serve: cannot open '%s'\n",
                          client_file.c_str());
             return 2;
         }
-        return runClient(config.socketPath, in);
+        return runClient(config.socketPath, in, retries);
+    }
+
+    if (mode == Mode::Socket && workers > 0) {
+        supervision.server = std::move(config);
+        supervision.workers = workers;
+        supervision.dispatch = dispatch;
+        supervision.dumpMetrics = dump_metrics;
+        try {
+            Supervisor supervisor(std::move(supervision));
+            return supervisor.run();
+        } catch (const FatalError &err) {
+            std::fprintf(stderr, "%s\n", err.what());
+            return 2;
+        }
     }
 
     try {

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <charconv>
 #include <cstdio>
@@ -147,19 +148,136 @@ computeCacheKey(const std::string &op, const Program &program,
 
 // --- ResultCache -----------------------------------------------------------
 
+namespace
+{
+
+/** Entry-file magic; bumped if the on-disk entry layout changes. */
+constexpr const char *kEntryMagic = "ujam-entry-v1";
+
+/**
+ * @return The header stored ahead of a payload: magic, the payload's
+ * SHA-256, and its byte length, newline-terminated. Everything the
+ * read path needs to prove the payload is exactly what was written.
+ */
+std::string
+entryHeader(const std::string &payload)
+{
+    return std::string(kEntryMagic) + " " + sha256Hex(payload) + " " +
+           std::to_string(payload.size()) + "\n";
+}
+
+/**
+ * Parse + verify a raw entry file.
+ *
+ * @return The payload, or nothing when the file is truncated,
+ * bit-flipped, headerless (e.g. a pre-shard legacy entry) or
+ * otherwise not provably intact.
+ */
+std::optional<std::string>
+verifyEntry(const std::string &raw)
+{
+    std::size_t newline = raw.find('\n');
+    if (newline == std::string::npos)
+        return std::nullopt;
+    std::istringstream header(raw.substr(0, newline));
+    std::string magic, digest;
+    std::uint64_t size = 0;
+    if (!(header >> magic >> digest >> size) || magic != kEntryMagic)
+        return std::nullopt;
+    std::string payload = raw.substr(newline + 1);
+    if (payload.size() != size)
+        return std::nullopt;
+    if (sha256Hex(payload) != digest)
+        return std::nullopt;
+    return payload;
+}
+
+/** @return The shard a hex key's first byte routes to. */
+std::size_t
+shardOfKey(const std::string &key, std::size_t shards)
+{
+    unsigned byte = 0;
+    for (std::size_t i = 0; i < 2 && i < key.size(); ++i) {
+        char c = key[i];
+        unsigned nibble = (c >= '0' && c <= '9')   ? unsigned(c - '0')
+                          : (c >= 'a' && c <= 'f') ? unsigned(c - 'a' + 10)
+                          : (c >= 'A' && c <= 'F') ? unsigned(c - 'A' + 10)
+                                                   : 0u;
+        byte = byte * 16 + nibble;
+    }
+    return byte % shards;
+}
+
+std::string
+twoDigit(std::size_t n)
+{
+    std::string text = std::to_string(n);
+    return text.size() < 2 ? "0" + text : text;
+}
+
+} // namespace
+
+ResultCache::ResultCache(ResultCacheConfig config)
+    : capacity_(config.memoryCapacity == 0 ? 1
+                                           : config.memoryCapacity),
+      diskDir_(std::move(config.diskDir)),
+      maxDiskBytes_(config.maxDiskBytes),
+      shards_(std::min(std::max<std::size_t>(config.shards, 1),
+                       kMaxCacheShards)),
+      counters_(config.counters)
+{
+    if (!counters_) {
+        ownedCounters_ = std::make_unique<CacheCounters>();
+        counters_ = ownedCounters_.get();
+    }
+    for (const ProcessFaultSpec &spec : config.faults) {
+        if (spec.kind == ProcessFaultKind::CacheCorrupt)
+            corruptFaults_.push_back(spec);
+    }
+}
+
 ResultCache::ResultCache(std::size_t memory_capacity,
                          std::string disk_dir,
                          std::uint64_t max_disk_bytes)
-    : capacity_(memory_capacity == 0 ? 1 : memory_capacity),
-      diskDir_(std::move(disk_dir)), maxDiskBytes_(max_disk_bytes)
+    : ResultCache([&] {
+          ResultCacheConfig config;
+          config.memoryCapacity = memory_capacity;
+          config.diskDir = std::move(disk_dir);
+          config.maxDiskBytes = max_disk_bytes;
+          return config;
+      }())
 {}
+
+std::size_t
+ResultCache::shardOf(const std::string &key) const
+{
+    return shardOfKey(key, shards_);
+}
+
+std::uint64_t
+ResultCache::diskEntryBytes(std::uint64_t payload_bytes)
+{
+    // Mirrors entryHeader(): magic, space, 64 hex digest chars,
+    // space, decimal length, newline, then the payload itself.
+    return std::string(kEntryMagic).size() + 1 + 64 + 1 +
+           std::to_string(payload_bytes).size() + 1 + payload_bytes;
+}
+
+std::string
+ResultCache::shardDir(std::size_t shard) const
+{
+    return diskDir_ + "/shard-" + twoDigit(shard);
+}
 
 std::string
 ResultCache::diskPath(const std::string &key) const
 {
-    // Content-addressed layout: <dir>/<first two hex chars>/<key>.
-    // The fan-out keeps directories small under sustained traffic.
-    return diskDir_ + "/" + key.substr(0, 2) + "/" + key;
+    // Content-addressed layout:
+    // <dir>/shard-NN/<first two hex chars>/<key>. The shard is the
+    // resource/eviction domain; the two-hex fan-out below it keeps
+    // directories small under sustained traffic.
+    return shardDir(shardOf(key)) + "/" + key.substr(0, 2) + "/" +
+           key;
 }
 
 void
@@ -177,6 +295,23 @@ ResultCache::insertLocked(const std::string &key, std::string value)
         index_.erase(lru_.back().first);
         lru_.pop_back();
     }
+}
+
+void
+ResultCache::quarantine(const std::string &key, std::size_t shard)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path held = fs::path(shardDir(shard)) / "quarantine" / key;
+    fs::create_directories(held.parent_path(), ec);
+    fs::rename(diskPath(key), held, ec);
+    if (ec) {
+        // Another worker won the rename race, or the filesystem is
+        // refusing; removal is an acceptable fallback -- the one
+        // invariant is that a damaged entry never stays servable.
+        fs::remove(diskPath(key), ec);
+    }
+    counters_->shard[shard].diskQuarantined.add();
 }
 
 std::optional<std::string>
@@ -197,6 +332,7 @@ ResultCache::get(const std::string &key, CacheTier *tier)
     if (diskDir_.empty())
         return std::nullopt;
 
+    std::size_t shard = shardOf(key);
     std::ifstream in(diskPath(key), std::ios::binary);
     if (!in)
         return std::nullopt;
@@ -204,7 +340,16 @@ ResultCache::get(const std::string &key, CacheTier *tier)
     text << in.rdbuf();
     if (!in.good() && !in.eof())
         return std::nullopt;
-    std::string value = text.str();
+
+    // Never trust stored bytes: a torn write, a truncated file or a
+    // flipped bit must come back as a miss, not as garbage served to
+    // a client or a crash inside the JSON splice.
+    std::optional<std::string> payload = verifyEntry(text.str());
+    if (!payload) {
+        quarantine(key, shard);
+        return std::nullopt;
+    }
+    std::string value = std::move(*payload);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         insertLocked(key, value);
@@ -218,6 +363,7 @@ ResultCache::get(const std::string &key, CacheTier *tier)
             diskPath(key),
             std::filesystem::file_time_type::clock::now(), ec);
     }
+    counters_->shard[shard].diskHits.add();
     if (tier)
         *tier = CacheTier::Disk;
     return value;
@@ -235,6 +381,7 @@ ResultCache::put(const std::string &key, const std::string &value)
 
     namespace fs = std::filesystem;
     std::error_code ec;
+    std::size_t shard = shardOf(key);
     std::string path = diskPath(key);
     fs::create_directories(fs::path(path).parent_path(), ec);
     if (ec)
@@ -253,6 +400,9 @@ ResultCache::put(const std::string &key, const std::string &value)
         if (!out) {
             return;
         }
+        std::string header = entryHeader(value);
+        out.write(header.data(),
+                  static_cast<std::streamsize>(header.size()));
         out.write(value.data(),
                   static_cast<std::streamsize>(value.size()));
         if (!out.good()) {
@@ -266,18 +416,43 @@ ResultCache::put(const std::string &key, const std::string &value)
         fs::remove(temp, ec);
         return;
     }
-    enforceDiskBudget();
+    counters_->shard[shard].diskStores.add();
+
+    std::uint64_t serial =
+        storeSerial_.fetch_add(1, std::memory_order_relaxed) + 1;
+    for (const ProcessFaultSpec &spec : corruptFaults_) {
+        if (!spec.matches(serial))
+            continue;
+        // Deterministic bit rot: damage one payload byte in place so
+        // the *read* path -- the code under test -- must detect it.
+        std::fstream file(path, std::ios::binary | std::ios::in |
+                                    std::ios::out);
+        if (file) {
+            file.seekp(static_cast<std::streamoff>(
+                entryHeader(value).size() + value.size() / 2));
+            char byte = static_cast<char>(value[value.size() / 2] ^
+                                          0xFF);
+            file.write(&byte, 1);
+        }
+        break;
+    }
+    enforceDiskBudget(shard);
 }
 
 void
-ResultCache::enforceDiskBudget()
+ResultCache::enforceDiskBudget(std::size_t shard)
 {
     if (maxDiskBytes_ == 0 || diskDir_.empty())
         return;
+    // Each shard owns an equal slice of the budget and sweeps
+    // independently, so workers hammering different shards never
+    // serialize on one store-wide scan.
+    std::uint64_t budget =
+        std::max<std::uint64_t>(maxDiskBytes_ / shards_, 1);
     namespace fs = std::filesystem;
-    // One sweep at a time; concurrent inserts wait rather than race
-    // to delete the same files.
-    std::lock_guard<std::mutex> sweep(evictMutex_);
+    // One sweep per shard at a time; concurrent inserts wait rather
+    // than race to delete the same files.
+    std::lock_guard<std::mutex> sweep(evictMutex_[shard]);
 
     struct DiskEntry
     {
@@ -288,11 +463,13 @@ ResultCache::enforceDiskBudget()
     std::vector<DiskEntry> entries;
     std::uint64_t total = 0;
     std::error_code ec;
-    for (auto dir = fs::directory_iterator(diskDir_, ec);
+    for (auto dir = fs::directory_iterator(shardDir(shard), ec);
          !ec && dir != fs::directory_iterator(); dir.increment(ec)) {
-        // Keys live in two-hex fan-out subdirectories; top-level
-        // files are in-flight .tmp-* writes and are never touched.
+        // Keys live in two-hex fan-out subdirectories; quarantined
+        // entries and in-flight .tmp-* writes are never touched.
         if (!dir->is_directory(ec))
+            continue;
+        if (dir->path().filename() == "quarantine")
             continue;
         std::error_code sub_ec;
         for (auto file = fs::directory_iterator(dir->path(), sub_ec);
@@ -312,7 +489,7 @@ ResultCache::enforceDiskBudget()
             total += size;
         }
     }
-    if (total <= maxDiskBytes_)
+    if (total <= budget)
         return;
 
     std::sort(entries.begin(), entries.end(),
@@ -320,12 +497,12 @@ ResultCache::enforceDiskBudget()
                   return a.mtime < b.mtime;
               });
     for (const DiskEntry &entry : entries) {
-        if (total <= maxDiskBytes_)
+        if (total <= budget)
             break;
         std::error_code remove_ec;
         if (fs::remove(entry.path, remove_ec) && !remove_ec) {
             total -= entry.size;
-            diskEvictions_.fetch_add(1, std::memory_order_relaxed);
+            counters_->shard[shard].diskEvictions.add();
         }
     }
 }

@@ -13,27 +13,44 @@
  * machine parameter, one statement) misses.
  *
  * Storage is two-tier: a bounded in-memory LRU in front of an
- * optional on-disk store (one file per key, atomically written), so
- * a restarted server is warm from its first request. Both tiers are
- * safe for concurrent use. The disk tier optionally carries a byte
- * budget: when an insert pushes the store past it, the
- * least-recently-used entries (disk hits refresh an entry's write
- * time) are deleted oldest-first until the store fits again.
+ * optional on-disk store, safe for concurrent use from any number of
+ * threads *and processes* (every disk mutation is an atomic rename).
+ *
+ * The disk tier is sharded by key prefix: entry files live under
+ * <dir>/shard-NN/<two hex chars>/<key>, where NN is the first key
+ * byte modulo the shard count. Shards are independent resource
+ * domains -- each carries its own slice of the byte budget and its
+ * own eviction sweep -- so multi-worker servers never contend on one
+ * store-wide scan, and per-shard traffic is observable (CacheCounters
+ * in the metrics document).
+ *
+ * Reads are corruption-tolerant. Every entry is stored with a header
+ * naming the payload's size and SHA-256; a load that fails any check
+ * (missing/garbled header, short file, digest mismatch) is treated as
+ * a miss, and the damaged file is moved into the shard's quarantine/
+ * directory (disk_quarantined metric) for postmortem instead of being
+ * served or crashing the worker. The next store of the key simply
+ * writes a fresh good entry.
  */
 
 #ifndef UJAM_SERVICE_CACHE_HH
 #define UJAM_SERVICE_CACHE_HH
 
+#include <array>
 #include <atomic>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "codegen/c_emitter.hh"
 #include "driver/driver.hh"
+#include "service/metrics.hh"
+#include "support/fault_injection.hh"
 
 namespace ujam
 {
@@ -68,23 +85,36 @@ enum class CacheTier
     Disk
 };
 
+/** ResultCache construction knobs. */
+struct ResultCacheConfig
+{
+    std::size_t memoryCapacity = 256; //!< in-memory LRU entries
+    std::string diskDir;              //!< "" = memory only
+    /** Total disk byte budget, split evenly across shards; 0 =
+     * unbounded. When a shard's slice overflows, its oldest entries
+     * (disk hits refresh write time, so oldest = least recently
+     * used) are evicted until the shard fits. */
+    std::uint64_t maxDiskBytes = 0;
+    /** Disk shard count, clamped to [1, kMaxCacheShards]. */
+    std::size_t shards = 1;
+    /** External per-shard counters (e.g. the server's shared-memory
+     * metrics block); null = the cache owns private counters. */
+    CacheCounters *counters = nullptr;
+    /** Active process-level fault specs; only cache_corrupt is
+     * consulted (flips a stored byte after the matching store). */
+    std::vector<ProcessFaultSpec> faults;
+};
+
 /**
- * Two-tier LRU + persistent store mapping hex keys to result text.
+ * Two-tier LRU + sharded persistent store mapping hex keys to result
+ * text. See the file comment.
  */
 class ResultCache
 {
   public:
-    /**
-     * @param memory_capacity Max in-memory entries (>= 1).
-     * @param disk_dir        Persistence directory; empty = memory
-     *                        only. Created (with parents) on first
-     *                        store.
-     * @param max_disk_bytes  Disk-tier byte budget summed over entry
-     *                        payloads; 0 = unbounded. When an insert
-     *                        pushes the store past the budget, the
-     *                        oldest entries (by write/refresh time)
-     *                        are evicted until it fits.
-     */
+    explicit ResultCache(ResultCacheConfig config);
+
+    /** Convenience form of the config constructor. */
     explicit ResultCache(std::size_t memory_capacity,
                          std::string disk_dir = "",
                          std::uint64_t max_disk_bytes = 0);
@@ -92,7 +122,9 @@ class ResultCache
     /**
      * Look up a key.
      *
-     * A disk hit is promoted into the memory tier.
+     * A disk hit is digest-verified and promoted into the memory
+     * tier; a corrupt disk entry is quarantined and reported as a
+     * miss.
      *
      * @param key  The hex key.
      * @param tier Set to where the value came from (or Miss).
@@ -116,23 +148,56 @@ class ResultCache
     /** @return The configured disk byte budget (0 = unbounded). */
     std::uint64_t maxDiskBytes() const { return maxDiskBytes_; }
 
-    /** @return Disk entries evicted by the byte budget so far. */
+    /** @return The configured disk shard count. */
+    std::size_t shards() const { return shards_; }
+
+    /** @return The shard index a key routes to. */
+    std::size_t shardOf(const std::string &key) const;
+
+    /** @return The entry path for a key (for tests that damage it). */
+    std::string diskPath(const std::string &key) const;
+
+    /**
+     * @return The on-disk size of an entry holding @p payload_bytes,
+     * including the integrity header. Byte budgets count this, not
+     * the bare payload -- size budgets from entry counts with it.
+     */
+    static std::uint64_t diskEntryBytes(std::uint64_t payload_bytes);
+
+    /** @return The per-shard disk counters in use. */
+    const CacheCounters &counters() const { return *counters_; }
+
+    /** @return Disk entries evicted by the byte budget, all shards. */
     std::uint64_t
     diskEvictions() const
     {
-        return diskEvictions_.load(std::memory_order_relaxed);
+        return counters_->total(&CacheShardCounters::diskEvictions);
+    }
+
+    /** @return Corrupt disk entries quarantined, all shards. */
+    std::uint64_t
+    diskQuarantined() const
+    {
+        return counters_->total(&CacheShardCounters::diskQuarantined);
     }
 
   private:
-    std::string diskPath(const std::string &key) const;
+    std::string shardDir(std::size_t shard) const;
     void insertLocked(const std::string &key, std::string value);
-    void enforceDiskBudget();
+    /** Move a damaged entry into its shard's quarantine/ dir. */
+    void quarantine(const std::string &key, std::size_t shard);
+    void enforceDiskBudget(std::size_t shard);
 
     std::size_t capacity_;
     std::string diskDir_;
     std::uint64_t maxDiskBytes_;
-    std::atomic<std::uint64_t> diskEvictions_{0};
-    std::mutex evictMutex_; //!< serializes budget sweeps
+    std::size_t shards_;
+    CacheCounters *counters_; //!< external or &ownedCounters_
+    std::unique_ptr<CacheCounters> ownedCounters_;
+    std::vector<ProcessFaultSpec> corruptFaults_;
+    std::atomic<std::uint64_t> storeSerial_{0};
+    std::array<std::mutex, kMaxCacheShards>
+        evictMutex_; //!< serializes budget sweeps, per shard
 
     mutable std::mutex mutex_;
     /** Most recent at the front. */

@@ -1,9 +1,12 @@
 #include "service/client.hh"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -48,6 +51,7 @@ ServeClient::connect(const std::string &socket_path, int retry_ms)
         if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                       sizeof(addr)) == 0) {
             fd_ = fd;
+            socketPath_ = socket_path;
             return true;
         }
         ::close(fd);
@@ -58,7 +62,7 @@ ServeClient::connect(const std::string &socket_path, int retry_ms)
 }
 
 std::string
-ServeClient::request(const std::string &line)
+ServeClient::request(const std::string &line, int timeout_ms)
 {
     if (fd_ < 0)
         return "";
@@ -68,6 +72,8 @@ ServeClient::request(const std::string &line)
     while (sent < frame.size()) {
         ssize_t n = ::send(fd_, frame.data() + sent,
                            frame.size() - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
         if (n <= 0) {
             close();
             return "";
@@ -75,6 +81,8 @@ ServeClient::request(const std::string &line)
         sent += static_cast<std::size_t>(n);
     }
 
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
     char chunk[64 * 1024];
     while (true) {
         std::size_t newline = buffer_.find('\n');
@@ -83,13 +91,60 @@ ServeClient::request(const std::string &line)
             buffer_.erase(0, newline + 1);
             return response;
         }
+        if (timeout_ms > 0) {
+            auto left = std::chrono::duration_cast<
+                            std::chrono::milliseconds>(
+                            deadline -
+                            std::chrono::steady_clock::now())
+                            .count();
+            if (left <= 0) {
+                // The frame may still be answered later; the
+                // connection's framing is now ambiguous, so drop it
+                // rather than misattribute a late response.
+                close();
+                return "";
+            }
+            pollfd poller{fd_, POLLIN, 0};
+            int ready =
+                ::poll(&poller, 1, static_cast<int>(
+                                       std::min<long long>(left, 100)));
+            if (ready < 0 && errno != EINTR) {
+                close();
+                return "";
+            }
+            if (ready <= 0)
+                continue;
+        }
         ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
         if (n <= 0) {
             close();
             return "";
         }
         buffer_.append(chunk, static_cast<std::size_t>(n));
     }
+}
+
+std::string
+ServeClient::requestWithRetry(const std::string &line, int attempts,
+                              int timeout_ms)
+{
+    std::string path = socketPath_;
+    for (int attempt = 0; attempt < std::max(attempts, 1); ++attempt) {
+        if (!connected()) {
+            if (path.empty() || !connect(path))
+                continue;
+        }
+        std::string response = request(line, timeout_ms);
+        if (!response.empty())
+            return response;
+        // The connection died under us (worker crash, overload
+        // close). Back off briefly so a restarting worker can come
+        // up, then reconnect and resend.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return "";
 }
 
 } // namespace ujam

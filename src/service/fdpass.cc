@@ -1,0 +1,83 @@
+#include "service/fdpass.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ujam
+{
+
+bool
+sendFd(int channel_fd, int fd)
+{
+    // One data byte so the receiver can tell EOF (read of 0) from a
+    // delivered message; the descriptor travels in the ancillary
+    // SCM_RIGHTS payload.
+    char byte = 'F';
+    iovec iov{};
+    iov.iov_base = &byte;
+    iov.iov_len = 1;
+
+    alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int))] = {};
+    msghdr msg{};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof(control);
+
+    cmsghdr *cmsg = CMSG_FIRSTHDR(&msg);
+    cmsg->cmsg_level = SOL_SOCKET;
+    cmsg->cmsg_type = SCM_RIGHTS;
+    cmsg->cmsg_len = CMSG_LEN(sizeof(int));
+    std::memcpy(CMSG_DATA(cmsg), &fd, sizeof(int));
+
+    while (true) {
+        ssize_t n = ::sendmsg(channel_fd, &msg, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
+        return n == 1;
+    }
+}
+
+RecvFdResult
+recvFd(int channel_fd)
+{
+    RecvFdResult result;
+    char byte = 0;
+    iovec iov{};
+    iov.iov_base = &byte;
+    iov.iov_len = 1;
+
+    alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int))] = {};
+    msghdr msg{};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof(control);
+
+    ssize_t n;
+    do {
+        n = ::recvmsg(channel_fd, &msg, MSG_CMSG_CLOEXEC);
+    } while (n < 0 && errno == EINTR);
+
+    if (n == 0) {
+        result.closed = true;
+        return result;
+    }
+    if (n < 0)
+        return result;
+
+    for (cmsghdr *cmsg = CMSG_FIRSTHDR(&msg); cmsg;
+         cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+        if (cmsg->cmsg_level == SOL_SOCKET &&
+            cmsg->cmsg_type == SCM_RIGHTS &&
+            cmsg->cmsg_len >= CMSG_LEN(sizeof(int))) {
+            std::memcpy(&result.fd, CMSG_DATA(cmsg), sizeof(int));
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace ujam

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * File-descriptor passing over AF_UNIX sockets (SCM_RIGHTS).
+ *
+ * The supervisor's dispatch mode accepts client connections itself
+ * and hands each connected fd to a worker process over a per-worker
+ * socketpair channel. One control byte rides along with every fd so
+ * a zero-length read is unambiguous channel EOF (the peer is gone),
+ * never a lost descriptor.
+ */
+
+#ifndef UJAM_SERVICE_FDPASS_HH
+#define UJAM_SERVICE_FDPASS_HH
+
+namespace ujam
+{
+
+/**
+ * Send one file descriptor over a Unix-domain socket.
+ *
+ * Retries EINTR; the descriptor itself stays owned by the caller
+ * (the receiver gets an independent duplicate).
+ *
+ * @param channel_fd The AF_UNIX socket to send over.
+ * @param fd         The descriptor to pass.
+ * @return True on success.
+ */
+bool sendFd(int channel_fd, int fd);
+
+/** recvFd outcome. */
+struct RecvFdResult
+{
+    int fd = -1;         //!< the received descriptor, or -1
+    bool closed = false; //!< the channel saw EOF (peer gone)
+};
+
+/**
+ * Receive one file descriptor sent with sendFd.
+ *
+ * Retries EINTR. A message without an attached descriptor (e.g. a
+ * truncated control buffer) yields fd = -1 with closed = false;
+ * callers should treat it as a transient error.
+ *
+ * @param channel_fd The AF_UNIX socket to receive on.
+ */
+RecvFdResult recvFd(int channel_fd);
+
+} // namespace ujam
+
+#endif // UJAM_SERVICE_FDPASS_HH

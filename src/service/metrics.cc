@@ -1,5 +1,7 @@
 #include "service/metrics.hh"
 
+#include <algorithm>
+
 #include "support/json.hh"
 
 namespace ujam
@@ -59,9 +61,8 @@ histogramJson(JsonWriter &json, const char *name,
 } // namespace
 
 std::string
-metricsJson(const ServiceMetrics &metrics, std::uint64_t cache_entries,
-            std::uint64_t cache_capacity,
-            std::uint64_t disk_evictions)
+metricsJson(const ServiceMetrics &metrics, const CacheStats &cache,
+            const SupervisorStats *supervisor)
 {
     JsonWriter json;
     json.beginObject();
@@ -75,6 +76,7 @@ metricsJson(const ServiceMetrics &metrics, std::uint64_t cache_entries,
     json.field("bad_field", metrics.requestsBadField.get());
     json.field("overloaded", metrics.requestsOverloaded.get());
     json.field("timeouts", metrics.requestsTimeout.get());
+    json.field("degraded", metrics.requestsDegraded.get());
     json.key("by_op").beginObject();
     json.field("optimize", metrics.opOptimize.get());
     json.field("lint", metrics.opLint.get());
@@ -85,15 +87,35 @@ metricsJson(const ServiceMetrics &metrics, std::uint64_t cache_entries,
     json.endObject();
     json.endObject();
 
+    const CacheCounters &disk = metrics.cacheCounters;
+    std::size_t shards =
+        std::min<std::size_t>(std::max<std::size_t>(cache.shards, 1),
+                              kMaxCacheShards);
     json.key("cache").beginObject();
     json.field("memory_hits", metrics.cacheMemoryHits.get());
     json.field("disk_hits", metrics.cacheDiskHits.get());
     json.field("misses", metrics.cacheMisses.get());
     json.field("stores", metrics.cacheStores.get());
     json.field("bypassed", metrics.cacheBypassed.get());
-    json.field("memory_entries", cache_entries);
-    json.field("memory_capacity", cache_capacity);
-    json.field("disk_evictions", disk_evictions);
+    json.field("memory_entries", cache.memoryEntries);
+    json.field("memory_capacity", cache.memoryCapacity);
+    json.field("disk_evictions",
+               disk.total(&CacheShardCounters::diskEvictions));
+    json.field("disk_quarantined",
+               disk.total(&CacheShardCounters::diskQuarantined));
+    json.field("shard_count", std::uint64_t(shards));
+    json.key("shards").beginArray();
+    for (std::size_t s = 0; s < shards; ++s) {
+        const CacheShardCounters &counters = disk.shard[s];
+        json.beginObject();
+        json.field("disk_hits", counters.diskHits.get());
+        json.field("disk_stores", counters.diskStores.get());
+        json.field("disk_evictions", counters.diskEvictions.get());
+        json.field("disk_quarantined",
+                   counters.diskQuarantined.get());
+        json.endObject();
+    }
+    json.endArray();
     json.endObject();
 
     json.key("pipeline").beginObject();
@@ -101,6 +123,35 @@ metricsJson(const ServiceMetrics &metrics, std::uint64_t cache_entries,
     json.field("lint_rejections", metrics.lintRejections.get());
     json.field("contained_faults", metrics.containedFaults.get());
     json.endObject();
+
+    json.key("connections").beginObject();
+    json.field("idle_closed", metrics.connectionsIdleClosed.get());
+    json.endObject();
+
+    if (supervisor) {
+        json.key("supervisor").beginObject();
+        json.field("workers_configured",
+                   supervisor->workersConfigured);
+        json.field("workers_alive", supervisor->workersAlive);
+        json.field("restarts_total", supervisor->restartsTotal);
+        json.field("crashes_total", supervisor->crashesTotal);
+        json.field("degraded", supervisor->degraded);
+        json.field("degraded_transitions",
+                   supervisor->degradedTransitions);
+        json.field("forced_kills", supervisor->forcedKills);
+        json.key("workers").beginArray();
+        for (const WorkerStats &worker : supervisor->workers) {
+            json.beginObject();
+            json.field("restarts", worker.restarts);
+            json.field("crashes", worker.crashes);
+            json.field("alive", worker.alive);
+            json.field("last_exit_code", worker.lastExitCode);
+            json.field("last_signal", worker.lastSignal);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
 
     json.key("latency_us").beginObject();
     histogramJson(json, "parse", metrics.parseLatency);

@@ -19,9 +19,18 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ujam
 {
+
+/**
+ * Everything in this header is built from relaxed atomics and holds
+ * no pointers, so a ServiceMetrics placed in a MAP_SHARED mapping
+ * before fork() aggregates across worker processes for free: every
+ * worker increments the same cache lines, and the `metrics` op
+ * renders service-wide totals no matter which worker answers it.
+ */
 
 /**
  * A fixed-bucket latency histogram over microseconds.
@@ -88,6 +97,33 @@ class Counter
     std::atomic<std::uint64_t> value_{0};
 };
 
+/** Upper bound on disk-cache shards (see ResultCache). */
+constexpr std::size_t kMaxCacheShards = 16;
+
+/** Disk-tier counters for one cache shard. */
+struct CacheShardCounters
+{
+    Counter diskHits;
+    Counter diskStores;
+    Counter diskEvictions;   //!< removed by the byte budget
+    Counter diskQuarantined; //!< corrupt entries moved aside
+};
+
+/** Disk-tier counters for every shard (fixed-size: shareable). */
+struct CacheCounters
+{
+    std::array<CacheShardCounters, kMaxCacheShards> shard;
+
+    std::uint64_t
+    total(Counter CacheShardCounters::*member) const
+    {
+        std::uint64_t sum = 0;
+        for (const CacheShardCounters &counters : shard)
+            sum += (counters.*member).get();
+        return sum;
+    }
+};
+
 /** Everything ujam-serve counts. */
 struct ServiceMetrics
 {
@@ -100,6 +136,7 @@ struct ServiceMetrics
     Counter requestsBadField;  //!< known op, bad field/option value
     Counter requestsOverloaded; //!< rejected by admission control
     Counter requestsTimeout;    //!< deadline expired
+    Counter requestsDegraded;   //!< rejected in cache-only mode
 
     // --- requests, by operation ---
     Counter opOptimize;
@@ -115,6 +152,11 @@ struct ServiceMetrics
     Counter cacheMisses;
     Counter cacheStores;
     Counter cacheBypassed; //!< requests sent with "no_cache"
+    /** Per-shard disk-tier counters, written by the ResultCache. */
+    CacheCounters cacheCounters;
+
+    // --- connections ---
+    Counter connectionsIdleClosed; //!< closed by the idle timeout
 
     // --- pipeline outcomes ---
     Counter nestsOptimized;
@@ -129,19 +171,47 @@ struct ServiceMetrics
     LatencyHistogram cacheProbeLatency; //!< key derivation + lookup
 };
 
+/** Cache gauges passed into metricsJson by the cache's owner. */
+struct CacheStats
+{
+    std::uint64_t memoryEntries = 0;
+    std::uint64_t memoryCapacity = 0;
+    std::size_t shards = 1; //!< configured disk shard count
+};
+
+/** One worker's supervision history, for the metrics document. */
+struct WorkerStats
+{
+    std::uint64_t restarts = 0;
+    std::uint64_t crashes = 0;
+    bool alive = false;
+    std::int64_t lastExitCode = 0; //!< 0 when none yet
+    std::int64_t lastSignal = 0;   //!< 0 when none yet
+};
+
+/** Supervision-tree gauges, when a supervisor is running. */
+struct SupervisorStats
+{
+    std::uint64_t workersConfigured = 0;
+    std::uint64_t workersAlive = 0;
+    std::uint64_t restartsTotal = 0;
+    std::uint64_t crashesTotal = 0;
+    bool degraded = false;
+    std::uint64_t degradedTransitions = 0;
+    std::uint64_t forcedKills = 0;
+    std::vector<WorkerStats> workers;
+};
+
 /**
  * @return The metrics as a stable one-line JSON document. Gauge
- * fields the cache owns (entry counts) are passed in by the caller.
- *
- * @param metrics        The counters to snapshot.
- * @param cache_entries  Current in-memory cache entries.
- * @param cache_capacity Configured in-memory cache capacity.
- * @param disk_evictions Disk entries evicted by the byte budget.
+ * fields the cache owns (entry counts, shard layout) are passed in by
+ * the caller; the per-shard disk counters render from
+ * metrics.cacheCounters. A null supervisor omits the "supervisor"
+ * section (single-process mode).
  */
 std::string metricsJson(const ServiceMetrics &metrics,
-                        std::uint64_t cache_entries,
-                        std::uint64_t cache_capacity,
-                        std::uint64_t disk_evictions = 0);
+                        const CacheStats &cache,
+                        const SupervisorStats *supervisor = nullptr);
 
 } // namespace ujam
 

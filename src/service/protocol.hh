@@ -32,8 +32,12 @@
  * Response:
  *
  *   {"id": ..., "op": ..., "status": "ok" | "error" | "timeout" |
- *    "overloaded", "error": "...",             (status != ok)
- *    "result": { ... }}                        (status == ok)
+ *    "overloaded" | "degraded", "error": "...", (status != ok)
+ *    "result": { ... }}                         (status == ok)
+ *
+ * "degraded" is the cache-only rejection: the supervisor's circuit
+ * breaker tripped, the request missed the result cache, and nothing
+ * was computed. Cached answers still return "ok" byte-identically.
  *
  * Responses deliberately carry no timing or cache-tier fields: a
  * response is a pure function of the request, so a cache hit is

@@ -1,7 +1,9 @@
 #include "service/server.hh"
 
+#include <csignal>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -13,6 +15,7 @@
 #include "ir/validate.hh"
 #include "parser/parser.hh"
 #include "report/report.hh"
+#include "service/fdpass.hh"
 #include "support/diagnostics.hh"
 #include "support/json.hh"
 #include "support/thread_pool.hh"
@@ -41,18 +44,62 @@ writeAll(int fd, const std::string &text)
     while (sent < text.size()) {
         ssize_t n = ::send(fd, text.data() + sent, text.size() - sent,
                            MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue; // a signal is not a dead peer
         if (n <= 0)
             return; // client went away; nothing to salvage
         sent += static_cast<std::size_t>(n);
     }
 }
 
+/**
+ * @return The process-level fault specs this worker should honour: a
+ * worker_crash spec whose arg names a worker index applies only to
+ * that worker; everything else applies everywhere.
+ */
+std::vector<ProcessFaultSpec>
+faultsForWorker(const std::vector<ProcessFaultSpec> &specs,
+                int worker_index)
+{
+    int self = worker_index < 0 ? 0 : worker_index;
+    std::vector<ProcessFaultSpec> mine;
+    for (const ProcessFaultSpec &spec : specs) {
+        if (spec.kind == ProcessFaultKind::WorkerCrash && spec.arg &&
+            *spec.arg != self)
+            continue;
+        mine.push_back(spec);
+    }
+    return mine;
+}
+
+ResultCacheConfig
+cacheConfigFor(const ServerConfig &config, ServiceMetrics &metrics,
+               const std::vector<ProcessFaultSpec> &faults)
+{
+    ResultCacheConfig cache;
+    cache.memoryCapacity = config.cacheMemEntries;
+    cache.diskDir = config.cacheDir;
+    cache.maxDiskBytes = config.cacheMaxBytes;
+    cache.shards = config.cacheShards;
+    cache.counters = &metrics.cacheCounters;
+    cache.faults = faults;
+    return cache;
+}
+
 } // namespace
 
 UjamServer::UjamServer(ServerConfig config)
     : config_(std::move(config)),
-      cache_(config_.cacheMemEntries, config_.cacheDir,
-             config_.cacheMaxBytes)
+      metrics_(config_.sharedMetrics ? *config_.sharedMetrics
+                                     : ownedMetrics_),
+      cache_(cacheConfigFor(
+          config_, metrics_,
+          config_.workerFaults ? *config_.workerFaults
+                               : processFaultSpecsFromEnv())),
+      workerFaults_(faultsForWorker(
+          config_.workerFaults ? *config_.workerFaults
+                               : processFaultSpecsFromEnv(),
+          config_.workerIndex))
 {
     if (config_.threads == 0)
         config_.threads = ThreadPool::defaultThreads();
@@ -68,9 +115,15 @@ UjamServer::~UjamServer()
 std::string
 UjamServer::metricsSnapshot() const
 {
-    return metricsJson(metrics_, cache_.memoryEntries(),
-                       cache_.memoryCapacity(),
-                       cache_.diskEvictions());
+    CacheStats cache;
+    cache.memoryEntries = cache_.memoryEntries();
+    cache.memoryCapacity = cache_.memoryCapacity();
+    cache.shards = cache_.shards();
+    if (config_.supervisorStats) {
+        SupervisorStats supervisor = config_.supervisorStats();
+        return metricsJson(metrics_, cache, &supervisor);
+    }
+    return metricsJson(metrics_, cache);
 }
 
 bool
@@ -93,12 +146,44 @@ UjamServer::requestStop()
 
 // --- request execution -----------------------------------------------------
 
+void
+UjamServer::applyWorkerFaults(std::uint64_t serial)
+{
+    for (const ProcessFaultSpec &spec : workerFaults_) {
+        if (!spec.matches(serial))
+            continue;
+        switch (spec.kind) {
+          case ProcessFaultKind::WorkerCrash:
+            // The real thing, not an exception: the safety net under
+            // test is the *supervisor*, so die the way a segfaulting
+            // or OOM-killed worker dies -- uncatchably, mid-request.
+            ::kill(::getpid(), SIGKILL);
+            break;
+          case ProcessFaultKind::WorkerHang:
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                spec.arg.value_or(3600000)));
+            break;
+          case ProcessFaultKind::SlowResponse:
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(spec.arg.value_or(100)));
+            break;
+          case ProcessFaultKind::CacheCorrupt:
+            break; // the cache owns this one
+        }
+    }
+}
+
 std::string
 UjamServer::runOptimize(const ServiceRequest &request,
                         Clock::time_point arrival,
                         Clock::time_point deadline, bool has_deadline)
 {
     const char *op_name = serviceOpName(request.op);
+    std::atomic<std::uint64_t> &serial_source =
+        config_.faultSerial ? *config_.faultSerial : requestSerial_;
+    std::uint64_t serial =
+        serial_source.fetch_add(1, std::memory_order_relaxed) + 1;
+    applyWorkerFaults(serial);
     PipelineConfig config = request.config;
     // The server parallelizes across requests; one request's nest
     // fan-out stays serial so the shared pool is never entered
@@ -108,9 +193,16 @@ UjamServer::runOptimize(const ServiceRequest &request,
 
     // Environment-injected fault specs change pipeline behavior, so
     // they must be part of the cache key; resolving them here keeps
-    // computeCacheKey a pure function of its arguments.
-    for (FaultSpec &spec : faultSpecsFromEnv())
-        config.safety.faults.push_back(std::move(spec));
+    // computeCacheKey a pure function of its arguments. A malformed
+    // spec must surface as an error frame, never as an exception
+    // escaping into a worker thread.
+    try {
+        for (FaultSpec &spec : faultSpecsFromEnv())
+            config.safety.faults.push_back(std::move(spec));
+    } catch (const FatalError &err) {
+        metrics_.requestsError.add();
+        return errorResponse(request.id, op_name, "error", err.what());
+    }
 
     // Parse + structural validation.
     Clock::time_point parse_start = Clock::now();
@@ -140,9 +232,12 @@ UjamServer::runOptimize(const ServiceRequest &request,
 
     // Cache probe on the canonical (IR, machine, config, codegen)
     // key. The codegen fields are defaults for optimize/lint, so
-    // they render identically for every request of those ops.
+    // they render identically for every request of those ops. In
+    // degraded (cache-only) mode the probe is mandatory: a hit is
+    // still a correct, byte-identical answer, but nothing new is
+    // computed on a circuit-broken service.
     std::string key;
-    if (!request.noCache) {
+    if (!request.noCache || config_.degraded) {
         Clock::time_point probe_start = Clock::now();
         key = computeCacheKey(op_name, program, request.machine,
                               config, request.codegen);
@@ -160,6 +255,13 @@ UjamServer::runOptimize(const ServiceRequest &request,
         metrics_.cacheMisses.add();
     } else {
         metrics_.cacheBypassed.add();
+    }
+
+    if (config_.degraded) {
+        metrics_.requestsDegraded.add();
+        return errorResponse(request.id, op_name, "degraded",
+                             "service degraded: cache-only mode, "
+                             "result not cached");
     }
 
     // Run the pipeline (or the analyzer alone for "lint").
@@ -397,35 +499,49 @@ UjamServer::runBatch(std::istream &in, std::ostream &out)
 void
 UjamServer::start()
 {
-    if (config_.socketPath.empty())
-        fatal("ujam-serve: no socket path configured");
+    // Writing to a client that vanished must be an error return in
+    // writeAll, never a process-killing SIGPIPE.
+    ::signal(SIGPIPE, SIG_IGN);
 
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (config_.socketPath.size() >= sizeof(addr.sun_path)) {
-        fatal("ujam-serve: socket path too long: ",
-              config_.socketPath);
-    }
-    std::strncpy(addr.sun_path, config_.socketPath.c_str(),
-                 sizeof(addr.sun_path) - 1);
+    if (config_.dispatchFd < 0 && config_.listenFd < 0) {
+        if (config_.socketPath.empty())
+            fatal("ujam-serve: no socket path configured");
 
-    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (listenFd_ < 0)
-        fatal("ujam-serve: socket(): ", std::strerror(errno));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (config_.socketPath.size() >= sizeof(addr.sun_path)) {
+            fatal("ujam-serve: socket path too long: ",
+                  config_.socketPath);
+        }
+        std::strncpy(addr.sun_path, config_.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
 
-    ::unlink(config_.socketPath.c_str());
-    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) != 0) {
-        std::string reason = std::strerror(errno);
-        ::close(listenFd_);
-        listenFd_ = -1;
-        fatal("ujam-serve: bind(", config_.socketPath, "): ", reason);
-    }
-    if (::listen(listenFd_, 128) != 0) {
-        std::string reason = std::strerror(errno);
-        ::close(listenFd_);
-        listenFd_ = -1;
-        fatal("ujam-serve: listen(): ", reason);
+        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (listenFd_ < 0)
+            fatal("ujam-serve: socket(): ", std::strerror(errno));
+
+        ::unlink(config_.socketPath.c_str());
+        if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            std::string reason = std::strerror(errno);
+            ::close(listenFd_);
+            listenFd_ = -1;
+            fatal("ujam-serve: bind(", config_.socketPath, "): ",
+                  reason);
+        }
+        if (::listen(listenFd_, 128) != 0) {
+            std::string reason = std::strerror(errno);
+            ::close(listenFd_);
+            listenFd_ = -1;
+            fatal("ujam-serve: listen(): ", reason);
+        }
+        ownsListenSocket_ = true;
+    } else if (config_.listenFd >= 0) {
+        // A supervisor bound the socket before forking us; every
+        // worker accepts on the shared fd and the kernel spreads
+        // connections across them.
+        listenFd_ = config_.listenFd;
+        ownsListenSocket_ = false;
     }
 
     {
@@ -433,9 +549,55 @@ UjamServer::start()
         stopRequested_ = false;
         started_ = true;
     }
-    threads_.emplace_back([this] { acceptLoop(); });
+    if (config_.dispatchFd >= 0)
+        threads_.emplace_back([this] { dispatchLoop(); });
+    else
+        threads_.emplace_back([this] { acceptLoop(); });
     for (std::size_t w = 0; w < config_.threads; ++w)
         threads_.emplace_back([this] { workerLoop(); });
+}
+
+void
+UjamServer::dispatchLoop()
+{
+    // Dispatch mode: the supervisor accepts and hands us connected
+    // fds over an SCM_RIGHTS channel. Channel EOF means the
+    // supervisor died or is draining us -- either way, stop.
+    while (!stopping()) {
+        pollfd poller{config_.dispatchFd, POLLIN, 0};
+        int ready = ::poll(&poller, 1, 100);
+        if (ready < 0 && errno != EINTR)
+            break;
+        if (ready <= 0)
+            continue;
+        RecvFdResult received = recvFd(config_.dispatchFd);
+        if (received.closed) {
+            requestStop();
+            break;
+        }
+        if (received.fd < 0)
+            continue;
+        bool admitted = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!stopRequested_ &&
+                pending_.size() < config_.queueLimit) {
+                pending_.push_back(received.fd);
+                admitted = true;
+            }
+        }
+        if (admitted) {
+            wake_.notify_one();
+        } else {
+            metrics_.requestsTotal.add();
+            metrics_.requestsOverloaded.add();
+            writeAll(received.fd,
+                     errorResponse("", "", "overloaded",
+                                   "admission queue full") +
+                         "\n");
+            ::close(received.fd);
+        }
+    }
 }
 
 void
@@ -445,10 +607,10 @@ UjamServer::acceptLoop()
         pollfd poller{listenFd_, POLLIN, 0};
         int ready = ::poll(&poller, 1, 100);
         if (ready <= 0)
-            continue;
+            continue; // timeout, EINTR or transient error: re-check
         int fd = ::accept4(listenFd_, nullptr, nullptr, SOCK_CLOEXEC);
         if (fd < 0)
-            continue;
+            continue; // EINTR/ECONNABORTED/raced sibling worker
 
         bool admitted = false;
         {
@@ -502,6 +664,18 @@ UjamServer::handleConnection(int fd)
     std::string buffer;
     char chunk[64 * 1024];
 
+    // Belt (SO_RCVTIMEO caps any blocking read the kernel sees) and
+    // braces (the poll loop below tracks idleness explicitly): a
+    // stalled client cannot pin this worker slot forever.
+    if (config_.idleTimeoutMs > 0) {
+        timeval timeout{};
+        timeout.tv_sec = config_.idleTimeoutMs / 1000;
+        timeout.tv_usec = (config_.idleTimeoutMs % 1000) * 1000;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof(timeout));
+    }
+    Clock::time_point last_activity = Clock::now();
+
     while (true) {
         // Serve every complete frame currently buffered.
         std::size_t newline;
@@ -511,19 +685,38 @@ UjamServer::handleConnection(int fd)
             if (line.empty())
                 continue;
             writeAll(fd, processLine(line) + "\n");
+            last_activity = Clock::now();
         }
         if (stopping())
             break; // graceful: current frames done, no new reads
 
         pollfd poller{fd, POLLIN, 0};
         int ready = ::poll(&poller, 1, 200);
-        if (ready < 0)
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
             break;
-        if (ready == 0)
+        }
+        if (ready == 0) {
+            if (config_.idleTimeoutMs > 0 &&
+                Clock::now() - last_activity >
+                    std::chrono::milliseconds(config_.idleTimeoutMs)) {
+                metrics_.connectionsIdleClosed.add();
+                writeAll(fd,
+                         errorResponse("", "", "error",
+                                       "idle timeout") +
+                             "\n");
+                break;
+            }
             continue; // timeout: re-check stopping()
+        }
         ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                      errno == EWOULDBLOCK))
+            continue; // interrupted or SO_RCVTIMEO tick: re-poll
         if (n <= 0)
             break; // EOF or error
+        last_activity = Clock::now();
         buffer.append(chunk, static_cast<std::size_t>(n));
         if (buffer.size() > kMaxBuffered) {
             metrics_.requestsTotal.add();
@@ -559,11 +752,16 @@ UjamServer::stop()
         pending_.clear();
     }
     if (listenFd_ >= 0) {
-        ::close(listenFd_);
+        // An adopted fd is the supervisor's to close: other workers
+        // are still accepting on it.
+        if (ownsListenSocket_)
+            ::close(listenFd_);
         listenFd_ = -1;
     }
-    if (was_started && !config_.socketPath.empty())
+    if (was_started && ownsListenSocket_ &&
+        !config_.socketPath.empty())
         ::unlink(config_.socketPath.c_str());
+    ownsListenSocket_ = false;
 }
 
 void

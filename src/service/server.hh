@@ -26,15 +26,30 @@
  * analyzer for "lint") with per-nest parallelism disabled: the server
  * parallelizes across requests, which keeps every response a pure --
  * and therefore cacheable -- function of its request.
+ *
+ * Multi-process operation (see service/supervisor.hh): a worker
+ * server adopts the supervisor's pre-bound listening socket
+ * (ServerConfig::listenFd) -- the AF_UNIX analogue of SO_REUSEPORT:
+ * every worker accepts on the shared fd and the kernel load-balances
+ * -- or, in dispatch mode, receives already-accepted connection fds
+ * over an SCM_RIGHTS channel (ServerConfig::dispatchFd). Workers
+ * record into a shared-memory ServiceMetrics block
+ * (ServerConfig::sharedMetrics) so the `metrics` op aggregates
+ * service-wide totals from any worker. A server in degraded mode
+ * (ServerConfig::degraded, entered by the supervisor's circuit
+ * breaker) answers pipeline ops from the cache only and rejects
+ * misses with status "degraded" instead of computing.
  */
 
 #ifndef UJAM_SERVICE_SERVER_HH
 #define UJAM_SERVICE_SERVER_HH
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <iosfwd>
 #include <mutex>
 #include <optional>
@@ -45,6 +60,7 @@
 #include "service/cache.hh"
 #include "service/metrics.hh"
 #include "service/protocol.hh"
+#include "support/fault_injection.hh"
 
 namespace ujam
 {
@@ -61,6 +77,42 @@ struct ServerConfig
     std::string cacheDir;        //!< persistent tier; "" = memory only
     /** Disk-tier byte budget; 0 = unbounded. See ResultCache. */
     std::uint64_t cacheMaxBytes = 0;
+    /** Disk-cache shards (key-prefix routing; see ResultCache). */
+    std::size_t cacheShards = 1;
+
+    /** Close a connection idle for this long; 0 = never. A stalled
+     * client must not pin a worker slot forever. */
+    std::int64_t idleTimeoutMs = 0;
+
+    // --- multi-process plumbing (set by the supervisor) ---
+    /** Adopt this already-bound listening socket instead of binding
+     * socketPath; -1 = bind our own. An adopting server neither
+     * closes the fd's last reference semantics nor unlinks the path
+     * on stop -- the supervisor owns both. */
+    int listenFd = -1;
+    /** Receive already-accepted connection fds over this SCM_RIGHTS
+     * channel instead of accepting; -1 = accept ourselves. */
+    int dispatchFd = -1;
+    /** Cache-only mode: pipeline ops answer from the cache or are
+     * rejected with status "degraded"; nothing is computed. */
+    bool degraded = false;
+    /** Record into this (shared-memory) metrics block instead of a
+     * private one, so counters aggregate across workers. */
+    ServiceMetrics *sharedMetrics = nullptr;
+    /** Renders the supervision section of the metrics document;
+     * unset in single-process mode. */
+    std::function<SupervisorStats()> supervisorStats;
+    /** This worker's index under a supervisor; -1 = single process
+     * (treated as worker 0 for fault-spec filtering). */
+    int workerIndex = -1;
+    /** Process-level fault specs for this worker. Unset (nullopt) =
+     * resolve from UJAM_FAULT; an empty list disables injection. */
+    std::optional<std::vector<ProcessFaultSpec>> workerFaults;
+    /** Counts pipeline requests for fault ordinals. The supervisor
+     * points this at shared memory so the count survives restarts
+     * (a worker_crash:N fault then fires exactly once per service
+     * lifetime, not once per incarnation); null = a private count. */
+    std::atomic<std::uint64_t> *faultSerial = nullptr;
 };
 
 /** See the file comment. */
@@ -115,6 +167,13 @@ class UjamServer
     /** @return True once a stop was requested. */
     bool stopping() const;
 
+    /**
+     * Begin a graceful stop without joining (async-signal-unsafe but
+     * thread-safe): accepting ends, queued work drains, workers exit
+     * after their current frame. Call stop() to join.
+     */
+    void requestStop();
+
     const ServiceMetrics &metrics() const { return metrics_; }
     ResultCache &cache() { return cache_; }
 
@@ -129,16 +188,22 @@ class UjamServer
         std::chrono::steady_clock::time_point arrival,
         std::chrono::steady_clock::time_point deadline,
         bool has_deadline);
+    /** Fire any worker-level faults matching this request serial. */
+    void applyWorkerFaults(std::uint64_t serial);
     void acceptLoop();
+    void dispatchLoop();
     void workerLoop();
     void handleConnection(int fd);
-    void requestStop();
 
     ServerConfig config_;
-    ServiceMetrics metrics_;
+    ServiceMetrics ownedMetrics_; //!< backing when none is shared
+    ServiceMetrics &metrics_;     //!< shared block or ownedMetrics_
     ResultCache cache_;
+    std::vector<ProcessFaultSpec> workerFaults_;
+    std::atomic<std::uint64_t> requestSerial_{0};
 
     int listenFd_ = -1;
+    bool ownsListenSocket_ = false; //!< we bound it; unlink on stop
     std::vector<std::thread> threads_; //!< accept + workers
 
     mutable std::mutex mutex_;

@@ -27,6 +27,61 @@ knownStage(const std::string &name)
     return false;
 }
 
+std::optional<ProcessFaultKind>
+processKindFor(const std::string &name)
+{
+    if (name == "worker_crash")
+        return ProcessFaultKind::WorkerCrash;
+    if (name == "worker_hang")
+        return ProcessFaultKind::WorkerHang;
+    if (name == "cache_corrupt")
+        return ProcessFaultKind::CacheCorrupt;
+    if (name == "slow_response")
+        return ProcessFaultKind::SlowResponse;
+    return std::nullopt;
+}
+
+std::uint64_t
+parseOrdinalNumber(const std::string &text, const std::string &spec)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos) {
+        fatal("fault spec '", spec,
+              "': ordinal must be a positive integer or '*'");
+    }
+    std::uint64_t value = std::stoull(text);
+    if (value == 0)
+        fatal("fault spec '", spec, "': ordinals are 1-based");
+    return value;
+}
+
+ProcessFaultSpec
+parseOneProcessSpec(ProcessFaultKind kind, const std::string &text)
+{
+    std::vector<std::string> parts = split(text, ':');
+    if (parts.empty() || parts.size() > 3) {
+        fatal("fault spec '", text,
+              "': expected kind[:ordinal[:arg]]");
+    }
+    ProcessFaultSpec spec;
+    spec.kind = kind;
+    if (parts.size() >= 2) {
+        std::string ordinal = trim(parts[1]);
+        if (ordinal != "*")
+            spec.ordinal = parseOrdinalNumber(ordinal, text);
+    }
+    if (parts.size() == 3) {
+        std::string arg = trim(parts[2]);
+        if (arg.empty() ||
+            arg.find_first_not_of("0123456789") != std::string::npos) {
+            fatal("fault spec '", text,
+                  "': arg must be a non-negative integer");
+        }
+        spec.arg = static_cast<std::int64_t>(std::stoll(arg));
+    }
+    return spec;
+}
+
 FaultKind
 parseKind(const std::string &text)
 {
@@ -46,6 +101,10 @@ FaultSpec
 parseOneSpec(const std::string &text)
 {
     std::vector<std::string> parts = split(text, ':');
+    if (!parts.empty() && processKindFor(trim(parts[0]))) {
+        fatal("fault spec '", text,
+              "': process-level specs are not valid here");
+    }
     if (parts.size() != 3) {
         fatal("fault spec '", text,
               "': expected stage:nest:kind");
@@ -91,6 +150,33 @@ FaultSpec::toString() const
                   faultKindName(kind));
 }
 
+const char *
+processFaultKindName(ProcessFaultKind kind)
+{
+    switch (kind) {
+      case ProcessFaultKind::WorkerCrash:
+        return "worker_crash";
+      case ProcessFaultKind::WorkerHang:
+        return "worker_hang";
+      case ProcessFaultKind::CacheCorrupt:
+        return "cache_corrupt";
+      case ProcessFaultKind::SlowResponse:
+        return "slow_response";
+    }
+    return "?";
+}
+
+std::string
+ProcessFaultSpec::toString() const
+{
+    std::string text =
+        concat(processFaultKindName(kind), ":",
+               ordinal ? std::to_string(*ordinal) : "*");
+    if (arg)
+        text += concat(":", std::to_string(*arg));
+    return text;
+}
+
 std::vector<FaultSpec>
 parseFaultSpecs(const std::string &text)
 {
@@ -103,13 +189,55 @@ parseFaultSpecs(const std::string &text)
     return specs;
 }
 
+MixedFaultSpecs
+parseMixedFaultSpecs(const std::string &text)
+{
+    MixedFaultSpecs mixed;
+    for (const std::string &part : split(text, ',')) {
+        std::string trimmed = trim(part);
+        if (trimmed.empty())
+            continue;
+        std::vector<std::string> parts = split(trimmed, ':');
+        std::optional<ProcessFaultKind> kind =
+            parts.empty() ? std::nullopt
+                          : processKindFor(trim(parts[0]));
+        if (kind) {
+            mixed.process.push_back(
+                parseOneProcessSpec(*kind, trimmed));
+        } else {
+            mixed.pipeline.push_back(parseOneSpec(trimmed));
+        }
+    }
+    return mixed;
+}
+
+std::vector<ProcessFaultSpec>
+parseProcessFaultSpecs(const std::string &text)
+{
+    MixedFaultSpecs mixed = parseMixedFaultSpecs(text);
+    if (!mixed.pipeline.empty()) {
+        fatal("fault spec '", mixed.pipeline.front().toString(),
+              "': pipeline-level specs are not valid here");
+    }
+    return std::move(mixed.process);
+}
+
 std::vector<FaultSpec>
 faultSpecsFromEnv()
 {
     const char *value = std::getenv("UJAM_FAULT");
     if (!value || !*value)
         return {};
-    return parseFaultSpecs(value);
+    return std::move(parseMixedFaultSpecs(value).pipeline);
+}
+
+std::vector<ProcessFaultSpec>
+processFaultSpecsFromEnv()
+{
+    const char *value = std::getenv("UJAM_FAULT");
+    if (!value || !*value)
+        return {};
+    return std::move(parseMixedFaultSpecs(value).process);
 }
 
 std::optional<FaultKind>

@@ -472,8 +472,10 @@ TEST(ResultCacheEviction, ByteBudgetEvictsOldestFirst)
 {
     std::string dir = scratchDir("evict");
     std::string value(1024, 'v');
-    // Budget for two entries; the third insert must evict the oldest.
-    ResultCache cache(8, dir, 2 * value.size());
+    // Budget for two entries (header included); the third insert
+    // must evict the oldest.
+    std::uint64_t entry = ResultCache::diskEntryBytes(value.size());
+    ResultCache cache(8, dir, 2 * entry);
 
     auto key = [](char c) { return std::string(64, c); };
     cache.put(key('a'), value);
@@ -483,7 +485,7 @@ TEST(ResultCacheEviction, ByteBudgetEvictsOldestFirst)
     cache.put(key('c'), value);
 
     EXPECT_GE(cache.diskEvictions(), 1u);
-    EXPECT_LE(diskBytes(dir), 2 * value.size());
+    EXPECT_LE(diskBytes(dir), 2 * entry);
 
     // A fresh instance sees only the disk tier: the oldest entry is
     // gone, the newest survives.
@@ -498,7 +500,8 @@ TEST(ResultCacheEviction, DiskHitRefreshesRecency)
 {
     std::string dir = scratchDir("evict-lru");
     std::string value(1024, 'v');
-    ResultCache cache(8, dir, 2 * value.size());
+    std::uint64_t entry = ResultCache::diskEntryBytes(value.size());
+    ResultCache cache(8, dir, 2 * entry);
 
     auto key = [](char c) { return std::string(64, c); };
     cache.put(key('a'), value);
@@ -509,7 +512,7 @@ TEST(ResultCacheEviction, DiskHitRefreshesRecency)
     // Touch 'a' through a fresh instance (a disk hit), making 'b'
     // the least recently used entry.
     {
-        ResultCache toucher(8, dir, 2 * value.size());
+        ResultCache toucher(8, dir, 2 * entry);
         ASSERT_TRUE(toucher.get(key('a')).has_value());
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));

@@ -15,11 +15,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
 #include "parser/parser.hh"
 #include "service/cache.hh"
+#include "support/diagnostics.hh"
 #include "service/client.hh"
 #include "service/protocol.hh"
 #include "service/server.hh"
@@ -514,6 +518,392 @@ TEST(ServiceSocket, ConcurrentClientsDeadlinesAndShutdown)
     server.waitForShutdown();
     server.stop();
     EXPECT_GT(server.metrics().cacheMemoryHits.get(), 0u);
+}
+
+// --- sharded, corruption-tolerant disk tier -------------------------
+
+TEST(ResultCacheShard, RoutesByKeyPrefixAndPersists)
+{
+    std::string dir = scratchDir("shards");
+    ResultCacheConfig config;
+    config.memoryCapacity = 2;
+    config.diskDir = dir;
+    config.shards = 4;
+
+    std::vector<std::string> keys{"00aa", "40bb", "80cc", "c0dd"};
+    {
+        ResultCache cache(config);
+        for (const std::string &key : keys) {
+            EXPECT_EQ(cache.shardOf(key),
+                      static_cast<std::size_t>(
+                          std::stoul(key.substr(0, 2), nullptr, 16) %
+                          4));
+            cache.put(key, "value-" + key);
+            EXPECT_NE(cache.diskPath(key).find("shard-"),
+                      std::string::npos);
+            EXPECT_TRUE(
+                std::filesystem::exists(cache.diskPath(key)));
+        }
+    }
+
+    // A fresh cache (cold memory tier) must serve every shard.
+    ResultCache reopened(config);
+    for (const std::string &key : keys) {
+        CacheTier tier = CacheTier::Miss;
+        auto hit = reopened.get(key, &tier);
+        ASSERT_TRUE(hit.has_value()) << key;
+        EXPECT_EQ(*hit, "value-" + key);
+        EXPECT_EQ(tier, CacheTier::Disk);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheShard, TruncatedEntryQuarantinedAsMiss)
+{
+    std::string dir = scratchDir("truncate");
+    ResultCacheConfig config;
+    config.diskDir = dir;
+    config.shards = 2;
+    ResultCache cache(config);
+    cache.put("00feed", "a result worth keeping around");
+
+    std::string path = cache.diskPath("00feed");
+    ASSERT_TRUE(std::filesystem::exists(path));
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) / 2);
+
+    // Cold read path: a fresh cache so the memory tier cannot mask
+    // the damage.
+    ResultCache reopened(config);
+    CacheTier tier = CacheTier::Memory;
+    EXPECT_FALSE(reopened.get("00feed", &tier).has_value());
+    EXPECT_EQ(tier, CacheTier::Miss);
+    EXPECT_EQ(reopened.diskQuarantined(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(path));
+
+    // The damaged file is kept for postmortem, not served.
+    std::string shard_dir =
+        std::filesystem::path(path).parent_path().parent_path();
+    EXPECT_TRUE(
+        std::filesystem::exists(shard_dir + "/quarantine/00feed"));
+
+    // A re-store heals the entry byte-identically.
+    reopened.put("00feed", "a result worth keeping around");
+    ResultCache healed(config);
+    auto hit = healed.get("00feed");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "a result worth keeping around");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheShard, BitFlipQuarantinedAsMiss)
+{
+    std::string dir = scratchDir("bitflip");
+    ResultCacheConfig config;
+    config.diskDir = dir;
+    ResultCache cache(config);
+    cache.put("00cafe", "payload protected by sha-256");
+
+    std::string path = cache.diskPath("00cafe");
+    {
+        std::fstream file(path, std::ios::in | std::ios::out |
+                                    std::ios::binary);
+        ASSERT_TRUE(file.is_open());
+        file.seekp(-3, std::ios::end);
+        char byte = 0;
+        file.seekg(file.tellp());
+        file.get(byte);
+        file.seekp(-1, std::ios::cur);
+        file.put(static_cast<char>(byte ^ 0x01));
+    }
+
+    ResultCache reopened(config);
+    EXPECT_FALSE(reopened.get("00cafe").has_value());
+    EXPECT_EQ(reopened.diskQuarantined(), 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheShard, PerShardBudgetEvictsOldestEntries)
+{
+    std::string dir = scratchDir("budget");
+    ResultCacheConfig config;
+    config.memoryCapacity = 1;
+    config.diskDir = dir;
+    config.shards = 2;
+    config.maxDiskBytes = 2048; // 1024 per shard
+    ResultCache cache(config);
+
+    // ~16 entries of ~200 bytes into each shard: far past budget.
+    std::string value(200, 'x');
+    for (int i = 0; i < 16; ++i) {
+        char hex[8];
+        std::snprintf(hex, sizeof hex, "%02x", i * 2);
+        cache.put(std::string(hex) + "even", value); // shard 0
+        std::snprintf(hex, sizeof hex, "%02x", i * 2 + 1);
+        cache.put(std::string(hex) + "odd", value); // shard 1
+    }
+    EXPECT_GT(cache.diskEvictions(), 0u);
+
+    // Each shard must respect its own slice of the budget.
+    for (std::size_t shard = 0; shard < 2; ++shard) {
+        std::uint64_t bytes = 0;
+        std::string shard_dir =
+            dir + "/shard-0" + std::to_string(shard);
+        for (auto &entry :
+             std::filesystem::recursive_directory_iterator(
+                 shard_dir)) {
+            if (entry.is_regular_file())
+                bytes += entry.file_size();
+        }
+        EXPECT_LE(bytes, 1024u) << "shard " << shard;
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// --- process-level fault specs --------------------------------------
+
+TEST(ProcessFaultSpecs, GrammarRoutesSplitsAndRejects)
+{
+    MixedFaultSpecs mixed = parseMixedFaultSpecs(
+        "unroll:0:throw, worker_crash:2:1, slow_response:1:50, "
+        "cache_corrupt, worker_hang:3");
+    ASSERT_EQ(mixed.pipeline.size(), 1u);
+    ASSERT_EQ(mixed.process.size(), 4u);
+
+    EXPECT_EQ(mixed.process[0].kind, ProcessFaultKind::WorkerCrash);
+    EXPECT_EQ(mixed.process[0].ordinal, std::uint64_t{2});
+    EXPECT_EQ(mixed.process[0].arg, std::int64_t{1});
+
+    EXPECT_EQ(mixed.process[1].kind, ProcessFaultKind::SlowResponse);
+    EXPECT_EQ(mixed.process[1].arg, std::int64_t{50});
+
+    // A bare kind fires on every request.
+    EXPECT_EQ(mixed.process[2].kind, ProcessFaultKind::CacheCorrupt);
+    EXPECT_FALSE(mixed.process[2].ordinal.has_value());
+    EXPECT_TRUE(mixed.process[2].matches(1));
+    EXPECT_TRUE(mixed.process[2].matches(999));
+
+    EXPECT_EQ(mixed.process[3].kind, ProcessFaultKind::WorkerHang);
+    EXPECT_TRUE(mixed.process[3].matches(3));
+    EXPECT_FALSE(mixed.process[3].matches(4));
+
+    // Ordinals are 1-based; 0 is a spec error, not "never".
+    EXPECT_THROW(parseMixedFaultSpecs("worker_crash:0"), FatalError);
+    // Pipeline specs are not valid where only process specs belong.
+    EXPECT_THROW(parseProcessFaultSpecs("unroll:0:throw"), FatalError);
+
+    ::setenv("UJAM_FAULT", "worker_crash:7:2,unroll:0:throw", 1);
+    std::vector<ProcessFaultSpec> process = processFaultSpecsFromEnv();
+    std::vector<FaultSpec> pipeline = faultSpecsFromEnv();
+    ::unsetenv("UJAM_FAULT");
+    ASSERT_EQ(process.size(), 1u);
+    EXPECT_EQ(process[0].toString(), "worker_crash:7:2");
+    // The pipeline half never sees process specs (cache-key purity).
+    ASSERT_EQ(pipeline.size(), 1u);
+}
+
+TEST(ServiceFault, SlowResponseDelaysTheMatchingRequest)
+{
+    ServerConfig config;
+    config.workerFaults = std::vector<ProcessFaultSpec>{
+        parseProcessFaultSpecs("slow_response:1:150").front()};
+    UjamServer server(std::move(config));
+
+    auto start = std::chrono::steady_clock::now();
+    std::string first =
+        server.processLine(requestLine("optimize", "slow", kSource));
+    auto slow_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_EQ(responseStatus(first), "ok");
+    EXPECT_GE(slow_ms, 150);
+
+    // Only the first request matches the ordinal.
+    start = std::chrono::steady_clock::now();
+    server.processLine(requestLine("ping", "", ""));
+    std::string second = server.processLine(
+        requestLine("optimize", "fast", kSource, "{\"max_unroll\": 2}"));
+    auto fast_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_EQ(responseStatus(second), "ok");
+    EXPECT_LT(fast_ms, 150);
+}
+
+TEST(ServiceFault, CacheCorruptFaultIsDetectedOnRead)
+{
+    std::string dir = scratchDir("corrupt-fault");
+    std::string line = requestLine("optimize", "cc", kSource);
+
+    std::string expected;
+    {
+        ServerConfig clean;
+        clean.cacheDir = dir + "-reference";
+        UjamServer server(std::move(clean));
+        expected = server.processLine(line);
+    }
+
+    {
+        ServerConfig config;
+        config.cacheDir = dir;
+        config.workerFaults = std::vector<ProcessFaultSpec>{
+            parseProcessFaultSpecs("cache_corrupt:1").front()};
+        UjamServer server(std::move(config));
+        // Served from the pipeline; the *store* is then corrupted.
+        EXPECT_EQ(server.processLine(line), expected);
+    }
+
+    // A fresh server (cold memory tier) must detect the corruption,
+    // quarantine the entry and recompute byte-identically.
+    ServerConfig config;
+    config.cacheDir = dir;
+    config.workerFaults = std::vector<ProcessFaultSpec>{};
+    UjamServer server(std::move(config));
+    EXPECT_EQ(server.processLine(line), expected);
+    EXPECT_EQ(server.cache().diskQuarantined(), 1u);
+    EXPECT_EQ(server.metrics().cacheMisses.get(), 1u);
+
+    // And the healed entry now disk-hits.
+    ServerConfig healed;
+    healed.cacheDir = dir;
+    healed.workerFaults = std::vector<ProcessFaultSpec>{};
+    UjamServer after(std::move(healed));
+    EXPECT_EQ(after.processLine(line), expected);
+    EXPECT_EQ(after.metrics().cacheDiskHits.get(), 1u);
+    std::filesystem::remove_all(dir);
+    std::filesystem::remove_all(dir + "-reference");
+}
+
+// --- degraded (cache-only) mode -------------------------------------
+
+TEST(ServiceDegraded, ServesHitsRejectsMisses)
+{
+    std::string dir = scratchDir("degraded");
+    std::string line = requestLine("optimize", "d", kSource);
+
+    std::string expected;
+    {
+        ServerConfig warm;
+        warm.cacheDir = dir;
+        UjamServer server(std::move(warm));
+        expected = server.processLine(line);
+        ASSERT_EQ(responseStatus(expected), "ok");
+    }
+
+    ServerConfig config;
+    config.cacheDir = dir;
+    config.degraded = true;
+    UjamServer server(std::move(config));
+
+    // Cached work is served byte-identically...
+    EXPECT_EQ(server.processLine(line), expected);
+    // ...misses are refused, not computed...
+    std::string miss = server.processLine(
+        requestLine("optimize", "d2", kSource, "{\"max_unroll\": 2}"));
+    EXPECT_EQ(responseStatus(miss), "degraded");
+    EXPECT_EQ(server.metrics().requestsDegraded.get(), 1u);
+    EXPECT_EQ(server.metrics().nestsOptimized.get(), 0u);
+    // ...and non-pipeline ops still answer.
+    EXPECT_EQ(responseStatus(server.processLine("{\"op\": \"ping\"}")),
+              "ok");
+
+    // Degraded mode probes the cache even for no_cache requests:
+    // refusing a hit it already holds would only hurt the client.
+    std::string no_cache =
+        "{\"op\": \"optimize\", \"id\": \"d\", \"no_cache\": true, "
+        "\"source\": " +
+        jsonQuote(kSource) + "}";
+    EXPECT_EQ(responseStatus(server.processLine(no_cache)), "ok");
+    std::filesystem::remove_all(dir);
+}
+
+// --- idle-connection timeout ----------------------------------------
+
+TEST(ServiceSocket, IdleConnectionsAreReaped)
+{
+    ServerConfig config;
+    config.socketPath = "/tmp/ujam-serve-idle-" +
+                        std::to_string(getpid()) + ".sock";
+    config.threads = 1;
+    config.idleTimeoutMs = 100;
+    std::string socket_path = config.socketPath;
+    UjamServer server(std::move(config));
+    server.start();
+
+    ServeClient idler;
+    ASSERT_TRUE(idler.connect(socket_path));
+    // Say nothing; the server must reclaim the worker slot.
+    auto give_up = std::chrono::steady_clock::now() +
+                   std::chrono::seconds(5);
+    while (server.metrics().connectionsIdleClosed.get() == 0 &&
+           std::chrono::steady_clock::now() < give_up)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(server.metrics().connectionsIdleClosed.get(), 1u);
+
+    // An active client on the same server is untouched.
+    ServeClient active;
+    ASSERT_TRUE(active.connect(socket_path));
+    EXPECT_EQ(responseStatus(active.request("{\"op\": \"ping\"}")),
+              "ok");
+    server.stop();
+}
+
+// --- extended metrics schema ----------------------------------------
+
+TEST(ServiceMetricsDoc, ShardAndSupervisorSections)
+{
+    ServerConfig config;
+    config.cacheShards = 4;
+    config.supervisorStats = [] {
+        SupervisorStats stats;
+        stats.workersConfigured = 2;
+        stats.workersAlive = 1;
+        stats.restartsTotal = 3;
+        stats.crashesTotal = 4;
+        stats.degraded = true;
+        stats.degradedTransitions = 1;
+        stats.forcedKills = 2;
+        stats.workers = {WorkerStats{3, 4, false, 0, 9},
+                         WorkerStats{0, 0, true, 0, 0}};
+        return stats;
+    };
+    UjamServer server(std::move(config));
+
+    JsonParseResult parsed = parseJson(server.metricsSnapshot());
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const JsonValue &root = *parsed.value;
+
+    const JsonValue *cache = root.find("cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(*cache->find("shard_count")->asInt(), 4);
+    EXPECT_EQ(*cache->find("disk_quarantined")->asInt(), 0);
+    const JsonValue *shards = cache->find("shards");
+    ASSERT_TRUE(shards && shards->isArray());
+    ASSERT_EQ(shards->elements.size(), 4u);
+    for (const JsonValue &shard : shards->elements)
+        for (const char *key : {"disk_hits", "disk_stores",
+                                "disk_evictions", "disk_quarantined"})
+            ASSERT_NE(shard.find(key), nullptr) << key;
+
+    const JsonValue *supervisor = root.find("supervisor");
+    ASSERT_NE(supervisor, nullptr);
+    EXPECT_EQ(*supervisor->find("workers_configured")->asInt(), 2);
+    EXPECT_EQ(*supervisor->find("workers_alive")->asInt(), 1);
+    EXPECT_EQ(*supervisor->find("restarts_total")->asInt(), 3);
+    EXPECT_EQ(*supervisor->find("crashes_total")->asInt(), 4);
+    EXPECT_EQ(*supervisor->find("forced_kills")->asInt(), 2);
+    const JsonValue *workers = supervisor->find("workers");
+    ASSERT_TRUE(workers && workers->isArray());
+    ASSERT_EQ(workers->elements.size(), 2u);
+    EXPECT_EQ(*workers->elements[0].find("last_signal")->asInt(), 9);
+
+    // Single-process servers must not grow a supervisor section.
+    UjamServer plain({});
+    JsonParseResult without = parseJson(plain.metricsSnapshot());
+    ASSERT_TRUE(without.ok());
+    EXPECT_EQ(without.value->find("supervisor"), nullptr);
 }
 
 } // namespace
