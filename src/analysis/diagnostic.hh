@@ -17,6 +17,7 @@
 #define UJAM_ANALYSIS_DIAGNOSTIC_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,22 @@ enum class LintSeverity
 /** @return "note", "warning" or "error". */
 const char *lintSeverityName(LintSeverity severity);
 
+/**
+ * A machine-applicable replacement suggestion attached to a finding.
+ * `original` is the exact source text the rule expects on the
+ * finding's line at (or after) its column; renderers that hold the
+ * source locate it and emit a SARIF fix object (deletedRegion +
+ * insertedContent). When `original` is absent from the line the fix
+ * is silently dropped -- the source has drifted from the rule's
+ * model, and a wrong region is worse than none.
+ */
+struct LintFix
+{
+    std::string description; //!< one-line fix summary
+    std::string original;    //!< text to replace on the finding's line
+    std::string replacement; //!< replacement text
+};
+
 /** One finding. */
 struct LintDiagnostic
 {
@@ -46,6 +63,7 @@ struct LintDiagnostic
     std::string nestName;     //!< may be empty
     std::string message;      //!< one line, no trailing newline
     std::vector<std::string> notes; //!< extra explanation lines
+    std::optional<LintFix> fix;     //!< optional suggested replacement
 
     /** @return "file:line:col: severity: message [ruleId]". */
     std::string toString(const std::string &source_name) const;

@@ -1,0 +1,68 @@
+#include "analysis/findings_baseline.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/sha256.hh"
+
+namespace ujam
+{
+
+std::string
+findingFingerprint(const std::string &source_name,
+                   const LintDiagnostic &diag)
+{
+    std::string key = diag.ruleId + "|" + source_name + "|" +
+                      diag.nestName + "|" + diag.message;
+    return sha256Hex(key).substr(0, 16);
+}
+
+std::string
+renderBaseline(const std::vector<LintResult> &results)
+{
+    std::string out = "# ujam-lint baseline v1\n";
+    for (const LintResult &result : results) {
+        for (const LintDiagnostic &diag : result.diagnostics) {
+            out += findingFingerprint(result.sourceName, diag);
+            out += " ";
+            out += diag.ruleId;
+            out += " ";
+            out += result.sourceName;
+            out += " ";
+            out += diag.nestName.empty() ? "-" : diag.nestName;
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+FindingsBaseline
+parseBaseline(const std::string &text)
+{
+    FindingsBaseline baseline;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream fields(line);
+        std::string fingerprint;
+        if (!(fields >> fingerprint) || fingerprint.empty() ||
+            fingerprint[0] == '#') {
+            continue;
+        }
+        baseline.fingerprints.insert(fingerprint);
+    }
+    return baseline;
+}
+
+std::size_t
+applyBaseline(LintResult &result, const FindingsBaseline &baseline)
+{
+    std::size_t before = result.diagnostics.size();
+    std::erase_if(result.diagnostics, [&](const LintDiagnostic &diag) {
+        return baseline.fingerprints.count(
+                   findingFingerprint(result.sourceName, diag)) > 0;
+    });
+    return before - result.diagnostics.size();
+}
+
+} // namespace ujam

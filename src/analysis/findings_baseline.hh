@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Findings baselines for "no new findings" CI gating.
+ *
+ * A baseline is a text file of finding fingerprints. `ujam-lint
+ * --baseline-write FILE` records the current findings; a later
+ * `ujam-lint --baseline FILE` suppresses every finding whose
+ * fingerprint is recorded, so only *new* findings surface (and fail
+ * the exit status when they are errors).
+ *
+ * The fingerprint hashes rule id, source name, nest name and message
+ * -- deliberately not line/column, so edits elsewhere in a file do
+ * not invalidate a baseline entry; the message embeds the induction
+ * variables, intervals and array names that identify the finding.
+ */
+
+#ifndef UJAM_ANALYSIS_FINDINGS_BASELINE_HH
+#define UJAM_ANALYSIS_FINDINGS_BASELINE_HH
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hh"
+
+namespace ujam
+{
+
+/** Parsed baseline: the set of suppressed fingerprints. */
+struct FindingsBaseline
+{
+    std::set<std::string> fingerprints;
+};
+
+/**
+ * @return The stable fingerprint of one finding: the first 16 hex
+ * characters of sha256("ruleId|source|nest|message").
+ */
+std::string findingFingerprint(const std::string &source_name,
+                               const LintDiagnostic &diag);
+
+/**
+ * @return The baseline file text for the given results: a header
+ * line, then one "fingerprint ruleId source nest" line per finding
+ * in render order (the extra columns are for human auditing; only
+ * the fingerprint is parsed back).
+ */
+std::string renderBaseline(const std::vector<LintResult> &results);
+
+/**
+ * Parse a baseline file's text. Blank lines and lines starting with
+ * '#' are ignored; the first whitespace-separated token of every
+ * other line is a fingerprint.
+ */
+FindingsBaseline parseBaseline(const std::string &text);
+
+/**
+ * Delete from result every finding whose fingerprint the baseline
+ * records.
+ *
+ * @return The number of findings suppressed.
+ */
+std::size_t applyBaseline(LintResult &result,
+                          const FindingsBaseline &baseline);
+
+} // namespace ujam
+
+#endif // UJAM_ANALYSIS_FINDINGS_BASELINE_HH

@@ -76,6 +76,32 @@ RuleContext::ranges()
     return ranges_;
 }
 
+const NestDataflow &
+RuleContext::dataflow()
+{
+    if (!dataflow_) {
+        dataflow_.emplace(program_, nest_, program_.paramDefaults(),
+                          options_.haloElems);
+    }
+    return *dataflow_;
+}
+
+const RuleContext::PruneStats &
+RuleContext::pruneStats()
+{
+    if (!pruneStats_) {
+        PruneStats stats;
+        DepOptions options;
+        options.includeInput = false; // the optimizer's view
+        options.rangePrune = true;
+        options.params = program_.paramDefaults();
+        options.pruned = &stats.pruned;
+        stats.kept = analyzeDependences(nest_, options).edges().size();
+        pruneStats_ = std::move(stats);
+    }
+    return *pruneStats_;
+}
+
 LintDiagnostic
 RuleContext::finding(const char *rule_id, LintSeverity severity,
                      SourceLoc loc, std::string message) const

@@ -1,5 +1,8 @@
 #include "analysis/render.hh"
 
+#include <algorithm>
+#include <optional>
+
 #include "analysis/rule.hh"
 #include "support/diagnostics.hh"
 #include "support/json.hh"
@@ -24,6 +27,68 @@ sarifLevel(LintSeverity severity)
     return lintSeverityName(severity);
 }
 
+/** @return The 1-based source line, or nothing past the end. */
+std::optional<std::string>
+lineAt(const std::string &source, int line)
+{
+    if (line < 1)
+        return std::nullopt;
+    std::size_t begin = 0;
+    for (int l = 1; l < line; ++l) {
+        std::size_t next = source.find('\n', begin);
+        if (next == std::string::npos)
+            return std::nullopt;
+        begin = next + 1;
+    }
+    std::size_t end = source.find('\n', begin);
+    if (end == std::string::npos)
+        end = source.size();
+    return source.substr(begin, end - begin);
+}
+
+/**
+ * @return The 1-based code-point column of a byte offset into text:
+ * UTF-8 continuation bytes (10xxxxxx) do not advance the column.
+ */
+int
+codePointColumn(const std::string &text, std::size_t byte)
+{
+    byte = std::min(byte, text.size());
+    int col = 1;
+    for (std::size_t i = 0; i < byte; ++i) {
+        if ((static_cast<unsigned char>(text[i]) & 0xC0) != 0x80)
+            ++col;
+    }
+    return col;
+}
+
+/**
+ * @return One past the last byte of the token starting at `byte`: a
+ * maximal identifier run, or a single code point for punctuation.
+ */
+std::size_t
+tokenEndByte(const std::string &text, std::size_t byte)
+{
+    if (byte >= text.size())
+        return text.size();
+    auto is_ident = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               (c >= '0' && c <= '9') || c == '_';
+    };
+    if (!is_ident(text[byte])) {
+        std::size_t end = byte + 1;
+        while (end < text.size() &&
+               (static_cast<unsigned char>(text[end]) & 0xC0) == 0x80) {
+            ++end;
+        }
+        return end;
+    }
+    std::size_t end = byte;
+    while (end < text.size() && is_ident(text[end]))
+        ++end;
+    return end;
+}
+
 } // namespace
 
 std::string
@@ -31,30 +96,14 @@ sourceExcerpt(const std::string &source, const SourceLoc &loc)
 {
     if (!loc.known())
         return "";
-    // Walk to the 1-based target line.
-    std::size_t begin = 0;
-    for (int line = 1; line < loc.line; ++line) {
-        std::size_t next = source.find('\n', begin);
-        if (next == std::string::npos)
-            return "";
-        begin = next + 1;
-    }
-    std::size_t end = source.find('\n', begin);
-    if (end == std::string::npos)
-        end = source.size();
-    std::string text = source.substr(begin, end - begin);
-
-    // The caret column counts code points in the byte prefix: UTF-8
-    // continuation bytes (10xxxxxx) do not advance it.
+    std::optional<std::string> text = lineAt(source, loc.line);
+    if (!text)
+        return "";
     std::size_t prefix_bytes =
-        std::min<std::size_t>(text.size(),
+        std::min<std::size_t>(text->size(),
                               loc.col > 0 ? loc.col - 1 : 0);
-    std::size_t caret_col = 0;
-    for (std::size_t i = 0; i < prefix_bytes; ++i) {
-        if ((static_cast<unsigned char>(text[i]) & 0xC0) != 0x80)
-            ++caret_col;
-    }
-    return "  " + text + "\n  " + std::string(caret_col, ' ') + "^\n";
+    std::size_t caret_col = codePointColumn(*text, prefix_bytes) - 1;
+    return "  " + *text + "\n  " + std::string(caret_col, ' ') + "^\n";
 }
 
 std::string
@@ -105,7 +154,7 @@ namespace
 {
 
 std::string
-renderSarifRun(const LintResult &result)
+renderSarifRun(const LintResult &result, const std::string &source)
 {
     std::string out =
         "    {\n"
@@ -138,15 +187,57 @@ renderSarifRun(const LintResult &result)
         out += ", \"locations\": [{\"physicalLocation\": "
                "{\"artifactLocation\": {\"uri\": " +
                quoted(result.sourceName) + "}";
+        std::optional<std::string> line;
+        std::size_t start_byte = 0;
         if (diag.loc.known()) {
-            out += concat(", \"region\": {\"startLine\": ",
-                          diag.loc.line,
-                          ", \"startColumn\": ", diag.loc.col, "}");
+            if (!source.empty())
+                line = lineAt(source, diag.loc.line);
+            if (line) {
+                start_byte = std::min<std::size_t>(
+                    line->size(),
+                    diag.loc.col > 0 ? diag.loc.col - 1 : 0);
+                std::size_t end_byte = tokenEndByte(*line, start_byte);
+                out += concat(
+                    ", \"region\": {\"startLine\": ", diag.loc.line,
+                    ", \"startColumn\": ",
+                    codePointColumn(*line, start_byte),
+                    ", \"endColumn\": ",
+                    codePointColumn(*line, end_byte), "}");
+            } else {
+                out += concat(", \"region\": {\"startLine\": ",
+                              diag.loc.line,
+                              ", \"startColumn\": ", diag.loc.col, "}");
+            }
         }
         out += "}}]";
         out += ", \"properties\": {\"nestIndex\": " +
                concat(diag.nestIndex) +
                ", \"nest\": " + quoted(diag.nestName) + "}";
+        if (diag.fix && line) {
+            // The fix applies only when the expected original text is
+            // actually on the line at or after the finding's column;
+            // otherwise the source drifted from the rule's model and
+            // the fix is dropped.
+            std::size_t at = line->find(diag.fix->original, start_byte);
+            if (at != std::string::npos &&
+                !diag.fix->original.empty()) {
+                out += ", \"fixes\": [{\"description\": {\"text\": " +
+                       quoted(diag.fix->description) +
+                       "}, \"artifactChanges\": [{\"artifactLocation\""
+                       ": {\"uri\": " +
+                       quoted(result.sourceName) +
+                       "}, \"replacements\": [{\"deletedRegion\": " +
+                       concat("{\"startLine\": ", diag.loc.line,
+                              ", \"startColumn\": ",
+                              codePointColumn(*line, at),
+                              ", \"endColumn\": ",
+                              codePointColumn(
+                                  *line,
+                                  at + diag.fix->original.size())) +
+                       "}, \"insertedContent\": {\"text\": " +
+                       quoted(diag.fix->replacement) + "}}]}]}]";
+            }
+        }
         out += "}";
     }
     out += result.diagnostics.empty() ? "]\n" : "\n      ]\n";
@@ -157,7 +248,8 @@ renderSarifRun(const LintResult &result)
 } // namespace
 
 std::string
-renderSarifRuns(const std::vector<LintResult> &results)
+renderSarifRuns(
+    const std::vector<std::pair<LintResult, std::string>> &runs)
 {
     std::string out =
         "{\n"
@@ -165,9 +257,9 @@ renderSarifRuns(const std::vector<LintResult> &results)
         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
         "  \"version\": \"2.1.0\",\n"
         "  \"runs\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        out += renderSarifRun(results[i]);
-        out += i + 1 < results.size() ? ",\n" : "\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        out += renderSarifRun(runs[i].first, runs[i].second);
+        out += i + 1 < runs.size() ? ",\n" : "\n";
     }
     out += "  ]\n"
            "}\n";
@@ -175,9 +267,19 @@ renderSarifRuns(const std::vector<LintResult> &results)
 }
 
 std::string
-renderSarif(const LintResult &result)
+renderSarifRuns(const std::vector<LintResult> &results)
 {
-    return renderSarifRuns({result});
+    std::vector<std::pair<LintResult, std::string>> runs;
+    runs.reserve(results.size());
+    for (const LintResult &result : results)
+        runs.emplace_back(result, "");
+    return renderSarifRuns(runs);
+}
+
+std::string
+renderSarif(const LintResult &result, const std::string &source)
+{
+    return renderSarifRuns({{result, source}});
 }
 
 } // namespace ujam

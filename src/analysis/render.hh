@@ -13,6 +13,7 @@
 #define UJAM_ANALYSIS_RENDER_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/diagnostic.hh"
@@ -43,11 +44,25 @@ std::string renderJson(const LintResult &result);
 /**
  * Render findings as a SARIF 2.1.0 log with the full rule catalog in
  * the tool's driver. Findings with unknown locations omit the region.
+ *
+ * When the program source is supplied, regions carry a true
+ * endColumn: the region covers the token at the finding's position
+ * (an identifier run, or one code point), and both columns count
+ * code points so UTF-8 text earlier on the line cannot skew them --
+ * the same convention as the text renderer's caret. Findings with a
+ * fix whose original text is found on the line also emit a SARIF
+ * fixes array with one replacement. Without source, startColumn
+ * falls back to the lexer's byte column and endColumn is omitted.
  */
-std::string renderSarif(const LintResult &result);
+std::string renderSarif(const LintResult &result,
+                        const std::string &source = "");
 
 /** Like renderSarif, with one run per analyzed input. */
 std::string renderSarifRuns(const std::vector<LintResult> &results);
+
+/** Like renderSarif, one run per (result, source) pair. */
+std::string renderSarifRuns(
+    const std::vector<std::pair<LintResult, std::string>> &runs);
 
 } // namespace ujam
 

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/dataflow.hh"
 #include "analysis/diagnostic.hh"
 #include "deps/analyzer.hh"
 #include "model/machine.hh"
@@ -69,6 +70,29 @@ class RuleContext
                                               std::int64_t>>> &
     ranges();
 
+    /**
+     * @return The symbolic dataflow facts for the nest under the
+     * program's parameter defaults and options().haloElems (cached).
+     * Unlike ranges(), individual facts degrade to top instead of the
+     * whole result vanishing when one bound is symbolic.
+     */
+    const NestDataflow &dataflow();
+
+    /** What the dependence range pre-filter would delete. */
+    struct PruneStats
+    {
+        std::vector<PrunedEdge> pruned; //!< deleted edges with proofs
+        std::size_t kept = 0;           //!< edges surviving the filter
+    };
+
+    /**
+     * @return The range pre-filter's effect on this nest's graph
+     * (the optimizer's no-input view, under the parameter defaults;
+     * cached). deps() itself stays unpruned so reach/constraint rules
+     * keep their full evidence base.
+     */
+    const PruneStats &pruneStats();
+
     /** Shorthand for building a finding against this nest. */
     LintDiagnostic
     finding(const char *rule_id, LintSeverity severity, SourceLoc loc,
@@ -89,6 +113,8 @@ class RuleContext
     bool rangesComputed_ = false;
     std::optional<std::vector<std::pair<std::int64_t, std::int64_t>>>
         ranges_;
+    std::optional<NestDataflow> dataflow_;
+    std::optional<PruneStats> pruneStats_;
 };
 
 /**
@@ -105,6 +131,13 @@ class Rule
 
     /** @return A one-line description for the SARIF rule catalog. */
     virtual const char *summary() const = 0;
+
+    /**
+     * @return A longer explanation for `ujam-lint --explain`: what
+     * the rule proves, which analysis powers it, and what to do about
+     * a finding. Defaults to the summary.
+     */
+    virtual const char *details() const { return summary(); }
 
     /** @return The severity this rule's findings default to. */
     virtual LintSeverity defaultSeverity() const = 0;

@@ -1,6 +1,6 @@
 /**
  * @file
- * The rule catalog (UJ001..UJ014).
+ * The rule catalog (UJ001..UJ022).
  *
  * Each rule predicts, without running a transform or the interpreter,
  * a condition the pipeline would either trip over (error: the safety
@@ -787,6 +787,611 @@ class RegisterPressureRule : public Rule
     }
 };
 
+// --- UJ015: post-transform out-of-bounds reach ----------------------
+
+class PostTransformReachRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ015"; }
+    const char *
+    summary() const override
+    {
+        return "dependence-legal unroll amounts push a reference past "
+               "extent + halo (post-transform out of bounds)";
+    }
+    const char *
+    details() const override
+    {
+        return "The dataflow engine replays unroll-and-jam on the "
+               "subscript intervals: copy j of loop k shifts the "
+               "induction variable by j * step, so a reference's reach "
+               "grows forward by coeff * step * unroll. When the "
+               "dependence-legal maximum amounts (the ones the "
+               "optimizer searches up to) carry some dimension past "
+               "extent + halo, candidates near that maximum are doomed "
+               "to be rejected by the reach validator and rolled back. "
+               "The finding is an error when even a single unrolled "
+               "copy of any contributing loop escapes -- then no "
+               "transformed version of the nest survives -- and a "
+               "warning otherwise. Shrink the offsets, grow the "
+               "extents, or accept the untransformed nest.";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Error;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        const LoopNest &nest = ctx.nest();
+        if (nest.depth() < 2)
+            return; // UJ002 territory
+        const NestDataflow &df = ctx.dataflow();
+        if (df.provablyEmpty())
+            return; // nothing is accessed (UJ006/UJ016)
+
+        // The optimizer never unrolls the innermost loop.
+        IntVector legal = ctx.safeBounds();
+        legal[nest.depth() - 1] = 0;
+        if (legal.isZero())
+            return; // no transform is possible at all
+
+        std::int64_t halo = ctx.options().haloElems;
+        std::set<std::string> reported;
+        for (const Access &access : ctx.accesses()) {
+            const ArrayRef &ref = access.ref;
+            if (!ctx.program().hasArray(ref.array()))
+                continue; // UJ003 territory
+            const ArrayDecl &decl = ctx.program().array(ref.array());
+            if (decl.extents.size() != ref.dims() ||
+                ref.depth() != nest.depth()) {
+                continue; // UJ003 territory
+            }
+            if (!reported.insert(ref.array() + "#" + ref.toString())
+                     .second) {
+                continue;
+            }
+            checkRef(ctx, df, ref, decl, legal, halo, out);
+        }
+    }
+
+  private:
+    void
+    checkRef(RuleContext &ctx, const NestDataflow &df,
+             const ArrayRef &ref, const ArrayDecl &decl,
+             const IntVector &legal, std::int64_t halo,
+             std::vector<LintDiagnostic> &out) const
+    {
+        const LoopNest &nest = ctx.nest();
+        for (std::size_t d = 0; d < ref.dims(); ++d) {
+            Interval extent = boundInterval(
+                decl.extents[d], ctx.program().paramDefaults());
+            if (!extent.isPoint())
+                continue; // UJ004 territory / symbolic extent
+            Interval base =
+                df.unrolledDimRange(ref, d, IntVector(nest.depth()));
+            if (!base.bounded() || base.isEmpty())
+                continue;
+            if (base.lo < 1 - halo || base.hi > extent.lo + halo)
+                continue; // already out of bounds untransformed (UJ009)
+            Interval full = df.unrolledDimRange(ref, d, legal);
+            if (full.lo >= 1 - halo && full.hi <= extent.lo + halo)
+                continue;
+
+            // Error tier: every nonzero transform escapes, i.e. one
+            // copy of each contributing loop alone already does.
+            bool minimal_escapes = false;
+            for (std::size_t k = 0; k + 1 < nest.depth(); ++k) {
+                if (legal[k] <= 0 || ref.row(d)[k] == 0)
+                    continue;
+                IntVector one(nest.depth());
+                one[k] = 1;
+                Interval single = df.unrolledDimRange(ref, d, one);
+                minimal_escapes = single.lo < 1 - halo ||
+                                  single.hi > extent.lo + halo;
+                if (!minimal_escapes)
+                    break;
+            }
+            LintSeverity severity = minimal_escapes
+                                        ? LintSeverity::Error
+                                        : LintSeverity::Warn;
+            out.push_back(ctx.finding(
+                id(), severity, ref.loc(),
+                concat("after unroll-and-jam by the dependence-legal "
+                       "amounts ", legal.toString(), ", reference ",
+                       ref.toString(nest.ivNames()), " dimension ",
+                       d + 1, " spans ", full.toString(),
+                       " outside extent ", extent.lo, " + halo ", halo,
+                       minimal_escapes
+                           ? "; even a single unrolled copy escapes, "
+                             "so the reach validator rolls back every "
+                             "transformed version"
+                           : "; candidates near the legal maximum "
+                             "would be rolled back by the reach "
+                             "validator")));
+            return;
+        }
+    }
+};
+
+// --- UJ016: interval-proven zero-trip loops -------------------------
+
+class ProvenZeroTripRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ016"; }
+    const char *
+    summary() const override
+    {
+        return "interval analysis proves a loop runs zero iterations "
+               "even though some bound in the nest is symbolic";
+    }
+    const char *
+    details() const override
+    {
+        return "UJ006 needs every bound in the nest to evaluate under "
+               "the parameter defaults; one symbolic bound anywhere "
+               "blinds it. The interval domain degrades per-fact "
+               "instead: a loop whose own trip-count interval has "
+               "upper bound <= 0 is dead no matter what the symbolic "
+               "bounds elsewhere resolve to. When both offending "
+               "bounds are constants the finding carries a "
+               "machine-applicable fix that swaps them.";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Warn;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        if (ctx.ranges())
+            return; // fully evaluable: UJ006 territory
+        const NestDataflow &df = ctx.dataflow();
+        for (std::size_t k = 0; k < ctx.nest().depth(); ++k) {
+            const LoopDataflow &lf = df.loops()[k];
+            if (!lf.provablyEmpty())
+                continue;
+            const Loop &loop = ctx.nest().loop(k);
+            LintDiagnostic diag = ctx.finding(
+                id(), defaultSeverity(), loop.loc,
+                concat("loop '", loop.iv,
+                       "' provably runs zero iterations (lower bound "
+                       "in ", lf.lower.toString(), ", upper bound in ",
+                       lf.upper.toString(),
+                       ") regardless of the unresolved symbolic "
+                       "bounds elsewhere in the nest"));
+            if (lf.lower.isPoint() && lf.upper.isPoint()) {
+                diag.fix = LintFix{
+                    "swap the inverted constant bounds",
+                    concat(lf.lower.lo, ", ", lf.upper.lo),
+                    concat(lf.upper.lo, ", ", lf.lower.lo)};
+            }
+            out.push_back(std::move(diag));
+        }
+    }
+};
+
+// --- UJ017: flat-index overflow risk --------------------------------
+
+class FlatIndexOverflowRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ017"; }
+    const char *
+    summary() const override
+    {
+        return "flat column-major index of a reference exceeds 2^31; "
+               "32-bit index arithmetic would overflow";
+    }
+    const char *
+    details() const override
+    {
+        return "The dataflow engine folds each access through the "
+               "halo-padded column-major layout: flat = sum over "
+               "dimensions of (subscript - 1 + halo) * stride, with "
+               "strides the running product of padded extents. UJ007 "
+               "only sees per-loop ranges; this rule sees the product. "
+               "A flat interval reaching past 2^31 means generated "
+               "code (or a consumer indexing with 32-bit ints) "
+               "overflows even though every individual subscript "
+               "looks small. The engine's arithmetic saturates, so an "
+               "overflowing layout shows up as a huge bound instead "
+               "of wrapping silently.";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Warn;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        const NestDataflow &df = ctx.dataflow();
+        if (df.provablyEmpty())
+            return;
+        std::set<std::string> reported;
+        const std::vector<Access> &accesses = ctx.accesses();
+        for (std::size_t i = 0; i < accesses.size(); ++i) {
+            const AccessDataflow &ad = df.accesses()[i];
+            const ArrayRef &ref = accesses[i].ref;
+            if (!ad.flat.bounded() || ad.flat.isEmpty())
+                continue;
+            std::int64_t magnitude =
+                std::max(std::abs(ad.flat.lo), std::abs(ad.flat.hi));
+            if (magnitude <= kOverflowRisk)
+                continue;
+            if (!reported.insert(ref.array()).second)
+                continue;
+            out.push_back(ctx.finding(
+                id(), defaultSeverity(), ref.loc(),
+                concat("flat column-major index of ",
+                       ref.toString(ctx.nest().ivNames()), " spans ",
+                       ad.flat.toString(),
+                       " in the halo-padded layout; magnitudes past "
+                       "2^31 overflow 32-bit index arithmetic even "
+                       "though every subscript stays small")));
+        }
+    }
+};
+
+// --- UJ018: provably-dead fringe loop -------------------------------
+
+class DeadFringeRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ018"; }
+    const char *
+    summary() const override
+    {
+        return "fringe loop of a previous unroll-and-jam provably "
+               "runs zero iterations and can be deleted";
+    }
+    const char *
+    details() const override
+    {
+        return "A fringe loop starts at the aligned upper bound of "
+               "the main unrolled nest plus one. When the trip count "
+               "divides the unroll factor the fringe is empty by "
+               "construction, but it still occupies a nest slot, "
+               "costs analysis time, and blocks further restructuring."
+               " The interval domain evaluates the alignment term "
+               "exactly when the surrounding bounds are exact, so an "
+               "empty fringe is proven, not guessed. Delete the loop "
+               "or re-run the pipeline's restructuring stage.";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Note;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        const NestDataflow &df = ctx.dataflow();
+        for (std::size_t k = 0; k < ctx.nest().depth(); ++k) {
+            const Loop &loop = ctx.nest().loop(k);
+            if (!loop.lower.isAligned() && !loop.upper.isAligned())
+                continue; // not a fringe-shaped bound
+            if (!df.loops()[k].provablyEmpty())
+                continue;
+            out.push_back(ctx.finding(
+                id(), defaultSeverity(), loop.loc,
+                concat("fringe loop '", loop.iv,
+                       "' provably runs zero iterations (its aligned "
+                       "bound already covers the whole range); the "
+                       "loop is dead code and can be deleted")));
+        }
+    }
+};
+
+// --- UJ019: stride-1 contradicted by layout congruence --------------
+
+class StrideContradictionRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ019"; }
+    const char *
+    summary() const override
+    {
+        return "innermost traversal provably jumps a full cache line "
+               "per iteration (no spatial locality)";
+    }
+    const char *
+    details() const override
+    {
+        return "The locality model credits spatial reuse to "
+               "references whose innermost traversal walks "
+               "consecutive elements. The congruence domain proves "
+               "the opposite for some references: successive "
+               "innermost iterations move the flat index by a fixed "
+               "stride (the addresses stay in one residue class "
+               "modulo that stride), and when the stride is at least "
+               "a cache line no two consecutive iterations share a "
+               "line. The locality model prices this correctly, so "
+               "the pipeline is unaffected -- the finding is advice: "
+               "interchange the loops or transpose the array layout "
+               "to restore stride-1.";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Note;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        if (ctx.nest().depth() < 2)
+            return; // UJ002 territory: nest is not a candidate anyway
+        const NestDataflow &df = ctx.dataflow();
+        if (df.provablyEmpty())
+            return;
+        std::int64_t line = ctx.machine().lineElems();
+        std::set<std::string> reported;
+        const std::vector<Access> &accesses = ctx.accesses();
+        for (std::size_t i = 0; i < accesses.size(); ++i) {
+            const AccessDataflow &ad = df.accesses()[i];
+            const ArrayRef &ref = accesses[i].ref;
+            if (!ad.innerStride || *ad.innerStride == 0)
+                continue; // unknown layout, or innermost-invariant
+            std::int64_t stride = std::abs(*ad.innerStride);
+            if (stride < line)
+                continue;
+            if (!reported.insert(ref.array() + "#" + ref.toString())
+                     .second) {
+                continue;
+            }
+            out.push_back(ctx.finding(
+                id(), defaultSeverity(), ref.loc(),
+                concat("reference ", ref.toString(ctx.nest().ivNames()),
+                       " moves ", stride,
+                       " elements per innermost iteration (flat "
+                       "addresses stay in one residue class mod ",
+                       stride, "), so with a ", line,
+                       "-element cache line consecutive iterations "
+                       "never share a line; interchange the loops or "
+                       "transpose the layout for stride-1")));
+        }
+    }
+};
+
+// --- UJ020: aliasing by range overlap across UGS sets ---------------
+
+class RangeAliasRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ020"; }
+    const char *
+    summary() const override
+    {
+        return "two uniformly generated sets of a written array "
+               "provably touch overlapping sections";
+    }
+    const char *
+    details() const override
+    {
+        return "UJ012 flags a written array whose references split "
+               "into several uniformly generated sets -- a modeling "
+               "gap. This rule sharpens it into a proof: the interval "
+               "domain computes the bounding box each set touches, "
+               "and when two boxes of a written array intersect in "
+               "every dimension the sets genuinely alias, so flow "
+               "between them is real data movement the RRS/register "
+               "tables cannot see, not merely a possibility. Expect "
+               "the predicted balance to be off and the safety "
+               "oracle to be the only reliable check.";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Warn;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        // Group the sets by array, keeping only written arrays.
+        std::set<std::string> written;
+        for (const Access &access : ctx.accesses()) {
+            if (access.isWrite)
+                written.insert(access.ref.array());
+        }
+        std::map<std::string,
+                 std::vector<const UniformlyGeneratedSet *>>
+            by_array;
+        for (const UniformlyGeneratedSet &set : ctx.ugs()) {
+            if (written.count(set.array))
+                by_array[set.array].push_back(&set);
+        }
+
+        const NestDataflow &df = ctx.dataflow();
+        for (const auto &[array, sets] : by_array) {
+            if (sets.size() < 2)
+                continue;
+            std::vector<std::vector<Interval>> boxes;
+            for (const UniformlyGeneratedSet *set : sets)
+                boxes.push_back(setBox(df, *set));
+            for (std::size_t a = 0; a < sets.size(); ++a) {
+                for (std::size_t b = a + 1; b < sets.size(); ++b) {
+                    if (!provablyOverlap(boxes[a], boxes[b]))
+                        continue;
+                    const ArrayRef &ra =
+                        sets[a]->members.front().ref;
+                    const ArrayRef &rb =
+                        sets[b]->members.front().ref;
+                    out.push_back(ctx.finding(
+                        id(), defaultSeverity(), ra.loc(),
+                        concat("written array '", array,
+                               "' is addressed through two subscript "
+                               "matrices whose sections provably "
+                               "overlap: ",
+                               ra.toString(ctx.nest().ivNames()),
+                               " touches ", boxString(boxes[a]),
+                               " and ",
+                               rb.toString(ctx.nest().ivNames()),
+                               " touches ", boxString(boxes[b]),
+                               "; cross-set flow is real aliasing "
+                               "invisible to the unroll tables")));
+                    return; // one finding per nest is enough
+                }
+            }
+        }
+    }
+
+  private:
+    /** Per-dimension hull of everything the set's members touch. */
+    static std::vector<Interval>
+    setBox(const NestDataflow &df, const UniformlyGeneratedSet &set)
+    {
+        std::vector<Interval> box;
+        for (const Access &access : set.members) {
+            AccessDataflow ad =
+                df.analyzeRef(access.ref, access.isWrite);
+            if (box.empty()) {
+                for (const DimDataflow &dim : ad.dims)
+                    box.push_back(dim.range);
+                continue;
+            }
+            for (std::size_t d = 0;
+                 d < box.size() && d < ad.dims.size(); ++d) {
+                box[d] = Interval::hull(box[d], ad.dims[d].range);
+            }
+        }
+        return box;
+    }
+
+    /** True iff both boxes are bounded, non-empty and intersect. */
+    static bool
+    provablyOverlap(const std::vector<Interval> &a,
+                    const std::vector<Interval> &b)
+    {
+        if (a.empty() || a.size() != b.size())
+            return false;
+        for (std::size_t d = 0; d < a.size(); ++d) {
+            if (!a[d].bounded() || !b[d].bounded() ||
+                a[d].isEmpty() || b[d].isEmpty() ||
+                Interval::disjoint(a[d], b[d])) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    static std::string
+    boxString(const std::vector<Interval> &box)
+    {
+        std::string text;
+        for (std::size_t d = 0; d < box.size(); ++d) {
+            if (d)
+                text += " x ";
+            text += box[d].toString();
+        }
+        return text;
+    }
+};
+
+// --- UJ021: dependence edges deleted by the range pre-filter --------
+
+class RangePruneReportRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ021"; }
+    const char *
+    summary() const override
+    {
+        return "the range pre-filter deletes dependence edges whose "
+               "subscript intervals cannot intersect";
+    }
+    const char *
+    details() const override
+    {
+        return "Before the optimizer consults the dependence graph, "
+               "a pre-filter drops edges the interval domain proves "
+               "infeasible under the parameter defaults: the two "
+               "references' subscript ranges are disjoint, the exact "
+               "dependence distance exceeds what the trip counts "
+               "allow, or the whole nest is dead. Legality is then "
+               "specialized to those bindings -- the pipeline's "
+               "differential oracle runs under the same bindings and "
+               "backstops every decision. This note reports what was "
+               "deleted so a surprising unroll choice can be traced "
+               "to the sharper graph.";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Note;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        const RuleContext::PruneStats &stats = ctx.pruneStats();
+        if (stats.pruned.empty())
+            return;
+        const PrunedEdge &first = stats.pruned.front();
+        const std::vector<Access> &accesses = ctx.accesses();
+        std::vector<std::string> ivs = ctx.nest().ivNames();
+        out.push_back(ctx.finding(
+            id(), defaultSeverity(), nestLoc(ctx.nest()),
+            concat("the range pre-filter deletes ",
+                   stats.pruned.size(), " of ",
+                   stats.pruned.size() + stats.kept,
+                   " dependence edge(s) under the parameter defaults;"
+                   " e.g. ", depKindName(first.kind), " ",
+                   accesses[first.src].ref.toString(ivs), " -> ",
+                   accesses[first.dst].ref.toString(ivs), ": ",
+                   first.reason)));
+    }
+};
+
+// --- UJ022: provably single-trip loops ------------------------------
+
+class SingleTripRule : public Rule
+{
+  public:
+    const char *id() const override { return "UJ022"; }
+    const char *
+    summary() const override
+    {
+        return "loop provably runs exactly one iteration; unrolling "
+               "it is pointless";
+    }
+    const char *
+    details() const override
+    {
+        return "A loop whose trip-count interval is exactly [1, 1] "
+               "contributes nothing to reuse: every unroll amount "
+               "beyond the first copy duplicates dead work, and the "
+               "nest's effective depth is one less than it appears. "
+               "The proof needs only this loop's own bounds, so it "
+               "survives symbolic bounds elsewhere in the nest. Fold "
+               "the single iteration into the body, or leave it -- "
+               "the optimizer wastes search points but stays correct.";
+    }
+    LintSeverity defaultSeverity() const override
+    {
+        return LintSeverity::Note;
+    }
+
+    void
+    check(RuleContext &ctx, std::vector<LintDiagnostic> &out) const override
+    {
+        const NestDataflow &df = ctx.dataflow();
+        for (std::size_t k = 0; k < ctx.nest().depth(); ++k) {
+            if (!df.loops()[k].provablySingle())
+                continue;
+            const Loop &loop = ctx.nest().loop(k);
+            out.push_back(ctx.finding(
+                id(), defaultSeverity(), loop.loc,
+                concat("loop '", loop.iv,
+                       "' provably runs exactly one iteration; it "
+                       "adds nest depth without reuse, and every "
+                       "nonzero unroll amount is wasted on it")));
+        }
+    }
+};
+
 } // namespace
 
 const std::vector<std::unique_ptr<Rule>> &
@@ -808,6 +1413,14 @@ lintRules()
         list.push_back(std::make_unique<ForeignWriteRule>());
         list.push_back(std::make_unique<IvMisuseRule>());
         list.push_back(std::make_unique<RegisterPressureRule>());
+        list.push_back(std::make_unique<PostTransformReachRule>());
+        list.push_back(std::make_unique<ProvenZeroTripRule>());
+        list.push_back(std::make_unique<FlatIndexOverflowRule>());
+        list.push_back(std::make_unique<DeadFringeRule>());
+        list.push_back(std::make_unique<StrideContradictionRule>());
+        list.push_back(std::make_unique<RangeAliasRule>());
+        list.push_back(std::make_unique<RangePruneReportRule>());
+        list.push_back(std::make_unique<SingleTripRule>());
         return list;
     }();
     return rules;

@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/dataflow.hh"
 #include "ir/interp.hh"
 #include "support/diagnostics.hh"
 #include "support/rational.hh"
@@ -138,6 +139,7 @@ class Emitter
         layoutArrays();
         collectScalars();
         claimIvs();
+        boundsProven_ = proveBounds();
 
         emitFileHeader();
         emitIncludes();
@@ -153,6 +155,7 @@ class Emitter
         CodegenUnit unit;
         unit.source = os_.str();
         unit.params = params_;
+        unit.boundsProven = boundsProven_;
         for (const ArrayDecl &decl : program_.arrays())
             unit.arrayNames.push_back(decl.name);
         return unit;
@@ -247,6 +250,25 @@ class Emitter
             << " *   uint64_t ujam_array_checksum(int a);\n"
             << " *   uint64_t ujam_checksum(void);\n"
             << " */\n\n";
+        if (boundsProven_)
+            os_ << "/* ujam: bounds-proven */\n\n";
+    }
+
+    /**
+     * @return True when the dataflow engine proves every access of
+     * every nest stays within extent + halo under the emission
+     * parameters -- the static bounds certificate. Consumers (the
+     * --run halo-slack guard) may then skip their dynamic check.
+     */
+    bool
+    proveBounds() const
+    {
+        for (const LoopNest &nest : program_.nests()) {
+            NestDataflow df(program_, nest, params_, kHalo);
+            if (!df.allInHalo())
+                return false;
+        }
+        return true;
     }
 
     void
@@ -758,6 +780,7 @@ class Emitter
     std::vector<std::string> scalar_order_;
     std::map<std::string, std::string> iv_names_;
     std::ostringstream os_;
+    bool boundsProven_ = false;
 };
 
 } // namespace

@@ -70,6 +70,13 @@ struct CodegenUnit
     ParamBindings params;
     /** Declared array names, in declaration (= checksum) order. */
     std::vector<std::string> arrayNames;
+    /**
+     * True when the dataflow engine proved every access stays within
+     * extent + halo under the emission parameters. The source then
+     * carries a "ujam: bounds-proven" header comment, and
+     * ujam-codegen --run skips its dynamic halo-slack guard.
+     */
+    bool boundsProven = false;
 };
 
 /**

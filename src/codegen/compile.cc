@@ -132,6 +132,50 @@ hostCCompiler()
     return "";
 }
 
+std::string
+hostSanitizerFlags()
+{
+    // Probe once per process: compile and link a trivial program with
+    // the sanitizers enabled. The result only depends on the host
+    // toolchain, which does not change under us.
+    static const std::string cached = []() -> std::string {
+        const std::string flags =
+            "-fsanitize=undefined,address -fno-sanitize-recover=all";
+        std::string compiler = hostCCompiler();
+        if (compiler.empty())
+            return "";
+        fs::path dir = makeWorkDir("sanprobe");
+        if (dir.empty())
+            return "";
+        fs::path src = dir / "probe.c";
+        fs::path bin = dir / "probe";
+        {
+            std::ofstream out(src, std::ios::binary);
+            out << "int main(void) { return 0; }\n";
+            if (!out) {
+                std::error_code ec;
+                fs::remove_all(dir, ec);
+                return "";
+            }
+        }
+        std::string cmd = concat(compiler, " ", flags, " -o '",
+                                 bin.string(), "' '", src.string(),
+                                 "' > /dev/null 2>&1");
+        int status = 0;
+        timedSystem(cmd, status);
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+        return status == 0 ? flags : "";
+    }();
+    return cached;
+}
+
+std::string
+hostSanitizerLabel()
+{
+    return hostSanitizerFlags().empty() ? "" : "ubsan,asan";
+}
+
 VariantRun
 compileAndRun(const std::string &source, const std::string &tag,
               const std::string &flags, std::uint64_t seed)

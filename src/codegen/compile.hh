@@ -33,6 +33,17 @@ std::string hostCCompiler();
 /** The flags every differential compile uses unless overridden. */
 extern const char *const kDefaultCFlags;
 
+/**
+ * @return " -fsanitize=undefined,address ..." when the host compiler
+ * can compile AND link with UBSan+ASan (probed once per process with
+ * a trivial program, then cached), empty otherwise -- missing
+ * compiler, missing runtime libraries, unsupported flags.
+ */
+std::string hostSanitizerFlags();
+
+/** @return "ubsan,asan" when hostSanitizerFlags() is usable, "". */
+std::string hostSanitizerLabel();
+
 /** The outcome of compiling and running one generated variant. */
 struct VariantRun
 {

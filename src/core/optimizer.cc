@@ -130,6 +130,8 @@ chooseUnrollAmounts(const LoopNest &nest, const MachineModel &machine,
     // they never constrain correctness) bounds every unroll amount.
     DepOptions dep_options;
     dep_options.includeInput = false;
+    dep_options.rangePrune = config.depRangePrune;
+    dep_options.params = config.params;
     DependenceGraph graph = analyzeDependences(nest, dep_options);
     IntVector safety = safeUnrollBounds(nest, graph, config.maxUnroll);
 

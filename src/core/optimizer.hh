@@ -37,6 +37,20 @@ struct OptimizerConfig
     bool limitRegisters = true;   //!< enforce RL(u) <= R
     LocalityParams locality;      //!< Eq. 1 parameters
     /**
+     * Let the dependence range pre-filter (DepOptions::rangePrune)
+     * delete edges the symbolic dataflow engine proves infeasible
+     * under `params`. Legality is then specialized to those bindings;
+     * the pipeline's differential oracle runs under the same bindings
+     * and backstops every decision made on the pruned graph.
+     */
+    bool depRangePrune = true;
+    /**
+     * Parameter bindings for the pre-filter. The driver fills this
+     * from the program's declared defaults when left empty; with no
+     * bindings, symbolic bounds simply yield no pruning.
+     */
+    ParamBindings params;
+    /**
      * Worker threads for per-candidate fan-outs (the brute-force
      * baseline's transform+reanalyze loop): 0 = one per core, 1 =
      * serial. Candidates land in index-addressed slots reduced in

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 
+#include "analysis/dataflow.hh"
 #include "deps/subscript_tests.hh"
 #include "support/rational.hh"
 #include "support/diagnostics.hh"
@@ -12,6 +14,117 @@ namespace ujam
 
 namespace
 {
+
+/**
+ * Bounds facts for the range pre-filter, in the same (possibly
+ * normalized) iteration space the pairwise tests run in: loops folded
+ * by normalizeRef count iterations 1..trip, all others keep their
+ * source values.
+ */
+struct RangeFacts
+{
+    bool enabled = false;
+    bool nestDead = false;      //!< some loop provably runs 0 iterations
+    std::vector<Interval> iv;   //!< per-loop induction interval
+    //! Max |iv_sink - iv_src| per loop, in the units solveAccessPair
+    //! reports exact distances in; nullopt when the trip is unknown.
+    std::vector<std::optional<std::int64_t>> maxDelta;
+};
+
+RangeFacts
+buildRangeFacts(const LoopNest &nest, const DepOptions &options,
+                const std::vector<bool> &normalized)
+{
+    RangeFacts facts;
+    facts.enabled = true;
+    const std::size_t depth = nest.depth();
+    facts.iv.assign(depth, Interval::top());
+    facts.maxDelta.assign(depth, std::nullopt);
+    for (std::size_t k = 0; k < depth; ++k) {
+        const Loop &loop = nest.loop(k);
+        std::optional<std::int64_t> trip;
+        try {
+            trip = loop.tripCount(options.params);
+        } catch (const FatalError &) {
+            // Symbolic trip under incomplete bindings: no facts here.
+        }
+        if (trip && *trip <= 0)
+            facts.nestDead = true;
+        if (normalized[k]) {
+            // normalizeRef rewrote subscripts for iterations 1..trip;
+            // distances are already in iteration units.
+            if (trip) {
+                facts.iv[k] = Interval::closed(1, *trip);
+                facts.maxDelta[k] = *trip - 1;
+            }
+        } else {
+            Interval lo = boundInterval(loop.lower, options.params);
+            Interval hi = boundInterval(loop.upper, options.params);
+            Interval values;
+            values.hasLo = lo.hasLo;
+            values.lo = lo.lo;
+            values.hasHi = hi.hasHi;
+            values.hi = hi.hi;
+            if (trip && *trip <= 0)
+                values = Interval::empty();
+            facts.iv[k] = values;
+            // Exact distances here are in induction-value units; the
+            // loop covers (trip-1)*step value units end to end.
+            if (trip)
+                facts.maxDelta[k] = satMul(*trip - 1, loop.step);
+        }
+    }
+    return facts;
+}
+
+/** Interval of subscript dimension d of ref over the iv intervals. */
+Interval
+refDimRange(const ArrayRef &ref, std::size_t d,
+            const std::vector<Interval> &iv)
+{
+    Interval sub = Interval::point(ref.offset()[d]);
+    const IntVector &row = ref.row(d);
+    for (std::size_t k = 0; k < row.size() && k < iv.size(); ++k) {
+        if (row[k] != 0)
+            sub = sub.plus(iv[k].scaled(row[k]));
+    }
+    return sub;
+}
+
+/**
+ * @return The pre-filter's proof that the otherwise-kept edge between
+ * a and b (with the solver's per-loop relations) cannot be real, or
+ * empty to keep the edge.
+ */
+std::string
+rangePruneReason(const RangeFacts &facts, const ArrayRef &a,
+                 const ArrayRef &b,
+                 const std::vector<LoopRelation> &relations)
+{
+    if (facts.nestDead)
+        return "the nest provably runs zero iterations";
+    for (std::size_t d = 0; d < a.dims() && d < b.dims(); ++d) {
+        Interval ra = refDimRange(a, d, facts.iv);
+        Interval rb = refDimRange(b, d, facts.iv);
+        if (Interval::disjoint(ra, rb)) {
+            return concat("subscript ", d + 1, " ranges ",
+                          ra.toString(), " and ", rb.toString(),
+                          " are disjoint");
+        }
+    }
+    for (std::size_t k = 0; k < relations.size(); ++k) {
+        const LoopRelation &rel = relations[k];
+        if (rel.kind != LoopRelation::Kind::Exact || !facts.maxDelta[k])
+            continue;
+        std::int64_t span = *facts.maxDelta[k];
+        std::int64_t dist = rel.exact < 0 ? -rel.exact : rel.exact;
+        if (dist > span) {
+            return concat("distance ", rel.exact, " at loop ", k + 1,
+                          " exceeds the loop's reach of ", span);
+        }
+    }
+    return "";
+}
 
 /**
  * Rewrite an access for a normalized iteration space: loop k with
@@ -73,14 +186,20 @@ analyzeDependences(const LoopNest &nest, const DepOptions &options)
     // the subscripts so distances come out in iteration (not value)
     // units. Symbolic-origin stepped loops stay as-is (conservative:
     // treated like unit stride, which only over-approximates).
+    std::vector<bool> normalized(depth, false);
     for (std::size_t k = 0; k < depth; ++k) {
         const Loop &loop = nest.loop(k);
         if (loop.step == 1 || !loop.lower.isConstant())
             continue;
+        normalized[k] = true;
         std::int64_t lb = loop.lower.evaluate({});
         for (Access &access : accesses)
             access.ref = normalizeRef(access.ref, k, lb, loop.step);
     }
+
+    RangeFacts range;
+    if (options.rangePrune)
+        range = buildRangeFacts(nest, options, normalized);
 
     for (std::size_t i = 0; i < accesses.size(); ++i) {
         for (std::size_t j = i; j < accesses.size(); ++j) {
@@ -108,6 +227,24 @@ analyzeDependences(const LoopNest &nest, const DepOptions &options)
                 } else {
                     unknown[k] = true;
                     all_exact = false;
+                }
+            }
+
+            // Range pre-filter: drop the pair when bounds prove the
+            // solver's relations infeasible. A zero-distance self
+            // pair never becomes an edge, so it is never "pruned".
+            if (range.enabled &&
+                !(all_exact && i == j &&
+                  dist.lexCompare(IntVector(depth)) == 0)) {
+                std::string reason =
+                    rangePruneReason(range, a.ref, b.ref, *relations);
+                if (!reason.empty()) {
+                    if (options.pruned) {
+                        options.pruned->push_back(
+                            {i, j, classify(a.isWrite, b.isWrite),
+                             std::move(reason)});
+                    }
+                    continue;
                 }
             }
 

@@ -6,11 +6,26 @@
 #ifndef UJAM_DEPS_ANALYZER_HH
 #define UJAM_DEPS_ANALYZER_HH
 
+#include <string>
+#include <vector>
+
 #include "deps/graph.hh"
 #include "ir/loop_nest.hh"
 
 namespace ujam
 {
+
+/**
+ * One dependence edge the range pre-filter deleted, with the proof.
+ * src/dst are access ordinals like Dependence's.
+ */
+struct PrunedEdge
+{
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    DepKind kind = DepKind::Input;
+    std::string reason; //!< human-readable disjointness/trip proof
+};
 
 /** Options controlling dependence-graph construction. */
 struct DepOptions
@@ -20,6 +35,25 @@ struct DepOptions
      * analysis requires them; the UGS model of this paper does not.
      */
     bool includeInput = true;
+
+    /**
+     * Range-disjointness pre-filter: delete edges whose subscript
+     * intervals (from the symbolic dataflow engine, evaluated under
+     * `params`) can never intersect, and edges whose exact iteration
+     * distance exceeds what the loop's trip count admits. The GKT
+     * subscript tests ignore loop bounds entirely, so this removes
+     * edges they must conservatively keep. Legality becomes
+     * specialized to `params`; the pipeline's differential oracle
+     * (which runs under the same bindings) backstops every transform
+     * decided on a pruned graph.
+     */
+    bool rangePrune = false;
+
+    /** Parameter bindings the pre-filter evaluates bounds under. */
+    ParamBindings params;
+
+    /** When non-null, receives one entry per deleted edge. */
+    std::vector<PrunedEdge> *pruned = nullptr;
 };
 
 /**

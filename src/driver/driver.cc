@@ -314,6 +314,13 @@ optimizeProgram(const Program &program, const MachineModel &machine,
     LocalityParams locality = config.optimizer.locality;
     locality.cacheLineElems = machine.lineElems();
 
+    // The dependence range pre-filter evaluates bounds under the
+    // program's own parameter defaults (the bindings the differential
+    // oracle interprets under as well).
+    OptimizerConfig opt_config = config.optimizer;
+    if (opt_config.params.empty())
+        opt_config.params = staged.paramDefaults();
+
     // Every nest is optimized independently into its own slot; the
     // slots are merged in input order below, so the parallel result
     // is bit-identical to the serial one for any thread count.
@@ -408,7 +415,7 @@ optimizeProgram(const Program &program, const MachineModel &machine,
                       // pieces of one nest rarely diverge and the full
                       // detail is in the transformed program itself.
                       outcome.decision = chooseUnrollAmounts(
-                          piece, machine, config.optimizer);
+                          piece, machine, opt_config);
                       std::vector<LoopNest> expanded = unrollAndJamNest(
                           piece, outcome.decision.unroll);
                       for (LoopNest &bit : expanded)

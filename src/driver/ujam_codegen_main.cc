@@ -31,10 +31,12 @@
  * a variant (including: no host compiler).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <chrono>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "codegen/c_emitter.hh"
@@ -222,7 +224,9 @@ main(int argc, char **argv)
         if (json) {
             std::printf("%s\n",
                         codegenResultJson(result, original, transformed,
-                                          codegen.seed)
+                                          codegen.seed,
+                                          run ? hostSanitizerLabel()
+                                              : std::string())
                             .c_str());
         } else {
             std::string orig_path =
@@ -243,11 +247,23 @@ main(int argc, char **argv)
         if (!run)
             return 0;
 
+        // Harden the differential compile with UBSan+ASan when the
+        // host toolchain supports them; explicit --cflags win.
+        std::string run_flags = cflags;
+        if (run_flags.empty()) {
+            std::string sanitize = hostSanitizerFlags();
+            if (!sanitize.empty()) {
+                run_flags = concat(kDefaultCFlags, " ", sanitize);
+                std::printf("sanitizers: %s\n",
+                            hostSanitizerLabel().c_str());
+            }
+        }
+
         VariantRun orig_run =
-            compileAndRun(original.source, "original", cflags,
+            compileAndRun(original.source, "original", run_flags,
                           codegen.seed);
         VariantRun trans_run =
-            compileAndRun(transformed.source, "transformed", cflags,
+            compileAndRun(transformed.source, "transformed", run_flags,
                           codegen.seed);
         for (const auto *variant_run : {&orig_run, &trans_run}) {
             if (!variant_run->ok) {
@@ -257,18 +273,87 @@ main(int argc, char **argv)
             }
         }
 
-        // Each binary against its own interpreter oracle.
+        // Each binary against its own interpreter oracle. The oracle
+        // runs double as the dynamic halo-slack guard: tracking is on
+        // only for variants without a static bounds certificate.
         Interpreter orig_interp(program, codegen.paramOverrides);
+        orig_interp.trackSubscriptRanges(!original.boundsProven);
         orig_interp.seedArrays(codegen.seed);
         orig_interp.run();
         std::uint64_t orig_oracle =
             interpreterChecksum(orig_interp, program);
         Interpreter trans_interp(result.program,
                                  codegen.paramOverrides);
+        trans_interp.trackSubscriptRanges(!transformed.boundsProven);
         trans_interp.seedArrays(codegen.seed);
         trans_interp.run();
         std::uint64_t trans_oracle =
             interpreterChecksum(trans_interp, result.program);
+
+        // The halo-slack guard: every observed subscript must stay
+        // within extent + halo. The interpreter faults past that
+        // bound too, so a firing means the interpreter's and the
+        // emitter's halo arithmetic have diverged -- defense in
+        // depth, not the primary check. The useful product on the
+        // unproven path is the slack report: how close this seed's
+        // run came to the halo edge. Proven variants skip both; the
+        // certificate covers every reachable subscript, not just this
+        // seed's.
+        int slack_failures = 0;
+        auto check_slack = [&](const char *label,
+                               const Interpreter &interp,
+                               const Program &prog) {
+            std::int64_t tightest =
+                std::numeric_limits<std::int64_t>::max();
+            std::string tightest_where;
+            for (const auto &[name, dims] :
+                 interp.observedSubscriptRanges()) {
+                if (!prog.hasArray(name))
+                    continue;
+                const ArrayDecl &decl = prog.array(name);
+                for (std::size_t d = 0;
+                     d < dims.size() && d < decl.extents.size(); ++d) {
+                    std::int64_t extent =
+                        decl.extents[d].evaluate(interp.params());
+                    std::int64_t halo = Interpreter::haloElems;
+                    std::int64_t lo_slack = dims[d].min - (1 - halo);
+                    std::int64_t hi_slack =
+                        extent + halo - dims[d].max;
+                    std::int64_t slack = std::min(lo_slack, hi_slack);
+                    if (slack < tightest) {
+                        tightest = slack;
+                        tightest_where = concat(name, " dim ", d + 1);
+                    }
+                    if (lo_slack >= 0 && hi_slack >= 0)
+                        continue;
+                    std::fprintf(
+                        stderr,
+                        "ujam-codegen: halo-slack: %s array '%s' "
+                        "dimension %zu observed [%lld, %lld] outside "
+                        "extent %lld + halo %lld\n",
+                        label, name.c_str(), d + 1,
+                        static_cast<long long>(dims[d].min),
+                        static_cast<long long>(dims[d].max),
+                        static_cast<long long>(extent),
+                        static_cast<long long>(halo));
+                    ++slack_failures;
+                }
+            }
+            if (!tightest_where.empty()) {
+                std::printf("halo-slack: %s unproven; tightest "
+                            "observed slack %lld elem(s) (%s)\n",
+                            label, static_cast<long long>(tightest),
+                            tightest_where.c_str());
+            }
+        };
+        if (!original.boundsProven)
+            check_slack("original", orig_interp, program);
+        if (!transformed.boundsProven)
+            check_slack("transformed", trans_interp, result.program);
+        if (original.boundsProven && transformed.boundsProven) {
+            std::printf("bounds certificate: proven statically; "
+                        "halo-slack guard skipped\n");
+        }
 
         std::vector<CodegenVariantTiming> timings = {
             {"original", seconds(t0, t1), orig_run.compileSeconds,
@@ -295,6 +380,7 @@ main(int argc, char **argv)
               trans_oracle);
         check("transformed binary vs original binary",
               trans_run.checksum, orig_run.checksum);
+        failures += slack_failures;
         if (failures == 0)
             std::printf("verified: compiled variants and interpreter "
                         "agree bit-exactly (checksum %s)\n",

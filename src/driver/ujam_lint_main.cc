@@ -5,13 +5,20 @@
  *     ujam-lint [--format=text|json|sarif]
  *               [--machine alpha|parisc|wide] [--max-unroll N]
  *               [--min-severity=note|warn|error] [--suite]
- *               [FILE...]
+ *               [--baseline FILE] [--baseline-write FILE]
+ *               [--explain RULE] [FILE...]
  *
  * Each FILE is parsed and analyzed; --suite additionally analyzes
  * every built-in evaluation-suite workload. Text output quotes the
  * offending source lines; json emits one document per input (an array
  * when there are several); sarif emits one 2.1.0 log with one run per
- * input.
+ * input, true end columns and machine-applicable fixes.
+ *
+ * --baseline FILE suppresses every finding recorded in FILE (see
+ * findings_baseline.hh), so only new findings surface -- the CI
+ * "no new findings" gate. --baseline-write FILE records the current
+ * findings instead of reporting them. --explain RULE prints the
+ * catalog entry for one rule (e.g. UJ015) and exits.
  *
  * Exit status: 0 clean (or warnings/notes only), 1 when any error
  * finding was reported, 2 on usage, I/O or parse errors.
@@ -22,8 +29,10 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/findings_baseline.hh"
 #include "analysis/linter.hh"
 #include "analysis/render.hh"
+#include "analysis/rule.hh"
 #include "parser/parser.hh"
 #include "support/diagnostics.hh"
 #include "workloads/suite.hh"
@@ -45,7 +54,24 @@ usage()
         stderr,
         "usage: ujam-lint [--format=text|json|sarif] "
         "[--machine alpha|parisc|wide] [--max-unroll N] "
-        "[--min-severity=note|warn|error] [--suite] [FILE...]\n");
+        "[--min-severity=note|warn|error] [--suite] "
+        "[--baseline FILE] [--baseline-write FILE] "
+        "[--explain RULE] [FILE...]\n");
+}
+
+/** Print one rule's catalog entry; return false when unknown. */
+bool
+explainRule(const std::string &rule_id)
+{
+    for (const auto &rule : ujam::lintRules()) {
+        if (rule_id != rule->id())
+            continue;
+        std::printf("%s (%s)\n  %s\n\n%s\n", rule->id(),
+                    ujam::lintSeverityName(rule->defaultSeverity()),
+                    rule->summary(), rule->details());
+        return true;
+    }
+    return false;
 }
 
 } // namespace
@@ -59,6 +85,8 @@ main(int argc, char **argv)
     Format format = Format::Text;
     LintOptions options;
     bool lint_suite = false;
+    const char *baseline_path = nullptr;
+    const char *baseline_write_path = nullptr;
     std::vector<const char *> paths;
 
     for (int i = 1; i < argc; ++i) {
@@ -104,6 +132,20 @@ main(int argc, char **argv)
             }
         } else if (std::strcmp(arg, "--suite") == 0) {
             lint_suite = true;
+        } else if (std::strcmp(arg, "--baseline") == 0 &&
+                   i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (std::strcmp(arg, "--baseline-write") == 0 &&
+                   i + 1 < argc) {
+            baseline_write_path = argv[++i];
+        } else if (std::strcmp(arg, "--explain") == 0 && i + 1 < argc) {
+            const char *rule_id = argv[++i];
+            if (!explainRule(rule_id)) {
+                std::fprintf(stderr,
+                             "ujam-lint: unknown rule '%s'\n", rule_id);
+                return 2;
+            }
+            return 0;
         } else if (arg[0] == '-') {
             usage();
             return 2;
@@ -146,6 +188,36 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (baseline_path) {
+        std::ifstream in(baseline_path);
+        if (!in) {
+            std::fprintf(stderr,
+                         "ujam-lint: cannot open baseline '%s'\n",
+                         baseline_path);
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        FindingsBaseline baseline = parseBaseline(text.str());
+        for (auto &[source, result] : runs)
+            applyBaseline(result, baseline);
+    }
+
+    if (baseline_write_path) {
+        std::vector<LintResult> results;
+        for (const auto &[source, result] : runs)
+            results.push_back(result);
+        std::ofstream out(baseline_write_path);
+        if (!out) {
+            std::fprintf(stderr,
+                         "ujam-lint: cannot write baseline '%s'\n",
+                         baseline_write_path);
+            return 2;
+        }
+        out << renderBaseline(results);
+        return 0;
+    }
+
     bool any_errors = false;
     for (const auto &[source, result] : runs)
         any_errors |= result.errorCount() > 0;
@@ -168,10 +240,11 @@ main(int argc, char **argv)
         }
         break;
       case Format::Sarif: {
-        std::vector<LintResult> results;
+        std::vector<std::pair<LintResult, std::string>> sarif_runs;
         for (auto &[source, result] : runs)
-            results.push_back(std::move(result));
-        std::printf("%s", renderSarifRuns(results).c_str());
+            sarif_runs.emplace_back(std::move(result),
+                                    std::move(source));
+        std::printf("%s", renderSarifRuns(sarif_runs).c_str());
         break;
       }
     }

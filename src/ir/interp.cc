@@ -1,6 +1,8 @@
 #include "ir/interp.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "support/diagnostics.hh"
 
@@ -79,6 +81,12 @@ Interpreter::setAccessCallback(AccessCallback callback)
     callback_ = std::move(callback);
 }
 
+void
+Interpreter::trackSubscriptRanges(bool enabled)
+{
+    trackRanges_ = enabled;
+}
+
 const Interpreter::ArrayStorage &
 Interpreter::storage(const std::string &name) const
 {
@@ -117,6 +125,21 @@ Interpreter::flatIndex(const ArrayStorage &array, const ArrayRef &ref) const
             fatal("subscript ", sub, " of dimension ", d + 1,
                   " of array '", array.name, "' is outside extent ",
                   array.extents[d], " plus halo");
+        }
+        if (trackRanges_) {
+            auto [it, fresh] = observed_.try_emplace(array.name);
+            if (fresh) {
+                // Inverted sentinels; every dimension is visited by
+                // this very loop, so they never leak out.
+                it->second.assign(
+                    array.extents.size(),
+                    SubscriptRange{
+                        std::numeric_limits<std::int64_t>::max(),
+                        std::numeric_limits<std::int64_t>::min()});
+            }
+            SubscriptRange &range = it->second[d];
+            range.min = std::min(range.min, sub);
+            range.max = std::max(range.max, sub);
         }
         index += shifted * array.strides[d];
     }

@@ -102,6 +102,30 @@ class Interpreter
     /** Pre/postheader statements executed (once per outer iteration). */
     std::uint64_t headerStmtCount() const { return header_stmts_; }
 
+    /** Observed min/max of one subscript dimension of one array. */
+    struct SubscriptRange
+    {
+        std::int64_t min = 0;
+        std::int64_t max = 0;
+    };
+
+    /**
+     * Record, for every executed access, the min/max subscript per
+     * array dimension (1-based, pre-halo values). Off by default --
+     * the bookkeeping costs one map probe per access.
+     */
+    void trackSubscriptRanges(bool enabled);
+
+    /**
+     * @return Observed ranges per array, one entry per dimension, for
+     * arrays that were actually accessed while tracking was enabled.
+     */
+    const std::map<std::string, std::vector<SubscriptRange>> &
+    observedSubscriptRanges() const
+    {
+        return observed_;
+    }
+
     /**
      * Compare array contents with another interpreter over the same
      * program shape.
@@ -149,6 +173,10 @@ class Interpreter
     std::uint64_t prefetches_ = 0;
     std::uint64_t iterations_ = 0;
     std::uint64_t header_stmts_ = 0;
+    bool trackRanges_ = false;
+    // Mutable: flatIndex is const and shared by read and write paths;
+    // observation does not change program semantics.
+    mutable std::map<std::string, std::vector<SubscriptRange>> observed_;
 };
 
 } // namespace ujam

@@ -287,7 +287,8 @@ lintResultJson(const LintResult &lint)
 std::string
 codegenResultJson(const PipelineResult &result,
                   const CodegenUnit &original,
-                  const CodegenUnit &transformed, std::uint64_t seed)
+                  const CodegenUnit &transformed, std::uint64_t seed,
+                  const std::string &sanitizer)
 {
     JsonWriter json;
     json.beginObject();
@@ -300,6 +301,10 @@ codegenResultJson(const PipelineResult &result,
     json.endObject();
 
     json.field("seed", std::uint64_t(seed));
+    if (!sanitizer.empty())
+        json.field("sanitizer", sanitizer);
+    json.field("bounds_proven_original", original.boundsProven);
+    json.field("bounds_proven_transformed", transformed.boundsProven);
     json.key("params").beginObject();
     for (const auto &[name, value] : transformed.params)
         json.field(name, std::int64_t(value));

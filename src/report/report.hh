@@ -95,10 +95,17 @@ std::string lintResultJson(const LintResult &lint);
  * @param seed        The default seed both units were emitted with.
  * @return One-line JSON object text.
  */
+/**
+ * The service's codegen payload. `sanitizer` names the sanitizers a
+ * --run verification would compile with ("ubsan,asan"); the field is
+ * emitted only when non-empty, so payloads from hosts without
+ * sanitizer support are unchanged.
+ */
 std::string codegenResultJson(const PipelineResult &result,
                               const CodegenUnit &original,
                               const CodegenUnit &transformed,
-                              std::uint64_t seed);
+                              std::uint64_t seed,
+                              const std::string &sanitizer = "");
 
 /** One compiled variant's measurements for codegenTimingReport. */
 struct CodegenVariantTiming

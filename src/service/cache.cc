@@ -10,6 +10,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/dataflow.hh"
 #include "ir/fingerprint.hh"
 #include "support/sha256.hh"
 
@@ -107,6 +108,13 @@ renderConfig(std::ostringstream &os, const PipelineConfig &config)
        << "lint.haloElems = " << config.lintOptions.haloElems << "\n"
        << "lint.minSeverity = "
        << lintSeverityName(config.lintOptions.minSeverity) << "\n";
+
+    // The dataflow engine's version: lint findings and the pruned
+    // dependence graph are functions of the abstract domains, so a
+    // sharper analysis release must miss on every stale entry rather
+    // than serve findings the current engine would not produce.
+    os << "analysis.version = " << kAnalysisVersion << "\n"
+       << "optimizer.depRangePrune = " << opt.depRangePrune << "\n";
 }
 
 } // namespace
@@ -118,10 +126,11 @@ canonicalRequestText(const std::string &op, const Program &program,
                      const CodegenOptions &codegen)
 {
     std::ostringstream os;
-    // v2: the codegen emission fields joined the text. The header is
-    // part of the hashed bytes, so a version bump invalidates every
-    // persisted v1 entry wholesale.
-    os << "ujam-serve-cache-v2\n";
+    // v3: the symbolic-analysis fields (analysis.version,
+    // optimizer.depRangePrune) joined the text. The header is part of
+    // the hashed bytes, so a version bump invalidates every persisted
+    // v1/v2 entry wholesale.
+    os << "ujam-serve-cache-v3\n";
     os << "op = " << op << "\n";
     renderMachine(os, machine);
     renderConfig(os, config);

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/findings_baseline.hh"
 #include "analysis/linter.hh"
 #include "analysis/render.hh"
 #include "driver/driver.hh"
@@ -76,11 +77,15 @@ TEST(LintCatalog, RuleIdsAreStable)
     std::vector<std::string> expected = {
         "UJ001", "UJ002", "UJ003", "UJ004", "UJ005", "UJ006", "UJ007",
         "UJ008", "UJ009", "UJ010", "UJ011", "UJ012", "UJ013", "UJ014",
+        "UJ015", "UJ016", "UJ017", "UJ018", "UJ019", "UJ020", "UJ021",
+        "UJ022",
     };
     ASSERT_GE(lintRules().size(), expected.size());
     for (std::size_t i = 0; i < expected.size(); ++i) {
         EXPECT_EQ(lintRules()[i]->id(), expected[i]);
         EXPECT_STRNE(lintRules()[i]->summary(), "");
+        // --explain renders details(); every rule must have a story.
+        EXPECT_STRNE(lintRules()[i]->details(), "");
     }
 }
 
@@ -338,6 +343,259 @@ TEST(LintRules, RegisterPressureNote)
     EXPECT_NE(findings[0].message.find("settles"), std::string::npos);
 }
 
+// --- dataflow-powered rules (UJ015..UJ022) --------------------------
+
+TEST(LintRules, PostTransformReachWarn)
+{
+    // Untransformed, a(i + 5, j) tops out at 13 <= 8 + halo 8; at the
+    // dependence-legal maximum unroll of i the reach grows to 21.
+    // Smaller candidates survive, so this is a warning, not an error.
+    LintResult result = lintSource("param n = 8\n"
+                                   "real a(n, n)\n"
+                                   "real b(n, n)\n"
+                                   "do i = 1, n\n"
+                                   "  do j = 1, n\n"
+                                   "    b(i, j) = a(i + 5, j)\n"
+                                   "  end do\n"
+                                   "end do\n");
+    auto findings = findingsFor(result, "UJ015");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Warn);
+    EXPECT_NE(findings[0].message.find("outside extent"),
+              std::string::npos);
+    EXPECT_EQ(result.errorCount(), 0u);
+}
+
+TEST(LintRules, PostTransformReachError)
+{
+    // a(i + 8, j) sits exactly at extent + halo untransformed (no
+    // UJ009), but already one unrolled copy of i escapes: no
+    // transformed version of this nest can pass the reach validator.
+    LintResult result = lintSource("param n = 8\n"
+                                   "real a(n, n)\n"
+                                   "real b(n, n)\n"
+                                   "do i = 1, n\n"
+                                   "  do j = 1, n\n"
+                                   "    b(i, j) = a(i + 8, j)\n"
+                                   "  end do\n"
+                                   "end do\n");
+    EXPECT_TRUE(findingsFor(result, "UJ009").empty());
+    auto findings = findingsFor(result, "UJ015");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Error);
+    EXPECT_NE(findings[0].message.find("single unrolled copy"),
+              std::string::npos);
+}
+
+TEST(LintRules, ProvenZeroTripSurvivesSymbolicSibling)
+{
+    // UJ006 needs the whole nest evaluable; the symbolic upper bound
+    // on i blinds it. The interval domain still proves j dead from
+    // its own constant bounds, and attaches a machine-applicable fix.
+    Program program;
+    program.declareArray(
+        {"a", {Bound::constant(8), Bound::constant(8)}});
+    LoopNest nest = NestBuilder()
+                        .name("deadj")
+                        .loop("i", 1, 8)
+                        .loop("j", 8, 1)
+                        .assign("a", {idx("i"), idx("j")}, lit(0.0))
+                        .build();
+    nest.loop(0).upper = Bound::param("m");
+    program.addNest(nest);
+
+    LintResult result = lintProgram(program, alpha(), {});
+    EXPECT_TRUE(findingsFor(result, "UJ006").empty());
+    auto findings = findingsFor(result, "UJ016");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Warn);
+    EXPECT_NE(findings[0].message.find("zero iterations"),
+              std::string::npos);
+    ASSERT_TRUE(findings[0].fix.has_value());
+    EXPECT_EQ(findings[0].fix->original, "8, 1");
+    EXPECT_EQ(findings[0].fix->replacement, "1, 8");
+}
+
+TEST(LintRules, FlatIndexOverflowWarning)
+{
+    // Every subscript stays below 2^31 (so UJ007 is silent), but the
+    // column-major fold (j - 1 + halo) * padded-leading-extent tops
+    // 2^31 for the trailing dimension.
+    LintResult result = lintSource("param n = 50000\n"
+                                   "real a(n, n)\n"
+                                   "do i = 1, n\n"
+                                   "  do j = 1, n\n"
+                                   "    a(i, j) = a(i, j) + 1.0\n"
+                                   "  end do\n"
+                                   "end do\n");
+    EXPECT_TRUE(findingsFor(result, "UJ007").empty());
+    auto findings = findingsFor(result, "UJ017");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Warn);
+    EXPECT_NE(findings[0].message.find("32-bit"), std::string::npos);
+}
+
+TEST(LintRules, DeadFringeNote)
+{
+    // A fringe loop starting past its own aligned upper bound: with
+    // n = 8 the alignment term is exact (align(1, 8, 4) = 8), so the
+    // fringe range [9, 8] is proven empty.
+    LintResult result = lintSource("param n = 8\n"
+                                   "real a(n, n)\n"
+                                   "do i = 1 + align(1, n, 4), n\n"
+                                   "  do j = 1, n\n"
+                                   "    a(i, j) = a(i, j) + 1.0\n"
+                                   "  end do\n"
+                                   "end do\n");
+    auto findings = findingsFor(result, "UJ018");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Note);
+    EXPECT_NE(findings[0].message.find("dead code"), std::string::npos);
+}
+
+TEST(LintRules, StrideContradictionNote)
+{
+    // Column-major arrays traversed j-innermost along the second
+    // subscript: each innermost iteration moves a full padded column
+    // (24 elements >= the 4-element line). All three references
+    // qualify; the finding is advice (the locality model prices the
+    // misses correctly), so the program stays warning-free.
+    LintResult result =
+        lintSource("param n = 8\n"
+                   "real a(n, n)\n"
+                   "real b(n, n)\n"
+                   "do i = 1, n\n"
+                   "  do j = 1, n\n"
+                   "    b(i, j) = a(i, j) + a(i, j - 1)\n"
+                   "  end do\n"
+                   "end do\n");
+    auto findings = findingsFor(result, "UJ019");
+    ASSERT_EQ(findings.size(), 3u);
+    for (const LintDiagnostic &diag : findings) {
+        EXPECT_EQ(diag.severity, LintSeverity::Note);
+        EXPECT_NE(diag.message.find("residue class"), std::string::npos);
+    }
+    EXPECT_EQ(result.warnCount(), 0u);
+
+    // i-innermost traversal is stride-1: no finding.
+    LintResult transposed =
+        lintSource("param n = 8\n"
+                   "real a(n, n)\n"
+                   "real b(n, n)\n"
+                   "do j = 1, n\n"
+                   "  do i = 1, n\n"
+                   "    b(i, j) = a(i, j) + 1.0\n"
+                   "  end do\n"
+                   "end do\n");
+    EXPECT_TRUE(findingsFor(transposed, "UJ019").empty());
+}
+
+TEST(LintRules, RangeAliasWarning)
+{
+    // The UJ012 kernel: a written through two subscript matrices.
+    // The interval domain sharpens the modeling note into a proof --
+    // both sets touch [1, 8] x [1, 8], so they genuinely alias.
+    LintResult result = lintSource("param n = 8\n"
+                                   "real a(n, n)\n"
+                                   "do i = 1, n\n"
+                                   "  do j = 1, n\n"
+                                   "    a(i, j) = a(j, i) + 1.0\n"
+                                   "  end do\n"
+                                   "end do\n");
+    auto findings = findingsFor(result, "UJ020");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Warn);
+    EXPECT_NE(findings[0].message.find("provably overlap"),
+              std::string::npos);
+}
+
+TEST(LintRules, RangePruneReportNote)
+{
+    // The whole nest is provably dead, so the pre-filter deletes the
+    // b(k,j) -> b(k-1,j) dependence; UJ021 reports the deletion.
+    LintResult result = lintSource("param n = 8\n"
+                                   "real b(n, n)\n"
+                                   "do k = 8, 1\n"
+                                   "  do j = 1, n\n"
+                                   "    b(k, j) = b(k - 1, j) + 1.0\n"
+                                   "  end do\n"
+                                   "end do\n");
+    auto findings = findingsFor(result, "UJ021");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Note);
+    EXPECT_NE(findings[0].message.find("pre-filter"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("provably runs zero iterations"),
+              std::string::npos);
+}
+
+TEST(LintRules, SingleTripNote)
+{
+    LintResult result = lintSource("param n = 8\n"
+                                   "real a(n, n)\n"
+                                   "do i = 5, 5\n"
+                                   "  do j = 1, n\n"
+                                   "    a(i, j) = a(i, j) + 1.0\n"
+                                   "  end do\n"
+                                   "end do\n");
+    auto findings = findingsFor(result, "UJ022");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].severity, LintSeverity::Note);
+    EXPECT_NE(findings[0].message.find("exactly one iteration"),
+              std::string::npos);
+}
+
+// --- findings baselines ---------------------------------------------
+
+TEST(LintBaseline, RoundTripSuppressesEverythingItRecorded)
+{
+    std::string source = readFile(kGoldenDir + "/golden.uj");
+    LintResult result = lintSource(source, "golden.uj");
+    ASSERT_GE(result.diagnostics.size(), 4u);
+
+    std::string text = renderBaseline({result});
+    EXPECT_EQ(text.find("#"), 0u); // header comment first
+    FindingsBaseline baseline = parseBaseline(text);
+    EXPECT_FALSE(baseline.fingerprints.empty());
+
+    LintResult filtered = lintSource(source, "golden.uj");
+    std::size_t removed = applyBaseline(filtered, baseline);
+    EXPECT_EQ(removed, result.diagnostics.size());
+    EXPECT_TRUE(filtered.diagnostics.empty());
+}
+
+TEST(LintBaseline, FingerprintIgnoresLocationButNotMessage)
+{
+    LintDiagnostic diag;
+    diag.ruleId = "UJ009";
+    diag.nestName = "reach";
+    diag.message = "subscript escapes";
+    diag.loc = SourceLoc{10, 3};
+    std::string a = findingFingerprint("f.uj", diag);
+    EXPECT_EQ(a.size(), 16u);
+
+    // Moving the finding does not invalidate a baseline entry...
+    diag.loc = SourceLoc{99, 1};
+    EXPECT_EQ(findingFingerprint("f.uj", diag), a);
+    // ...but a different message (or source) is a different finding.
+    diag.message = "subscript escapes further";
+    EXPECT_NE(findingFingerprint("f.uj", diag), a);
+    diag.message = "subscript escapes";
+    EXPECT_NE(findingFingerprint("g.uj", diag), a);
+}
+
+TEST(LintBaseline, ParserSkipsCommentsBlanksAndExtraColumns)
+{
+    FindingsBaseline baseline = parseBaseline(
+        "# ujam-lint baseline v1\n"
+        "\n"
+        "0123456789abcdef UJ001 a.uj nest1\n"
+        "fedcba9876543210\n"
+        "   \n");
+    EXPECT_EQ(baseline.fingerprints.size(), 2u);
+    EXPECT_TRUE(baseline.fingerprints.count("0123456789abcdef"));
+    EXPECT_TRUE(baseline.fingerprints.count("fedcba9876543210"));
+}
+
 // --- linter behavior ------------------------------------------------
 
 TEST(Linter, SeverityOrderingAndFiltering)
@@ -438,6 +696,86 @@ TEST(LintRender, SarifMatchesGolden)
         EXPECT_NE(sarif.find(std::string("\"id\": \"") + rule->id() +
                              "\""),
                   std::string::npos);
+}
+
+TEST(LintRender, SarifColumnsAreCodePointsAndSpanTheToken)
+{
+    // The finding sits on "alpha" at byte column 5; the region must
+    // cover exactly that identifier in code-point columns.
+    LintResult result;
+    result.sourceName = "cols.uj";
+    LintDiagnostic diag;
+    diag.ruleId = "UJ001";
+    diag.severity = LintSeverity::Error;
+    diag.loc = SourceLoc{1, 5};
+    diag.message = "m";
+    result.diagnostics.push_back(diag);
+
+    std::string sarif = renderSarif(result, "do  alpha = 1\n");
+    EXPECT_NE(sarif.find("\"startColumn\": 5"), std::string::npos);
+    EXPECT_NE(sarif.find("\"endColumn\": 10"), std::string::npos);
+
+    // Without source text the lexer's byte column is all we have:
+    // keep startColumn, omit endColumn rather than fabricate one.
+    std::string blind = renderSarif(result);
+    EXPECT_NE(blind.find("\"startColumn\": 5"), std::string::npos);
+    EXPECT_EQ(blind.find("\"endColumn\""), std::string::npos);
+}
+
+TEST(LintRender, SarifEndColumnIsUtf8Aware)
+{
+    // "-- \xC3\xA9\xC3\xA8\xC3\xAA x = 1": byte column 11 is the
+    // identifier "x", but only 7 code points precede it. Both column
+    // fields must count code points (SARIF's unit), matching the
+    // caret renderer.
+    LintResult result;
+    result.sourceName = "utf8.uj";
+    LintDiagnostic diag;
+    diag.ruleId = "UJ002";
+    diag.severity = LintSeverity::Note;
+    diag.loc = SourceLoc{1, 11};
+    diag.message = "m";
+    result.diagnostics.push_back(diag);
+
+    std::string sarif =
+        renderSarif(result, "-- \xC3\xA9\xC3\xA8\xC3\xAA x = 1\n");
+    EXPECT_NE(sarif.find("\"startColumn\": 8"), std::string::npos);
+    EXPECT_NE(sarif.find("\"endColumn\": 9"), std::string::npos);
+}
+
+TEST(LintRender, SarifEmitsFixReplacements)
+{
+    // A finding carrying a LintFix renders as a SARIF fix: the
+    // deleted region covers the original text on the finding's line,
+    // and insertedContent carries the replacement.
+    LintResult result;
+    result.sourceName = "fix.uj";
+    LintDiagnostic diag;
+    diag.ruleId = "UJ016";
+    diag.severity = LintSeverity::Warn;
+    diag.loc = SourceLoc{1, 4};
+    diag.message = "loop 'i' provably runs zero iterations";
+    diag.fix = LintFix{"swap the inverted constant bounds", "8, 1",
+                       "1, 8"};
+    result.diagnostics.push_back(diag);
+
+    std::string source = "do i = 8, 1\nend do\n";
+    std::string sarif = renderSarif(result, source);
+    EXPECT_NE(sarif.find("\"fixes\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"artifactChanges\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"deletedRegion\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"insertedContent\""), std::string::npos);
+    EXPECT_NE(sarif.find("1, 8"), std::string::npos);
+    // "8, 1" starts at code-point column 8 and is 4 columns wide.
+    EXPECT_NE(sarif.find("\"startColumn\": 8"), std::string::npos);
+    EXPECT_NE(sarif.find("\"endColumn\": 12"), std::string::npos);
+
+    // When the original text is not on the line (stale fix), the fix
+    // is dropped rather than mis-anchored; the result stays valid.
+    std::string stale = renderSarif(result, "do i = 1, n\nend do\n");
+    EXPECT_EQ(stale.find("\"fixes\""), std::string::npos);
+    // And with no source at all there is nothing to anchor to.
+    EXPECT_EQ(renderSarif(result).find("\"fixes\""), std::string::npos);
 }
 
 TEST(LintRender, JsonEscapesAndCounts)

@@ -427,7 +427,7 @@ TEST(ServiceCodegen, EmissionOptionsAreSemanticInTheKey)
     // what invalidates persisted entries across format changes.
     std::string text = canonicalRequestText("codegen", program,
                                             machine, config, base);
-    EXPECT_EQ(text.rfind("ujam-serve-cache-v2\n", 0), 0u);
+    EXPECT_EQ(text.rfind("ujam-serve-cache-v3\n", 0), 0u);
     EXPECT_NE(text.find("codegen.seed = "), std::string::npos);
 }
 

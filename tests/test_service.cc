@@ -138,6 +138,9 @@ TEST(ServiceCache, KeyChangesWithEverySemanticInput)
         c.optimizer.maxUnroll += 1;
     });
     vary([](PipelineConfig &c, MachineModel &, std::string &) {
+        c.optimizer.depRangePrune = false;
+    });
+    vary([](PipelineConfig &c, MachineModel &, std::string &) {
         c.prefetch = true;
     });
     vary([](PipelineConfig &c, MachineModel &, std::string &) {
@@ -157,6 +160,14 @@ TEST(ServiceCache, KeyChangesWithEverySemanticInput)
     // All distinct pairwise, not merely distinct from the base.
     std::sort(keys.begin(), keys.end());
     EXPECT_EQ(std::unique(keys.begin(), keys.end()), keys.end());
+
+    // The analysis engine's version is part of the hashed text, so a
+    // dataflow release invalidates cached findings automatically.
+    std::string text = canonicalRequestText("lint", program, alpha,
+                                            config, {});
+    EXPECT_NE(text.find("analysis.version = "), std::string::npos);
+    EXPECT_NE(text.find("optimizer.depRangePrune = "),
+              std::string::npos);
 }
 
 TEST(ServiceCache, ThreadCountExcluded)
@@ -300,6 +311,27 @@ TEST(ServiceBatch, HitIsByteIdenticalToMiss)
     EXPECT_EQ(first, second);
     EXPECT_EQ(server.metrics().cacheMisses.get(), 1u);
     EXPECT_EQ(server.metrics().cacheMemoryHits.get(), 1u);
+}
+
+TEST(ServiceBatch, LintHitIsByteIdenticalToMiss)
+{
+    // The lint op rides the same content-addressed cache as
+    // optimize/codegen: the second identical request must be a memory
+    // hit whose response frame is byte-identical to the computed one.
+    UjamServer server({});
+    std::string line = requestLine("lint", "lint-same", kSource,
+                                   R"({"lint": "warn"})");
+    std::string first = batch(server, line + "\n");
+    std::string second = batch(server, line + "\n");
+
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(server.metrics().cacheMisses.get(), 1u);
+    EXPECT_EQ(server.metrics().cacheMemoryHits.get(), 1u);
+    EXPECT_EQ(server.metrics().cacheStores.get(), 1u);
+    // A different op over the same program must not collide.
+    std::string other = batch(
+        server, requestLine("optimize", "lint-same", kSource) + "\n");
+    EXPECT_EQ(server.metrics().cacheMisses.get(), 2u);
 }
 
 TEST(ServiceBatch, OutputInvariantAcrossThreadWidths)
