@@ -13,7 +13,6 @@
  * mirroring the self-skipping CodegenRoundtrip test.
  */
 
-#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -24,22 +23,10 @@
 #include "driver/driver.hh"
 #include "ir/interp.hh"
 #include "support/json.hh"
+#include "support/timing.hh"
 #include "workloads/suite.hh"
 
-namespace
-{
-
 using namespace ujam;
-using Clock = std::chrono::steady_clock;
-
-double
-secondsSince(Clock::time_point start)
-{
-    return std::chrono::duration<double>(Clock::now() - start)
-        .count();
-}
-
-} // namespace
 
 int
 main()
@@ -70,14 +57,14 @@ main()
         PipelineResult result =
             optimizeProgram(original, machine, config);
 
-        Clock::time_point emit_start = Clock::now();
+        double emit_start = monotonicSeconds();
         CodegenOptions options;
         options.seed = kSeed;
         CodegenUnit original_unit = emitCProgram(original, options);
         options.variantLabel = "transformed";
         CodegenUnit transformed_unit =
             emitCProgram(result.program, options);
-        double emit_s = secondsSince(emit_start);
+        double emit_s = monotonicSeconds() - emit_start;
 
         Interpreter interp(original);
         interp.seedArrays(kSeed);

@@ -20,8 +20,6 @@
  * Every section reports the median of repeated runs.
  */
 
-#include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <vector>
@@ -31,6 +29,7 @@
 #include "driver/driver.hh"
 #include "support/json.hh"
 #include "support/thread_pool.hh"
+#include "support/timing.hh"
 #include "workloads/corpus.hh"
 #include "workloads/suite.hh"
 
@@ -42,17 +41,7 @@ using namespace ujam;
 double
 medianSeconds(int reps, const std::function<void()> &work)
 {
-    std::vector<double> times;
-    times.reserve(reps);
-    for (int rep = 0; rep < reps; ++rep) {
-        auto start = std::chrono::steady_clock::now();
-        work();
-        auto stop = std::chrono::steady_clock::now();
-        times.push_back(
-            std::chrono::duration<double>(stop - start).count());
-    }
-    std::sort(times.begin(), times.end());
-    return times[times.size() / 2];
+    return measureSeconds(work, reps).medianSeconds;
 }
 
 Program

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Model-pick vs. measured-best over the evaluation suite, written to
+ * BENCH_TUNE.json.
+ *
+ * Every suite loop is autotuned (neighborhood radius 1 around the
+ * Eq.-1 pick) and the report records, per nest, the model's vector,
+ * the measured-best vector, their runtime ratio and whether the model
+ * pick was optimal within the noise margin -- the repo's standing
+ * answer to "how far is the paper's balance model from reality on
+ * this host?".
+ *
+ * With a host C compiler present the candidates are compiled and
+ * timed (MeasureMode::Wall, median of 3 with one warmup). Without
+ * one the bench falls back to the deterministic simulator backend
+ * (MeasureMode::Model) so the artifact always exists and its schema
+ * can be smoke-tested; the "measure" field records which backend
+ * produced the numbers.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_json.hh"
+#include "codegen/compile.hh"
+#include "support/json.hh"
+#include "tune/autotuner.hh"
+#include "workloads/suite.hh"
+
+using namespace ujam;
+
+int
+main()
+{
+    MachineModel machine = MachineModel::decAlpha21064();
+
+    TuneConfig config;
+    config.measure = hostCCompiler().empty() ? MeasureMode::Model
+                                             : MeasureMode::Wall;
+    config.budgetMs = 4000; // per nest; keeps the full suite bounded
+    config.neighborhood = 1;
+    config.repeats = 3;
+    config.warmup = 1;
+
+    if (config.measure == MeasureMode::Model)
+        std::printf("bench_tune: no host C compiler on PATH; "
+                    "falling back to the simulator backend\n");
+
+    std::size_t nests_tuned = 0;
+    std::size_t model_beaten = 0;  //!< a faster vector was measured
+    std::size_t model_optimal = 0; //!< pick optimal within margin
+    double ratio_sum = 0;
+
+    JsonWriter json(2);
+    json.beginObject();
+    json.field("machine", machine.name);
+    json.field("measure", measureModeName(config.measure));
+    if (config.measure == MeasureMode::Wall) {
+        json.field("compiler", hostCompilerVersion());
+        json.field("cflags", config.cflags.empty()
+                                 ? kMeasureCFlags
+                                 : config.cflags.c_str());
+    }
+    json.field("budget_ms", std::int64_t(config.budgetMs));
+    json.field("neighborhood", std::int64_t(config.neighborhood));
+    json.field("repeats", std::int64_t(config.repeats));
+    json.field("seed", std::uint64_t(config.seed));
+    json.key("loops").beginArray();
+
+    for (const SuiteLoop &loop : testSuite()) {
+        Program program = loadSuiteProgram(loop);
+        TuneResult tuned = tuneProgram(program, machine, config);
+        for (const NestTune &nest : tuned.nests) {
+            ++nests_tuned;
+            ratio_sum += nest.modelOverBest;
+            if (nest.modelOptimal)
+                ++model_optimal;
+            else
+                ++model_beaten;
+
+            json.beginObject();
+            json.field("loop", loop.name);
+            json.field("nest", nest.name);
+            json.key("model_pick").beginArray();
+            for (std::int64_t amount : nest.modelPick)
+                json.value(std::int64_t(amount));
+            json.endArray();
+            json.key("measured_best").beginArray();
+            for (std::int64_t amount : nest.measuredBest)
+                json.value(std::int64_t(amount));
+            json.endArray();
+            json.key("model_over_best")
+                .valueFixed(nest.modelOverBest, 4);
+            json.field("model_optimal", nest.modelOptimal);
+            json.field("candidates_enumerated",
+                       std::uint64_t(nest.enumerated));
+            json.field("candidates_measured",
+                       std::uint64_t(nest.measuredCount));
+            json.field("budget_exhausted", nest.budgetExhausted);
+            json.endObject();
+        }
+    }
+
+    json.endArray();
+    json.key("summary").beginObject();
+    json.field("nests_tuned", std::uint64_t(nests_tuned));
+    json.field("model_optimal", std::uint64_t(model_optimal));
+    json.field("model_beaten", std::uint64_t(model_beaten));
+    json.key("mean_model_over_best")
+        .valueFixed(nests_tuned > 0
+                        ? ratio_sum / static_cast<double>(nests_tuned)
+                        : 0.0,
+                    4);
+    json.endObject();
+    json.endObject();
+
+    std::printf("%s\n", json.str().c_str());
+    writeBenchJson("BENCH_TUNE.json", json.str());
+
+    std::printf("bench_tune: %zu nests; model optimal on %zu, "
+                "beaten on %zu\n",
+                nests_tuned, model_optimal, model_beaten);
+    return nests_tuned > 0 ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "codegen/compile.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -11,6 +12,7 @@
 
 #include "support/diagnostics.hh"
 #include "support/string_utils.hh"
+#include "support/timing.hh"
 
 namespace ujam
 {
@@ -18,6 +20,7 @@ namespace ujam
 namespace fs = std::filesystem;
 
 const char *const kDefaultCFlags = "-O0 -ffp-contract=off";
+const char *const kMeasureCFlags = "-O2 -ffp-contract=off";
 
 namespace
 {
@@ -133,6 +136,34 @@ hostCCompiler()
 }
 
 std::string
+hostCompilerVersion()
+{
+    static const std::string cached = []() -> std::string {
+        std::string compiler = hostCCompiler();
+        if (compiler.empty())
+            return "";
+        fs::path dir = makeWorkDir("ccversion");
+        if (dir.empty())
+            return "";
+        fs::path log = dir / "version.txt";
+        std::string cmd = concat(compiler, " --version > '",
+                                 log.string(), "' 2>&1");
+        int status = 0;
+        timedSystem(cmd, status);
+        std::string text = readFile(log);
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+        if (status != 0)
+            return "";
+        std::size_t newline = text.find('\n');
+        if (newline != std::string::npos)
+            text.resize(newline);
+        return trim(text);
+    }();
+    return cached;
+}
+
+std::string
 hostSanitizerFlags()
 {
     // Probe once per process: compile and link a trivial program with
@@ -178,7 +209,8 @@ hostSanitizerLabel()
 
 VariantRun
 compileAndRun(const std::string &source, const std::string &tag,
-              const std::string &flags, std::uint64_t seed)
+              const std::string &flags, std::uint64_t seed,
+              int repeats, int warmup)
 {
     VariantRun result;
     std::string compiler = hostCCompiler();
@@ -223,15 +255,31 @@ compileAndRun(const std::string &source, const std::string &tag,
 
     std::string run_cmd = concat("'", bin.string(), "' ", seed, " > '",
                                  log.string(), "' 2>&1");
-    result.runSeconds = timedSystem(run_cmd, status);
+    repeats = std::max(repeats, 1);
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(repeats));
+    for (int run = -warmup; run < repeats; ++run) {
+        double sample = timedSystem(run_cmd, status);
+        if (status != 0) {
+            result.output = readFile(log);
+            result.error =
+                concat("generated binary exited with status ", status,
+                       ": ", trim(result.output));
+            std::error_code run_ec;
+            fs::remove_all(dir, run_ec);
+            return result;
+        }
+        if (run >= 0)
+            samples.push_back(sample);
+    }
+    TimingStats stats = summarizeSamples(std::move(samples));
+    result.runSeconds = stats.medianSeconds;
+    result.runSecondsMin = stats.minSeconds;
+    result.runSamples = std::move(stats.samples);
+    result.timingNote = std::move(stats.outlierNote);
     result.output = readFile(log);
     std::error_code ec;
     fs::remove_all(dir, ec);
-    if (status != 0) {
-        result.error = concat("generated binary exited with status ",
-                              status, ": ", trim(result.output));
-        return result;
-    }
 
     std::optional<std::uint64_t> checksum =
         parseChecksumOutput(result.output);

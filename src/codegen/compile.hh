@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace ujam
 {
@@ -30,8 +31,24 @@ namespace ujam
  */
 std::string hostCCompiler();
 
+/**
+ * @return The host compiler's identity: the first line of its
+ * `--version` output (e.g. "cc (GCC) 13.2.0"), probed once per
+ * process; empty when there is no compiler or it prints nothing.
+ * Measured numbers in BENCH/feature logs carry this so they stay
+ * attributable to a toolchain.
+ */
+std::string hostCompilerVersion();
+
 /** The flags every differential compile uses unless overridden. */
 extern const char *const kDefaultCFlags;
+
+/**
+ * The flags measured (timing) runs use unless overridden: optimized,
+ * but with FP contraction off so checksums still match the
+ * interpreter's strict double arithmetic.
+ */
+extern const char *const kMeasureCFlags;
 
 /**
  * @return " -fsanitize=undefined,address ..." when the host compiler
@@ -49,9 +66,16 @@ struct VariantRun
 {
     bool ok = false;          //!< compiled, ran, and printed a checksum
     std::string error;        //!< diagnostic when !ok
-    std::string output;       //!< the binary's stdout/stderr
+    std::string output;       //!< the binary's stdout/stderr (last run)
     double compileSeconds = 0; //!< compiler wall time
-    double runSeconds = 0;     //!< binary wall time
+    /** Median binary wall time over the timed repeats (with one
+     * repeat, simply that run's time). */
+    double runSeconds = 0;
+    double runSecondsMin = 0;    //!< fastest timed repeat
+    std::vector<double> runSamples; //!< every timed repeat, in order
+    /** Non-empty when the repeat series looks perturbed (see
+     * support/timing.hh). */
+    std::string timingNote;
     std::uint64_t checksum = 0; //!< parsed "ujam: checksum" value
 };
 
@@ -59,13 +83,19 @@ struct VariantRun
  * Compile a generated translation unit and run the binary.
  *
  * Writes the source into a fresh temporary directory, invokes the
- * host compiler, runs the produced binary, parses the combined
- * checksum from its output, and removes the directory again.
+ * host compiler, runs the produced binary warmup + repeats times
+ * (each run re-executes the whole binary, so every sample sees the
+ * identical init + run + checksum work), parses the combined checksum
+ * from the last run's output, and removes the directory again. This
+ * is the one measurement path the autotuner, ujam-codegen --run and
+ * bench_tune share.
  *
- * @param source The C translation unit (with main()).
- * @param tag    Base name for the temporary files ("original", ...).
- * @param flags  Compiler flags; kDefaultCFlags when empty.
- * @param seed   Passed as argv[1]; the run seed.
+ * @param source  The C translation unit (with main()).
+ * @param tag     Base name for the temporary files ("original", ...).
+ * @param flags   Compiler flags; kDefaultCFlags when empty.
+ * @param seed    Passed as argv[1]; the run seed.
+ * @param repeats Timed executions (clamped to >= 1).
+ * @param warmup  Discarded executions before the timed ones.
  * @return The outcome; ok == false with a diagnostic when no
  *         compiler exists, compilation fails, the binary exits
  *         nonzero, or no checksum line is printed.
@@ -73,7 +103,8 @@ struct VariantRun
 VariantRun compileAndRun(const std::string &source,
                          const std::string &tag,
                          const std::string &flags = "",
-                         std::uint64_t seed = 9717);
+                         std::uint64_t seed = 9717, int repeats = 1,
+                         int warmup = 0);
 
 /**
  * @return The "ujam: checksum <hex>" value in output, if present.

@@ -1,5 +1,6 @@
 #include "core/optimizer.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/diagnostics.hh"
@@ -28,6 +29,52 @@ bodyInputs(const NestTables &tables, const LoopNest &nest,
             ? tables.mainMemoryAccesses(u, config.locality)
             : 0.0;
     return in;
+}
+
+/**
+ * The forced-vector path (OptimizerConfig::forceUnroll): project the
+ * requested vector onto the unrollable dims, clamp to the space's
+ * safety-derived limits, and evaluate the model at exactly that
+ * point.
+ */
+UnrollDecision
+forceUnrollVector(const LoopNest &nest, const MachineModel &machine,
+                  const OptimizerConfig &config,
+                  const NestTables &tables, const IntVector &requested)
+{
+    const std::size_t depth = nest.depth();
+    const UnrollSpace &space = tables.space;
+    UnrollDecision decision;
+    decision.unroll = IntVector(depth);
+    decision.machineBalance = machine.machineBalance();
+    decision.safetyBounds = IntVector(depth);
+    decision.consideredLoops = space.dims();
+
+    OptimizerConfig local_config = config;
+    local_config.locality.cacheLineElems = machine.lineElems();
+
+    IntVector u(depth);
+    for (std::size_t i = 0; i < space.dims().size(); ++i) {
+        std::size_t k = space.dims()[i];
+        std::int64_t want =
+            k < requested.size() ? requested[k] : 0;
+        u[k] = std::clamp<std::int64_t>(want, 0, space.limits()[i]);
+    }
+
+    BalanceInputs zero_in =
+        bodyInputs(tables, nest, IntVector(depth), local_config);
+    decision.originalBalance = loopBalance(zero_in, machine).balance;
+
+    BalanceInputs in = bodyInputs(tables, nest, u, local_config);
+    BalanceResult result = loopBalance(in, machine);
+    decision.unroll = u;
+    decision.predictedBalance = result.balance;
+    decision.registers = tables.registersTotal.at(u);
+    decision.memOps = in.memOps;
+    decision.flops = in.flops;
+    decision.misses = in.mainMemoryAccesses;
+    decision.searchedPoints = 1;
+    return decision;
 }
 
 } // namespace
@@ -154,7 +201,12 @@ chooseUnrollAmounts(const LoopNest &nest, const MachineModel &machine,
     Subspace localized = Subspace::coordinate(depth, {depth - 1});
     NestTables tables = buildNestTables(nest, space, localized);
 
-    decision = searchUnrollSpace(nest, machine, config, tables);
+    if (config.forceUnroll) {
+        decision = forceUnrollVector(nest, machine, config, tables,
+                                     *config.forceUnroll);
+    } else {
+        decision = searchUnrollSpace(nest, machine, config, tables);
+    }
     decision.safetyBounds = safety;
     return decision;
 }

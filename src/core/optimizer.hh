@@ -58,6 +58,18 @@ struct OptimizerConfig
      * The table-driven search itself is cheap and stays serial.
      */
     std::size_t threads = 0;
+    /**
+     * Skip the Eq.-1 search and apply this unroll vector instead,
+     * projected onto the nest's unrollable loops and clamped to the
+     * dependence safety bounds (so a forced vector can never produce
+     * an illegal transformation). The measured autotuner drives the
+     * pipeline through this knob, one candidate vector at a time; the
+     * decision still reports the model's predicted balance/register
+     * numbers *at the forced vector* so model-vs-measured deltas fall
+     * out for free. Vectors shorter than the nest depth apply to the
+     * outermost loops; missing entries are 0.
+     */
+    std::optional<IntVector> forceUnroll;
 };
 
 /** The chosen transformation and its predicted effect. */

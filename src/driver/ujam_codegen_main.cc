@@ -8,7 +8,7 @@
  *                  [--seed N] [--param name=value]... [--no-main]
  *                  [--fuse] [--distribute] [--interchange]
  *                  [--prefetch] [--json]
- *                  [--run] [--cflags "FLAGS"]
+ *                  [--run] [--repeat K] [--cflags "FLAGS"]
  *                  (FILE | --suite NAME)
  *
  * The input program runs through the optimization pipeline; both the
@@ -25,6 +25,12 @@
  * arithmetic across iterations (--interchange) can legitimately
  * break the third comparison; the default pipeline keeps it
  * bit-exact.
+ *
+ * --repeat K runs each compiled binary K times (after one discarded
+ * warmup) and reports the min and median wall time per variant, so a
+ * single noisy sample never decides a comparison. --json adds the
+ * host compiler's identity (`cc --version` first line) when --run is
+ * requested, keeping measured numbers attributable to a toolchain.
  *
  * Exit status: 0 success; 1 a --run verification failed;
  * 2 usage, I/O or parse errors; 3 --run could not compile or execute
@@ -61,7 +67,7 @@ usage()
         "usage: ujam-codegen [--machine alpha|parisc|wide] [--out DIR] "
         "[--seed N] [--param name=value]... [--no-main] [--fuse] "
         "[--distribute] [--interchange] [--prefetch] [--json] [--run] "
-        "[--cflags FLAGS] (FILE | --suite NAME)\n");
+        "[--repeat K] [--cflags FLAGS] (FILE | --suite NAME)\n");
 }
 
 bool
@@ -101,6 +107,7 @@ main(int argc, char **argv)
     std::string cflags;
     bool json = false;
     bool run = false;
+    int repeat = 1;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -144,6 +151,12 @@ main(int argc, char **argv)
             json = true;
         } else if (std::strcmp(arg, "--run") == 0) {
             run = true;
+        } else if (std::strcmp(arg, "--repeat") == 0 && i + 1 < argc) {
+            repeat = std::atoi(argv[++i]);
+            if (repeat < 1 || repeat > 1000) {
+                usage();
+                return 2;
+            }
         } else if (std::strcmp(arg, "--cflags") == 0 && i + 1 < argc) {
             cflags = argv[++i];
         } else if (std::strcmp(arg, "--suite") == 0 && i + 1 < argc) {
@@ -226,6 +239,8 @@ main(int argc, char **argv)
                         codegenResultJson(result, original, transformed,
                                           codegen.seed,
                                           run ? hostSanitizerLabel()
+                                              : std::string(),
+                                          run ? hostCompilerVersion()
                                               : std::string())
                             .c_str());
         } else {
@@ -259,12 +274,13 @@ main(int argc, char **argv)
             }
         }
 
+        int warmup = repeat > 1 ? 1 : 0;
         VariantRun orig_run =
             compileAndRun(original.source, "original", run_flags,
-                          codegen.seed);
+                          codegen.seed, repeat, warmup);
         VariantRun trans_run =
             compileAndRun(transformed.source, "transformed", run_flags,
-                          codegen.seed);
+                          codegen.seed, repeat, warmup);
         for (const auto *variant_run : {&orig_run, &trans_run}) {
             if (!variant_run->ok) {
                 std::fprintf(stderr, "ujam-codegen: %s\n",
@@ -362,6 +378,20 @@ main(int argc, char **argv)
              trans_run.runSeconds, trans_run.checksum},
         };
         std::printf("%s", codegenTimingReport(timings).c_str());
+        if (repeat > 1) {
+            for (const auto *variant_run : {&orig_run, &trans_run}) {
+                const char *label =
+                    variant_run == &orig_run ? "original"
+                                             : "transformed";
+                std::printf("%s: median %.3f ms / min %.3f ms over "
+                            "%d repeats%s%s\n",
+                            label, variant_run->runSeconds * 1e3,
+                            variant_run->runSecondsMin * 1e3, repeat,
+                            variant_run->timingNote.empty() ? ""
+                                                            : "; ",
+                            variant_run->timingNote.c_str());
+            }
+        }
 
         int failures = 0;
         auto check = [&](const char *what, std::uint64_t got,

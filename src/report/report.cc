@@ -288,7 +288,8 @@ std::string
 codegenResultJson(const PipelineResult &result,
                   const CodegenUnit &original,
                   const CodegenUnit &transformed, std::uint64_t seed,
-                  const std::string &sanitizer)
+                  const std::string &sanitizer,
+                  const std::string &compiler)
 {
     JsonWriter json;
     json.beginObject();
@@ -303,6 +304,8 @@ codegenResultJson(const PipelineResult &result,
     json.field("seed", std::uint64_t(seed));
     if (!sanitizer.empty())
         json.field("sanitizer", sanitizer);
+    if (!compiler.empty())
+        json.field("compiler", compiler);
     json.field("bounds_proven_original", original.boundsProven);
     json.field("bounds_proven_transformed", transformed.boundsProven);
     json.key("params").beginObject();

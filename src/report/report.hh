@@ -97,15 +97,18 @@ std::string lintResultJson(const LintResult &lint);
  */
 /**
  * The service's codegen payload. `sanitizer` names the sanitizers a
- * --run verification would compile with ("ubsan,asan"); the field is
- * emitted only when non-empty, so payloads from hosts without
- * sanitizer support are unchanged.
+ * --run verification would compile with ("ubsan,asan") and `compiler`
+ * the host toolchain identity (`cc --version` first line) a --run
+ * would use; each field is emitted only when non-empty, so cached
+ * service payloads -- which pass neither -- stay deterministic and
+ * payloads from hosts without sanitizer support are unchanged.
  */
 std::string codegenResultJson(const PipelineResult &result,
                               const CodegenUnit &original,
                               const CodegenUnit &transformed,
                               std::uint64_t seed,
-                              const std::string &sanitizer = "");
+                              const std::string &sanitizer = "",
+                              const std::string &compiler = "");
 
 /** One compiled variant's measurements for codegenTimingReport. */
 struct CodegenVariantTiming

@@ -115,6 +115,15 @@ renderConfig(std::ostringstream &os, const PipelineConfig &config)
     // than serve findings the current engine would not produce.
     os << "analysis.version = " << kAnalysisVersion << "\n"
        << "optimizer.depRangePrune = " << opt.depRangePrune << "\n";
+
+    // v4: a forced unroll vector replaces the Eq.-1 search entirely,
+    // so it is as semantic as any other optimizer knob.
+    os << "optimizer.forceUnroll =";
+    if (opt.forceUnroll) {
+        for (std::int64_t amount : *opt.forceUnroll)
+            os << " " << amount;
+    }
+    os << "\n";
 }
 
 } // namespace
@@ -123,14 +132,16 @@ std::string
 canonicalRequestText(const std::string &op, const Program &program,
                      const MachineModel &machine,
                      const PipelineConfig &config,
-                     const CodegenOptions &codegen)
+                     const CodegenOptions &codegen,
+                     const TuneConfig &tune)
 {
     std::ostringstream os;
-    // v3: the symbolic-analysis fields (analysis.version,
-    // optimizer.depRangePrune) joined the text. The header is part of
-    // the hashed bytes, so a version bump invalidates every persisted
-    // v1/v2 entry wholesale.
-    os << "ujam-serve-cache-v3\n";
+    // v4: the autotuner's search/budget fields and the optimizer's
+    // forced unroll vector joined the text (v3 added the
+    // symbolic-analysis fields). The header is part of the hashed
+    // bytes, so a version bump invalidates every persisted v1-v3
+    // entry wholesale.
+    os << "ujam-serve-cache-v4\n";
     os << "op = " << op << "\n";
     renderMachine(os, machine);
     renderConfig(os, config);
@@ -141,6 +152,18 @@ canonicalRequestText(const std::string &op, const Program &program,
     for (const auto &[name, value] : codegen.paramOverrides)
         os << " " << name << ":" << value;
     os << "\n";
+    // The tuner's search and budget knobs change what a tune response
+    // contains (candidate set, measurement depth), so they are part
+    // of the key; its pipeline member is the PipelineConfig already
+    // rendered above and stays out.
+    os << "tune.measure = " << measureModeName(tune.measure) << "\n"
+       << "tune.budgetMs = " << tune.budgetMs << "\n"
+       << "tune.neighborhood = " << tune.neighborhood << "\n"
+       << "tune.repeats = " << tune.repeats << "\n"
+       << "tune.warmup = " << tune.warmup << "\n"
+       << "tune.seed = " << tune.seed << "\n"
+       << "tune.cflags = " << tune.cflags << "\n"
+       << "tune.noiseMargin = " << num(tune.noiseMargin) << "\n";
     os << "program:\n" << canonicalProgram(program);
     return os.str();
 }
@@ -149,10 +172,10 @@ std::string
 computeCacheKey(const std::string &op, const Program &program,
                 const MachineModel &machine,
                 const PipelineConfig &config,
-                const CodegenOptions &codegen)
+                const CodegenOptions &codegen, const TuneConfig &tune)
 {
-    return sha256Hex(
-        canonicalRequestText(op, program, machine, config, codegen));
+    return sha256Hex(canonicalRequestText(op, program, machine, config,
+                                          codegen, tune));
 }
 
 // --- ResultCache -----------------------------------------------------------

@@ -51,6 +51,7 @@
 #include "driver/driver.hh"
 #include "service/metrics.hh"
 #include "support/fault_injection.hh"
+#include "tune/autotuner.hh"
 
 namespace ujam
 {
@@ -58,24 +59,27 @@ namespace ujam
 /**
  * @return The canonical text hashed into a cache key: a format
  * version header, an "op" tag, every semantic MachineModel,
- * PipelineConfig and CodegenOptions field by name, and the canonical
- * program rendering. Exposed separately from the hash so tests can
- * assert *why* two keys differ. The version header is bumped
- * whenever a field joins the text (v2: the codegen emission fields),
- * so persisted entries from an older schema can never be returned
- * for a newer request shape.
+ * PipelineConfig, CodegenOptions and TuneConfig field by name, and
+ * the canonical program rendering. Exposed separately from the hash
+ * so tests can assert *why* two keys differ. The version header is
+ * bumped whenever a field joins the text (v2: the codegen emission
+ * fields; v4: the autotuner's search/budget fields and the
+ * optimizer's forced unroll vector), so persisted entries from an
+ * older schema can never be returned for a newer request shape.
  */
 std::string canonicalRequestText(const std::string &op,
                                  const Program &program,
                                  const MachineModel &machine,
                                  const PipelineConfig &config,
-                                 const CodegenOptions &codegen = {});
+                                 const CodegenOptions &codegen = {},
+                                 const TuneConfig &tune = {});
 
 /** @return The SHA-256 hex cache key for a request. */
 std::string computeCacheKey(const std::string &op, const Program &program,
                             const MachineModel &machine,
                             const PipelineConfig &config,
-                            const CodegenOptions &codegen = {});
+                            const CodegenOptions &codegen = {},
+                            const TuneConfig &tune = {});
 
 /** Where a cache probe was answered from. */
 enum class CacheTier

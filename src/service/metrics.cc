@@ -81,6 +81,7 @@ metricsJson(const ServiceMetrics &metrics, const CacheStats &cache,
     json.field("optimize", metrics.opOptimize.get());
     json.field("lint", metrics.opLint.get());
     json.field("codegen", metrics.opCodegen.get());
+    json.field("tune", metrics.opTune.get());
     json.field("metrics", metrics.opMetrics.get());
     json.field("ping", metrics.opPing.get());
     json.field("shutdown", metrics.opShutdown.get());
@@ -122,6 +123,13 @@ metricsJson(const ServiceMetrics &metrics, const CacheStats &cache,
     json.field("nests_optimized", metrics.nestsOptimized.get());
     json.field("lint_rejections", metrics.lintRejections.get());
     json.field("contained_faults", metrics.containedFaults.get());
+    json.endObject();
+
+    json.key("tune").beginObject();
+    json.field("tune_requests", metrics.tuneRequests.get());
+    json.field("tune_candidates_measured",
+               metrics.tuneCandidatesMeasured.get());
+    json.field("tune_cache_hits", metrics.tuneCacheHits.get());
     json.endObject();
 
     json.key("connections").beginObject();

@@ -142,9 +142,15 @@ struct ServiceMetrics
     Counter opOptimize;
     Counter opLint;
     Counter opCodegen;
+    Counter opTune;
     Counter opMetrics;
     Counter opPing;
     Counter opShutdown;
+
+    // --- autotuning ---
+    Counter tuneRequests;           //!< tune ops accepted for work
+    Counter tuneCandidatesMeasured; //!< candidates actually measured
+    Counter tuneCacheHits;          //!< tune ops answered from cache
 
     // --- result cache ---
     Counter cacheMemoryHits;

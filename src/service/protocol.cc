@@ -17,6 +17,8 @@ serviceOpName(ServiceOp op)
         return "lint";
       case ServiceOp::Codegen:
         return "codegen";
+      case ServiceOp::Tune:
+        return "tune";
       case ServiceOp::Metrics:
         return "metrics";
       case ServiceOp::Ping:
@@ -180,9 +182,36 @@ applyOption(const std::string &name, const JsonValue &value,
             config.threads = static_cast<std::size_t>(integer);
     } else if (name == "seed") {
         if (readInt(value, name, 0, std::int64_t(1) << 62, integer,
-                    errors))
+                    errors)) {
             request.codegen.seed =
                 static_cast<std::uint64_t>(integer);
+            request.tune.seed = static_cast<std::uint64_t>(integer);
+        }
+    } else if (name == "tune_measure") {
+        if (!value.isString()) {
+            errors.fail("option 'tune_measure' must be \"model\" or "
+                        "\"wall\"");
+        } else if (value.stringValue == "model") {
+            request.tune.measure = MeasureMode::Model;
+        } else if (value.stringValue == "wall") {
+            request.tune.measure = MeasureMode::Wall;
+        } else {
+            errors.fail("option 'tune_measure' must be \"model\" or "
+                        "\"wall\"");
+        }
+    } else if (name == "tune_budget_ms") {
+        if (readInt(value, name, 0, std::int64_t(1) << 40, integer,
+                    errors))
+            request.tune.budgetMs = integer;
+    } else if (name == "tune_neighborhood") {
+        if (readInt(value, name, 0, 8, integer, errors))
+            request.tune.neighborhood = integer;
+    } else if (name == "tune_repeats") {
+        if (readInt(value, name, 1, 64, integer, errors))
+            request.tune.repeats = static_cast<int>(integer);
+    } else if (name == "tune_warmup") {
+        if (readInt(value, name, 0, 64, integer, errors))
+            request.tune.warmup = static_cast<int>(integer);
     } else if (name == "emit_main") {
         if (readBool(value, name, flag, errors))
             request.codegen.emitMain = flag;
@@ -233,6 +262,8 @@ parseRequest(const std::string &line)
     // fan-out serially by default and let the server parallelize
     // across requests instead.
     request.config.threads = 1;
+    // Service default: deterministic, compiler-free measurement.
+    request.tune.measure = MeasureMode::Model;
 
     const JsonValue *op = root.find("op");
     if (!op || !op->isString()) {
@@ -245,6 +276,8 @@ parseRequest(const std::string &line)
         request.op = ServiceOp::Lint;
     } else if (op->stringValue == "codegen") {
         request.op = ServiceOp::Codegen;
+    } else if (op->stringValue == "tune") {
+        request.op = ServiceOp::Tune;
     } else if (op->stringValue == "metrics") {
         request.op = ServiceOp::Metrics;
     } else if (op->stringValue == "ping") {
@@ -314,7 +347,8 @@ parseRequest(const std::string &line)
 
     bool needs_source = request.op == ServiceOp::Optimize ||
                         request.op == ServiceOp::Lint ||
-                        request.op == ServiceOp::Codegen;
+                        request.op == ServiceOp::Codegen ||
+                        request.op == ServiceOp::Tune;
     if (needs_source && request.source.empty()) {
         return {std::nullopt, "missing field 'source'",
                 RequestErrorKind::BadField};

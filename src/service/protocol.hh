@@ -9,8 +9,8 @@
  *
  * Request:
  *
- *   {"op": "optimize" | "lint" | "codegen" | "metrics" | "ping" |
- *          "shutdown",
+ *   {"op": "optimize" | "lint" | "codegen" | "tune" | "metrics" |
+ *          "ping" | "shutdown",
  *    "id": "any string, echoed back",          (optional)
  *    "source": "<DSL text>",              (optimize/lint/codegen)
  *    "machine": "alpha|parisc|wide|wide-prefetch",  (default alpha)
@@ -25,9 +25,15 @@
  * threads. The "codegen" op additionally honours seed (the default
  * run seed baked into the generated main()), emit_main (emit a
  * main(); default true) and params (an object of parameter-name to
- * integer overrides bound at emission). Unknown option names are an
- * error (they would otherwise silently change the cache key
- * semantics a client expects).
+ * integer overrides bound at emission). The "tune" op honours seed
+ * plus tune_measure ("model", the default -- deterministic simulator
+ * cycles -- or "wall", host compile-and-run), tune_budget_ms,
+ * tune_neighborhood, tune_repeats and tune_warmup; tune responses in
+ * "model" mode are pure functions of the request and cache like any
+ * other, while a "wall" run that self-skips (no host compiler) is
+ * answered but never cached. Unknown option names are an error (they
+ * would otherwise silently change the cache key semantics a client
+ * expects).
  *
  * Response:
  *
@@ -54,6 +60,7 @@
 
 #include "codegen/c_emitter.hh"
 #include "driver/driver.hh"
+#include "tune/autotuner.hh"
 
 namespace ujam
 {
@@ -64,6 +71,7 @@ enum class ServiceOp
     Optimize,
     Lint,
     Codegen,
+    Tune,
     Metrics,
     Ping,
     Shutdown
@@ -82,6 +90,11 @@ struct ServiceRequest
     MachineModel machine;         //!< resolved preset
     PipelineConfig config;        //!< resolved pipeline knobs
     CodegenOptions codegen;       //!< emission knobs ("codegen" op)
+    /** Autotuner knobs ("tune" op). The wire default is measure =
+     * "model" -- deterministic and compiler-free -- so a service
+     * answers tune requests reproducibly out of the box; its
+     * pipeline member is overwritten with the resolved config. */
+    TuneConfig tune;
     /** Deadline budget in ms from receipt; unset = no deadline. */
     std::optional<std::int64_t> deadlineMs;
     bool noCache = false;         //!< skip the result cache

@@ -240,7 +240,7 @@ UjamServer::runOptimize(const ServiceRequest &request,
     if (!request.noCache || config_.degraded) {
         Clock::time_point probe_start = Clock::now();
         key = computeCacheKey(op_name, program, request.machine,
-                              config, request.codegen);
+                              config, request.codegen, request.tune);
         CacheTier tier = CacheTier::Miss;
         std::optional<std::string> hit = cache_.get(key, &tier);
         metrics_.cacheProbeLatency.record(microsSince(probe_start));
@@ -249,6 +249,8 @@ UjamServer::runOptimize(const ServiceRequest &request,
                 metrics_.cacheMemoryHits.add();
             else
                 metrics_.cacheDiskHits.add();
+            if (request.op == ServiceOp::Tune)
+                metrics_.tuneCacheHits.add();
             metrics_.requestsOk.add();
             return okResponse(request.id, op_name, *hit);
         }
@@ -267,8 +269,30 @@ UjamServer::runOptimize(const ServiceRequest &request,
     // Run the pipeline (or the analyzer alone for "lint").
     Clock::time_point run_start = Clock::now();
     std::string result_json;
+    bool cacheable = true;
     try {
-        if (request.op == ServiceOp::Lint) {
+        if (request.op == ServiceOp::Tune) {
+            metrics_.tuneRequests.add();
+            TuneConfig tune = request.tune;
+            tune.pipeline = config;
+            TuneResult tuned =
+                tuneProgram(program, request.machine, tune);
+            metrics_.optimizeLatency.record(microsSince(run_start));
+
+            std::size_t measured = 0;
+            for (const NestTune &nest : tuned.nests)
+                measured += nest.measuredCount;
+            metrics_.tuneCandidatesMeasured.add(measured);
+            // A self-skipped run (wall mode, no host compiler) is a
+            // property of this worker's environment, not of the
+            // request; caching it would serve the skip to clients on
+            // hosts that could measure.
+            cacheable = !tuned.skipped;
+
+            Clock::time_point render_start = Clock::now();
+            result_json = tuneResultJson(tuned, tune);
+            metrics_.renderLatency.record(microsSince(render_start));
+        } else if (request.op == ServiceOp::Lint) {
             LintResult lint = lintProgram(program, request.machine,
                                           config.lintOptions);
             metrics_.optimizeLatency.record(microsSince(run_start));
@@ -326,7 +350,7 @@ UjamServer::runOptimize(const ServiceRequest &request,
     if (has_deadline && Clock::now() > deadline) {
         // The work is done but the client stopped caring; the result
         // still lands in the cache so the retry is free.
-        if (!request.noCache) {
+        if (!request.noCache && cacheable) {
             cache_.put(key, result_json);
             metrics_.cacheStores.add();
         }
@@ -335,7 +359,7 @@ UjamServer::runOptimize(const ServiceRequest &request,
                              "deadline expired during optimization");
     }
 
-    if (!request.noCache) {
+    if (!request.noCache && cacheable) {
         cache_.put(key, result_json);
         metrics_.cacheStores.add();
     }
@@ -387,6 +411,7 @@ UjamServer::process(const ServiceRequest &request,
       case ServiceOp::Optimize:
       case ServiceOp::Lint:
       case ServiceOp::Codegen:
+      case ServiceOp::Tune:
         return runOptimize(request, arrival, deadline, has_deadline);
     }
     metrics_.requestsError.add();
@@ -426,6 +451,9 @@ UjamServer::processLine(const std::string &line,
             break;
           case ServiceOp::Codegen:
             metrics_.opCodegen.add();
+            break;
+          case ServiceOp::Tune:
+            metrics_.opTune.add();
             break;
           case ServiceOp::Metrics:
             metrics_.opMetrics.add();

@@ -1,0 +1,73 @@
+#include "support/timing.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/diagnostics.hh"
+#include "support/string_utils.hh"
+
+namespace ujam
+{
+
+double
+monotonicSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+double
+medianOf(const std::vector<double> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t mid = sorted.size() / 2;
+    if (sorted.size() % 2 == 1)
+        return sorted[mid];
+    return 0.5 * (sorted[mid - 1] + sorted[mid]);
+}
+
+TimingStats
+summarizeSamples(std::vector<double> samples)
+{
+    TimingStats stats;
+    stats.samples = std::move(samples);
+    if (stats.samples.empty())
+        return stats;
+    auto [lo, hi] = std::minmax_element(stats.samples.begin(),
+                                        stats.samples.end());
+    stats.minSeconds = *lo;
+    stats.maxSeconds = *hi;
+    stats.medianSeconds = medianOf(stats.samples);
+    if (stats.medianSeconds > 0 &&
+        stats.maxSeconds > 2.0 * stats.medianSeconds) {
+        stats.outlierNote = concat(
+            "max sample ", formatFixed(stats.maxSeconds * 1e3, 3),
+            " ms is more than 2x the median ",
+            formatFixed(stats.medianSeconds * 1e3, 3),
+            " ms; the series looks perturbed");
+    }
+    return stats;
+}
+
+TimingStats
+measureSeconds(const std::function<void()> &work, int repeats,
+               int warmup)
+{
+    repeats = std::max(repeats, 1);
+    for (int i = 0; i < warmup; ++i)
+        work();
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(repeats));
+    for (int i = 0; i < repeats; ++i) {
+        double start = monotonicSeconds();
+        work();
+        samples.push_back(monotonicSeconds() - start);
+    }
+    return summarizeSamples(std::move(samples));
+}
+
+} // namespace ujam

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared wall-clock measurement: warmup + median-of-K with an
+ * outlier note.
+ *
+ * Every consumer that times real work -- the autotuner ranking
+ * candidate unroll vectors, ujam-codegen --run --repeat, and the
+ * bench_* binaries -- goes through the same policy so their numbers
+ * are comparable: a monotonic clock, W discarded warmup runs, K timed
+ * repeats, and a summary keeping the minimum (least perturbed), the
+ * median (robust center) and a note when the spread suggests the
+ * machine was noisy (max > 2x median).
+ */
+
+#ifndef UJAM_SUPPORT_TIMING_HH
+#define UJAM_SUPPORT_TIMING_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ujam
+{
+
+/** @return The monotonic (steady) clock, as seconds. */
+double monotonicSeconds();
+
+/** @return The median of samples (0 when empty). Does not reorder. */
+double medianOf(const std::vector<double> &samples);
+
+/** A summarized measurement series. */
+struct TimingStats
+{
+    std::vector<double> samples; //!< timed repeats, in run order
+    double minSeconds = 0;
+    double medianSeconds = 0;
+    double maxSeconds = 0;
+    /** Non-empty when max > 2x median: the series looks perturbed. */
+    std::string outlierNote;
+};
+
+/** @return samples summarized (min/median/max + outlier note). */
+TimingStats summarizeSamples(std::vector<double> samples);
+
+/**
+ * Time a callable: run it warmup times untimed, then repeats times
+ * timed.
+ *
+ * @param work    The work to measure.
+ * @param repeats Timed runs (clamped to >= 1).
+ * @param warmup  Discarded runs before timing starts.
+ * @return The summarized series.
+ */
+TimingStats measureSeconds(const std::function<void()> &work,
+                           int repeats, int warmup = 0);
+
+} // namespace ujam
+
+#endif // UJAM_SUPPORT_TIMING_HH

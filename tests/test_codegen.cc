@@ -427,8 +427,10 @@ TEST(ServiceCodegen, EmissionOptionsAreSemanticInTheKey)
     // what invalidates persisted entries across format changes.
     std::string text = canonicalRequestText("codegen", program,
                                             machine, config, base);
-    EXPECT_EQ(text.rfind("ujam-serve-cache-v3\n", 0), 0u);
+    EXPECT_EQ(text.rfind("ujam-serve-cache-v4\n", 0), 0u);
     EXPECT_NE(text.find("codegen.seed = "), std::string::npos);
+    // The autotuner's knobs are part of the v4 text too.
+    EXPECT_NE(text.find("tune.budgetMs = "), std::string::npos);
 }
 
 // --- split request-error counters -----------------------------------
