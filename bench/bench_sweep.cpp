@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The scenario sweep over the built-in default manifest, written to
+ * BENCH_SWEEP.json.
+ *
+ * Every registered scenario family is generated over a small grid
+ * (two seeds, two machine presets) and run through the full pipeline
+ * with the differential oracle on, then autotuned on the simulator
+ * backend; the artifact records per scenario the validator and
+ * ground-truth verdicts, lint counts, rollbacks, and the model pick
+ * next to the tuner pick, with a census up front (including the
+ * model-vs-tuner agreement rate overall and per family) -- the
+ * repo's standing answer to "how does the Eq.-1 model behave on
+ * inputs it was never calibrated on?".
+ *
+ * Deterministic by construction (MeasureMode::Model throughout, no
+ * timing fields in the document), so future PRs can diff the
+ * artifact byte-wise.
+ */
+
+#include <cstdio>
+
+#include "bench_json.hh"
+#include "scenarios/sweep.hh"
+
+using namespace ujam;
+
+int
+main()
+{
+    SweepManifest manifest = defaultSweepManifest();
+    SweepResult result = runSweep(manifest);
+
+    std::size_t validator_ok = 0;
+    std::size_t truth_ok = 0;
+    std::size_t rollbacks = 0;
+    std::size_t agree = 0;
+    for (const SweepRow &row : result.rows) {
+        validator_ok += row.validatorOk;
+        truth_ok += row.truthOk;
+        rollbacks += row.rollbacks;
+        agree += row.agree;
+        if (!row.truthOk)
+            std::fprintf(stderr, "bench_sweep: %s: %s\n",
+                         row.scenario.c_str(), row.truthWhy.c_str());
+    }
+
+    writeBenchJson("BENCH_SWEEP.json", sweepResultJson(result, 1));
+
+    std::printf("bench_sweep: %zu scenarios, %zu validator ok, "
+                "%zu ground truth ok, %zu rollbacks, "
+                "model==tuner on %zu/%zu\n",
+                result.rows.size(), validator_ok, truth_ok, rollbacks,
+                agree, result.rows.size());
+
+    bool healthy = validator_ok == result.rows.size() &&
+                   truth_ok == result.rows.size() && rollbacks == 0;
+    return healthy ? 0 : 1;
+}

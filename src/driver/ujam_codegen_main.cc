@@ -9,7 +9,11 @@
  *                  [--fuse] [--distribute] [--interchange]
  *                  [--prefetch] [--json]
  *                  [--run] [--repeat K] [--cflags "FLAGS"]
- *                  (FILE | --suite NAME)
+ *                  (FILE | --suite NAME | --list)
+ *
+ * --suite accepts a Table-2 loop name ("dmxpy") or a generated
+ * scenario name ("stencil2d:radius=2:7"); --list enumerates both
+ * corpora and exits.
  *
  * The input program runs through the optimization pipeline; both the
  * untransformed and the transformed program are emitted as
@@ -53,6 +57,7 @@
 #include "ir/validate.hh"
 #include "parser/parser.hh"
 #include "report/report.hh"
+#include "scenarios/corpus_hook.hh"
 #include "support/diagnostics.hh"
 #include "workloads/suite.hh"
 
@@ -67,7 +72,8 @@ usage()
         "usage: ujam-codegen [--machine alpha|parisc|wide] [--out DIR] "
         "[--seed N] [--param name=value]... [--no-main] [--fuse] "
         "[--distribute] [--interchange] [--prefetch] [--json] [--run] "
-        "[--repeat K] [--cflags FLAGS] (FILE | --suite NAME)\n");
+        "[--repeat K] [--cflags FLAGS] "
+        "(FILE | --suite NAME | --list)\n");
 }
 
 bool
@@ -161,6 +167,9 @@ main(int argc, char **argv)
             cflags = argv[++i];
         } else if (std::strcmp(arg, "--suite") == 0 && i + 1 < argc) {
             suite_name = argv[++i];
+        } else if (std::strcmp(arg, "--list") == 0) {
+            std::printf("%s", renderCorpusList().c_str());
+            return 0;
         } else if (arg[0] == '-') {
             usage();
             return 2;
@@ -186,8 +195,8 @@ main(int argc, char **argv)
     std::string stem;
     try {
         if (!suite_name.empty()) {
-            program = loadSuiteProgram(suiteLoop(suite_name));
-            stem = suite_name;
+            program = loadCorpusProgram(suite_name);
+            stem = corpusFileStem(suite_name);
         } else {
             std::ifstream in(path);
             if (!in) {

@@ -4,12 +4,15 @@
  *
  *     ujam-lint [--format=text|json|sarif]
  *               [--machine alpha|parisc|wide] [--max-unroll N]
- *               [--min-severity=note|warn|error] [--suite]
+ *               [--min-severity=note|warn|error] [--suite [NAME]]
  *               [--baseline FILE] [--baseline-write FILE]
- *               [--explain RULE] [FILE...]
+ *               [--explain RULE] [--list] [FILE...]
  *
- * Each FILE is parsed and analyzed; --suite additionally analyzes
- * every built-in evaluation-suite workload. Text output quotes the
+ * Each FILE is parsed and analyzed; a bare --suite additionally
+ * analyzes every built-in evaluation-suite workload, --suite NAME
+ * one Table-2 loop ("dmxpy") or generated scenario
+ * ("stencil2d:radius=2:7"), and --list enumerates both corpora and
+ * exits. Text output quotes the
  * offending source lines; json emits one document per input (an array
  * when there are several); sarif emits one 2.1.0 log with one run per
  * input, true end columns and machine-applicable fixes.
@@ -34,6 +37,8 @@
 #include "analysis/render.hh"
 #include "analysis/rule.hh"
 #include "parser/parser.hh"
+#include "scenarios/corpus_hook.hh"
+#include "scenarios/scenario.hh"
 #include "support/diagnostics.hh"
 #include "workloads/suite.hh"
 
@@ -54,9 +59,9 @@ usage()
         stderr,
         "usage: ujam-lint [--format=text|json|sarif] "
         "[--machine alpha|parisc|wide] [--max-unroll N] "
-        "[--min-severity=note|warn|error] [--suite] "
+        "[--min-severity=note|warn|error] [--suite [NAME]] "
         "[--baseline FILE] [--baseline-write FILE] "
-        "[--explain RULE] [FILE...]\n");
+        "[--explain RULE] [--list] [FILE...]\n");
 }
 
 /** Print one rule's catalog entry; return false when unknown. */
@@ -85,6 +90,7 @@ main(int argc, char **argv)
     Format format = Format::Text;
     LintOptions options;
     bool lint_suite = false;
+    std::string suite_name;
     const char *baseline_path = nullptr;
     const char *baseline_write_path = nullptr;
     std::vector<const char *> paths;
@@ -131,7 +137,15 @@ main(int argc, char **argv)
                 return 2;
             }
         } else if (std::strcmp(arg, "--suite") == 0) {
-            lint_suite = true;
+            // --suite NAME analyzes one Table-2 loop or scenario; a
+            // bare --suite analyzes every Table-2 loop.
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                suite_name = argv[++i];
+            else
+                lint_suite = true;
+        } else if (std::strcmp(arg, "--list") == 0) {
+            std::printf("%s", renderCorpusList().c_str());
+            return 0;
         } else if (std::strcmp(arg, "--baseline") == 0 &&
                    i + 1 < argc) {
             baseline_path = argv[++i];
@@ -153,7 +167,7 @@ main(int argc, char **argv)
             paths.push_back(arg);
         }
     }
-    if (paths.empty() && !lint_suite) {
+    if (paths.empty() && !lint_suite && suite_name.empty()) {
         usage();
         return 2;
     }
@@ -181,6 +195,31 @@ main(int argc, char **argv)
                     parseProgram(loop.source, "suite:" + loop.name);
                 runs.emplace_back(
                     loop.source, lintProgram(program, machine, options));
+            }
+        }
+        if (!suite_name.empty()) {
+            if (looksLikeScenarioName(suite_name)) {
+                std::string error;
+                std::optional<ScenarioSpec> spec =
+                    parseScenarioSpec(suite_name, &error);
+                if (!spec) {
+                    std::fprintf(stderr, "ujam-lint: %s\n",
+                                 error.c_str());
+                    return 2;
+                }
+                GeneratedScenario scenario = generateScenario(*spec);
+                Program program = parseProgram(
+                    scenario.source, "scenario:" + scenario.name);
+                runs.emplace_back(
+                    scenario.source,
+                    lintProgram(program, machine, options));
+            } else {
+                const SuiteLoop &loop = suiteLoop(suite_name);
+                Program program =
+                    parseProgram(loop.source, "suite:" + loop.name);
+                runs.emplace_back(
+                    loop.source,
+                    lintProgram(program, machine, options));
             }
         }
     } catch (const FatalError &err) {

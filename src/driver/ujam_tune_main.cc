@@ -6,7 +6,11 @@
  *               [--neighborhood N] [--repeats N] [--warmup N]
  *               [--seed N] [--measure wall|model] [--cflags FLAGS]
  *               [--json] [--log-features FILE]
- *               (FILE | --suite [NAME])
+ *               (FILE | --suite [NAME] | --list)
+ *
+ * --suite NAME accepts a Table-2 loop name or a generated scenario
+ * name like "stencil2d:radius=2:7"; --list enumerates both corpora
+ * and exits.
  *
  * For every nest of the input program (or of each Table-2 suite loop
  * when --suite is given without a name) the tuner seeds a
@@ -32,6 +36,7 @@
 
 #include "ir/validate.hh"
 #include "parser/parser.hh"
+#include "scenarios/corpus_hook.hh"
 #include "support/diagnostics.hh"
 #include "support/string_utils.hh"
 #include "tune/autotuner.hh"
@@ -49,7 +54,7 @@ usage()
         "[--budget-ms N] [--neighborhood N] [--repeats N] "
         "[--warmup N] [--seed N] [--measure wall|model] "
         "[--cflags FLAGS] [--json] [--log-features FILE] "
-        "(FILE | --suite [NAME])\n");
+        "(FILE | --suite [NAME] | --list)\n");
 }
 
 struct NamedProgram
@@ -119,12 +124,16 @@ main(int argc, char **argv)
                    i + 1 < argc) {
             features_path = argv[++i];
         } else if (std::strcmp(arg, "--suite") == 0) {
-            // --suite NAME tunes one Table-2 loop; a bare --suite
-            // (next token is another option, or nothing) tunes all.
+            // --suite NAME tunes one Table-2 loop or scenario; a
+            // bare --suite (next token is another option, or
+            // nothing) tunes every Table-2 loop.
             if (i + 1 < argc && argv[i + 1][0] != '-')
                 suite_name = argv[++i];
             else
                 suite_all = true;
+        } else if (std::strcmp(arg, "--list") == 0) {
+            std::printf("%s", renderCorpusList().c_str());
+            return 0;
         } else if (arg[0] == '-') {
             usage();
             return 2;
@@ -150,7 +159,7 @@ main(int argc, char **argv)
                     {loop.name, loadSuiteProgram(loop)});
         } else if (!suite_name.empty()) {
             programs.push_back(
-                {suite_name, loadSuiteProgram(suiteLoop(suite_name))});
+                {suite_name, loadCorpusProgram(suite_name)});
         } else {
             std::ifstream in(path);
             if (!in) {

@@ -1,0 +1,41 @@
+#include "scenarios/corpus_hook.hh"
+
+#include <sstream>
+
+#include "scenarios/scenario.hh"
+#include "workloads/suite.hh"
+
+namespace ujam
+{
+
+Program
+loadCorpusProgram(const std::string &name)
+{
+    if (looksLikeScenarioName(name))
+        return loadScenarioProgram(name);
+    return loadSuiteProgram(suiteLoop(name));
+}
+
+std::string
+renderCorpusList()
+{
+    std::ostringstream out;
+    out << "suite loops (paper Table 2):\n";
+    for (const SuiteLoop &loop : testSuite())
+        out << "  " << loop.name << " -- " << loop.description
+            << "\n";
+    out << "\n" << renderScenarioCatalog();
+    return out.str();
+}
+
+std::string
+corpusFileStem(const std::string &name)
+{
+    std::string stem = name;
+    for (char &c : stem)
+        if (c == ':' || c == ',' || c == '=' || c == '*')
+            c = '_';
+    return stem.empty() ? std::string("program") : stem;
+}
+
+} // namespace ujam

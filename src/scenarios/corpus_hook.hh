@@ -1,0 +1,47 @@
+/**
+ * @file
+ * One name space over both corpora: the Table-2 suite loops and the
+ * generated scenario families.
+ *
+ * The CLIs (--suite NAME) and the service ("scenario"/"suite"
+ * requests) accept either kind of name; a ':' marks a scenario
+ * ("stencil2d:radius=2:7"), anything else is a suite-loop name
+ * ("dmxpy"). Resolution is deterministic, so two runs (or two service
+ * workers) given the same name always see byte-identical source.
+ */
+
+#ifndef UJAM_SCENARIOS_CORPUS_HOOK_HH
+#define UJAM_SCENARIOS_CORPUS_HOOK_HH
+
+#include <string>
+
+#include "ir/loop_nest.hh"
+
+namespace ujam
+{
+
+/**
+ * Resolve a corpus name to a parsed, validated Program: scenario
+ * names (containing ':') through the generators, anything else as a
+ * Table-2 suite loop.
+ *
+ * @throws FatalError for an unknown name or invalid scenario spec.
+ */
+Program loadCorpusProgram(const std::string &name);
+
+/**
+ * @return The --list text: every Table-2 suite loop (name and
+ * description), then the scenario-family catalog with parameter
+ * schemas.
+ */
+std::string renderCorpusList();
+
+/**
+ * @return The name rewritten for use as a file stem: scenario
+ * punctuation (':', ',', '=') becomes '_'; other names pass through.
+ */
+std::string corpusFileStem(const std::string &name);
+
+} // namespace ujam
+
+#endif // UJAM_SCENARIOS_CORPUS_HOOK_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Internal scenario-family registration and shared emission helpers.
+ *
+ * Each family translation unit owns static generator instances and
+ * appends them to the registry through its append*Families() hook;
+ * scenario.cc calls the hooks once, in a fixed order, so the registry
+ * (and therefore --list output and sweep expansion order) is stable
+ * across builds and platforms.
+ */
+
+#ifndef UJAM_SCENARIOS_FAMILIES_HH
+#define UJAM_SCENARIOS_FAMILIES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenarios/scenario.hh"
+#include "support/rng.hh"
+
+namespace ujam
+{
+
+namespace scenarios_detail
+{
+
+void appendStencilFamilies(std::vector<const IScenarioGenerator *> &out);
+void appendLinalgFamilies(std::vector<const IScenarioGenerator *> &out);
+void appendStridedFamilies(std::vector<const IScenarioGenerator *> &out);
+void appendIrregularFamilies(std::vector<const IScenarioGenerator *> &out);
+
+/**
+ * @return A deterministic nonzero coefficient literal in (0.10,
+ * 3.00), rendered with exactly two decimals ("1.37"). Drawn from the
+ * generator's Rng stream, so distinct seeds produce different
+ * constants while (spec, seed) reproduces bytes exactly.
+ */
+std::string coefLit(Rng &rng);
+
+/** @return "iv", "iv+k" or "iv-k" for a constant subscript offset. */
+std::string offsetTerm(const std::string &iv, std::int64_t offset);
+
+/**
+ * @return "c*iv" (c != 1), "iv" (c == 1) or "" (c == 0); the building
+ * block for skewed subscripts like "2*i + 3*j - 1".
+ */
+std::string scaledTerm(std::int64_t scale, const std::string &iv);
+
+/** Join non-empty affine terms plus a constant into one subscript. */
+std::string affineSum(const std::vector<std::string> &terms,
+                      std::int64_t constant);
+
+} // namespace scenarios_detail
+
+} // namespace ujam
+
+#endif // UJAM_SCENARIOS_FAMILIES_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Regular-pattern-in-irregular scenario family, after the
+ * Intelligent-Unrolling observation (PAPERS.md): loops whose overall
+ * access structure looks irregular often embed a strictly regular
+ * sub-pattern that unrolling exposes.
+ *
+ * The nest accumulates over a gathered table: tbl is read at
+ * coeff*i + rowc*j, a large-coefficient subscript that models
+ * indirection-like traffic with no inner-loop line reuse, while the
+ * `pattern` parameter adds reads spaced exactly `coeff` apart --
+ * tbl(coeff*(i+p) + rowc*j) -- so consecutive unrolled i iterations
+ * re-touch each other's table elements (group reuse the unroll
+ * tables can exploit) even though each single iteration's accesses
+ * look scattered. The regular accumulator and multiplier arrays keep
+ * ordinary spatial locality, so the model still has a profitable
+ * unroll to find.
+ */
+
+#include "scenarios/families.hh"
+
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace scenarios_detail
+{
+
+namespace
+{
+
+class IrregularGenerator final : public IScenarioGenerator
+{
+  public:
+    const char *family() const override { return "irregular"; }
+
+    const char *
+    summary() const override
+    {
+        return "regular pattern embedded in gather-style table reads";
+    }
+
+    const std::vector<ScenarioParam> &
+    params() const override
+    {
+        static const std::vector<ScenarioParam> schema = {
+            {"n", 48, 4, 2048, "inner trip count"},
+            {"m", 24, 2, 2048, "outer trip count"},
+            {"coeff", 5, 1, 16, "gather coefficient of i"},
+            {"rowc", 3, 0, 16, "gather coefficient of j"},
+            {"pattern", 2, 1, 4,
+             "regular reads spaced coeff apart (the unrollable "
+             "pattern)"},
+        };
+        return schema;
+    }
+
+    GeneratedScenario
+    generate(const ScenarioSpec &spec) const override
+    {
+        std::int64_t coeff = spec.at("coeff");
+        std::int64_t rowc = spec.at("rowc");
+        std::int64_t pattern = spec.at("pattern");
+        Rng rng(Rng::deriveStream(spec.seed, 41));
+
+        GeneratedScenario scenario;
+        std::string out = concat("! scenario: ", spec.toString(), "\n",
+                                 "param n = ", spec.at("n"), "\n",
+                                 "param m = ", spec.at("m"), "\n");
+        std::vector<std::string> extent_terms = {
+            scaledTerm(coeff, "n"), scaledTerm(rowc, "m")};
+        // Allocate the table with slack beyond the touched range (as
+        // gather tables are in practice): unroll-and-jam replicates
+        // the body at iteration offsets up to the optimizer's cap of
+        // 8 per loop, and the reach validator bounds every replica's
+        // subscript span against extent + halo.
+        std::int64_t slack = 8 * (coeff + rowc);
+        out += concat("real tbl(",
+                      affineSum(extent_terms,
+                                coeff * (pattern - 1) + 2 + slack),
+                      ")\n");
+        out += "real acc(n, m)\n";
+        out += "real v(n, m)\n";
+        out += "! nest: irregular\n";
+        out += "do j = 1, m\n";
+        out += "  do i = 1, n\n";
+
+        std::string expr = "acc(i, j)";
+        for (std::int64_t p = 0; p < pattern; ++p) {
+            std::vector<std::string> sub = {scaledTerm(coeff, "i"),
+                                            scaledTerm(rowc, "j")};
+            expr += concat(" + ", coefLit(rng), " * tbl(",
+                           affineSum(sub, coeff * p + 1),
+                           ") * v(i, j)");
+        }
+        out += concat("    acc(i, j) = ", expr, "\n");
+        out += "  end do\nend do\n";
+
+        scenario.source = std::move(out);
+        scenario.truth.depth = 2;
+        // acc's read and write hit the same element in the same
+        // iteration: loop-independent, nothing carried.
+        scenario.truth.carriedNonInput = false;
+        scenario.truth.legalUnroll = {true, false};
+        scenario.truth.selfReuse = {
+            {"acc", SelfReuse::Spatial},
+            {"v", SelfReuse::Spatial},
+            {"tbl", SelfReuse::Spatial}};
+        return scenario;
+    }
+};
+
+} // namespace
+
+void
+appendIrregularFamilies(std::vector<const IScenarioGenerator *> &out)
+{
+    static const IrregularGenerator irregular;
+    out.push_back(&irregular);
+}
+
+} // namespace scenarios_detail
+
+} // namespace ujam

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Dense linear-algebra scenario families: matrix multiply under two
+ * loop orders, a banded forward recurrence with a skew knob, and a
+ * DMXPY-style matrix-vector accumulation.
+ *
+ * These are the register-reuse workhorses: matmul and dmxpy carry
+ * only reduction self-cycles (which never constrain unroll-and-jam),
+ * while the banded recurrence's `skew` parameter moves its carried
+ * flow dependence between forward, aligned and backward inner
+ * directions -- legality of unrolling the outer loop flips exactly at
+ * skew > 0, which the conformance tests assert against
+ * safeUnrollBounds.
+ */
+
+#include "scenarios/families.hh"
+
+#include <algorithm>
+
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace scenarios_detail
+{
+
+namespace
+{
+
+class MatmulGenerator final : public IScenarioGenerator
+{
+  public:
+    const char *family() const override { return "matmul"; }
+
+    const char *
+    summary() const override
+    {
+        return "dense matrix multiply x += c*y, kji or jki order";
+    }
+
+    const std::vector<ScenarioParam> &
+    params() const override
+    {
+        static const std::vector<ScenarioParam> schema = {
+            {"n", 24, 4, 512, "shared/outer dimension"},
+            {"m", 24, 4, 512, "row dimension (inner loop trip)"},
+            {"order", 0, 0, 1, "loop order: 0 = k,j,i; 1 = j,k,i"},
+        };
+        return schema;
+    }
+
+    GeneratedScenario
+    generate(const ScenarioSpec &spec) const override
+    {
+        bool jki = spec.at("order") != 0;
+        Rng rng(Rng::deriveStream(spec.seed, 21));
+
+        GeneratedScenario scenario;
+        std::string out = concat("! scenario: ", spec.toString(), "\n",
+                                 "param n = ", spec.at("n"), "\n",
+                                 "param m = ", spec.at("m"), "\n",
+                                 "real x(m, n)\n", "real c(m, n)\n",
+                                 "real y(n, n)\n");
+        out += "! nest: matmul\n";
+        const char *outer = jki ? "j" : "k";
+        const char *middle = jki ? "k" : "j";
+        out += concat("do ", outer, " = 1, n\n");
+        out += concat("  do ", middle, " = 1, n\n");
+        out += "    do i = 1, m\n";
+        out += concat("      x(i, j) = x(i, j) + ", coefLit(rng),
+                      " * c(i, k) * y(k, j)\n");
+        out += "    end do\n  end do\nend do\n";
+
+        scenario.source = std::move(out);
+        scenario.truth.depth = 3;
+        // The x(i,j) accumulation is carried by the k loop.
+        scenario.truth.carriedNonInput = true;
+        // Reduction self-cycles do not constrain unroll-and-jam.
+        scenario.truth.legalUnroll = {true, true, false};
+        // Under the innermost-localized space (i): x and c walk
+        // columns (spatial); y is invariant in i (temporal).
+        scenario.truth.selfReuse = {{"x", SelfReuse::Spatial},
+                                    {"c", SelfReuse::Spatial},
+                                    {"y", SelfReuse::Temporal}};
+        return scenario;
+    }
+};
+
+class BandedGenerator final : public IScenarioGenerator
+{
+  public:
+    const char *family() const override { return "banded"; }
+
+    const char *
+    summary() const override
+    {
+        return "banded forward recurrence s(i,k) -= r*s(i+skew,k-1)";
+    }
+
+    const std::vector<ScenarioParam> &
+    params() const override
+    {
+        static const std::vector<ScenarioParam> schema = {
+            {"n", 48, 4, 2048, "recurrence length (outer trip)"},
+            {"m", 48, 6, 2048, "band height (inner trip)"},
+            {"skew", 0, -2, 2,
+             "row offset of the k-1 operand; > 0 forbids outer "
+             "unroll"},
+        };
+        return schema;
+    }
+
+    GeneratedScenario
+    generate(const ScenarioSpec &spec) const override
+    {
+        std::int64_t skew = spec.at("skew");
+        Rng rng(Rng::deriveStream(spec.seed, 22));
+
+        // Keep i + skew inside [1, m].
+        std::int64_t lo = 1 + std::max<std::int64_t>(0, -skew);
+        std::int64_t hi_off = std::max<std::int64_t>(0, skew);
+
+        GeneratedScenario scenario;
+        std::string out = concat("! scenario: ", spec.toString(), "\n",
+                                 "param n = ", spec.at("n"), "\n",
+                                 "param m = ", spec.at("m"), "\n",
+                                 "real s(m, n)\n", "real r(m, n)\n");
+        out += "! nest: banded\n";
+        out += "do k = 2, n\n";
+        if (hi_off == 0)
+            out += concat("  do i = ", lo, ", m\n");
+        else
+            out += concat("  do i = ", lo, ", m - ", hi_off, "\n");
+        out += concat("    s(i, k) = s(i, k) - ", coefLit(rng),
+                      " * r(i, k) * s(", offsetTerm("i", skew),
+                      ", k-1)\n");
+        out += "  end do\nend do\n";
+
+        scenario.source = std::move(out);
+        scenario.truth.depth = 2;
+        scenario.truth.carriedNonInput = true;
+        // Flow s(i,k) -> s(i+skew,k-1) has distance (1, -skew):
+        // carried by k, inner direction '>' exactly when skew > 0.
+        scenario.truth.legalUnroll = {skew <= 0, false};
+        scenario.truth.selfReuse = {{"s", SelfReuse::Spatial},
+                                    {"r", SelfReuse::Spatial}};
+        return scenario;
+    }
+};
+
+class DmxpyGenerator final : public IScenarioGenerator
+{
+  public:
+    const char *family() const override { return "dmxpy"; }
+
+    const char *
+    summary() const override
+    {
+        return "matrix-vector accumulation y(i) += mat(i,j) * x(j)";
+    }
+
+    const std::vector<ScenarioParam> &
+    params() const override
+    {
+        static const std::vector<ScenarioParam> schema = {
+            {"n", 64, 4, 4096, "columns (outer trip)"},
+            {"m", 64, 4, 4096, "rows (inner trip)"},
+        };
+        return schema;
+    }
+
+    GeneratedScenario
+    generate(const ScenarioSpec &spec) const override
+    {
+        Rng rng(Rng::deriveStream(spec.seed, 23));
+
+        GeneratedScenario scenario;
+        std::string out = concat("! scenario: ", spec.toString(), "\n",
+                                 "param n = ", spec.at("n"), "\n",
+                                 "param m = ", spec.at("m"), "\n",
+                                 "real y(m)\n", "real mat(m, n)\n",
+                                 "real x(n)\n");
+        out += "! nest: dmxpy\n";
+        out += "do j = 1, n\n";
+        out += "  do i = 1, m\n";
+        out += concat("    y(i) = y(i) + ", coefLit(rng),
+                      " * mat(i, j) * x(j)\n");
+        out += "  end do\nend do\n";
+
+        scenario.source = std::move(out);
+        scenario.truth.depth = 2;
+        scenario.truth.carriedNonInput = true;
+        scenario.truth.legalUnroll = {true, false};
+        // y walks rows (spatial in i), x is invariant in i
+        // (temporal), mat streams columns (spatial).
+        scenario.truth.selfReuse = {{"y", SelfReuse::Spatial},
+                                    {"mat", SelfReuse::Spatial},
+                                    {"x", SelfReuse::Temporal}};
+        return scenario;
+    }
+};
+
+} // namespace
+
+void
+appendLinalgFamilies(std::vector<const IScenarioGenerator *> &out)
+{
+    static const MatmulGenerator matmul;
+    static const BandedGenerator banded;
+    static const DmxpyGenerator dmxpy;
+    out.push_back(&matmul);
+    out.push_back(&banded);
+    out.push_back(&dmxpy);
+}
+
+} // namespace scenarios_detail
+
+} // namespace ujam

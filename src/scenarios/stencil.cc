@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Stencil scenario families: batched 1D rows, 2D star/box, 3D star.
+ *
+ * Stencils are the regular-pattern workhorse beyond the Table-2
+ * corpus: their ground truth is fully decided by shape. Out-of-place
+ * stencils carry no non-input dependence and every outer loop is
+ * legal to unroll-and-jam; in-place (Gauss-Seidel style) stencils
+ * carry flow/anti dependences whose legality flips with the shape --
+ * star offsets stay forward in the inner loop at every carried
+ * level, while a box's diagonal terms (i+di, j-dj) produce a
+ * backward inner direction under an outer carrier, forbidding any
+ * unroll of the outer loop. The conformance tests assert exactly
+ * these flips against the real dependence analysis.
+ */
+
+#include "scenarios/families.hh"
+
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace scenarios_detail
+{
+
+namespace
+{
+
+/** Shared head: scenario comment, params, declarations. */
+std::string
+programHead(const GeneratedScenario &, const ScenarioSpec &spec,
+            const std::vector<std::string> &decls)
+{
+    std::string out = concat("! scenario: ", spec.toString(), "\n");
+    for (const std::string &decl : decls)
+        out += decl + "\n";
+    return out;
+}
+
+class Stencil1dGenerator final : public IScenarioGenerator
+{
+  public:
+    const char *family() const override { return "stencil1d"; }
+
+    const char *
+    summary() const override
+    {
+        return "batched 1D stencils: rows of radius-r averaging";
+    }
+
+    const std::vector<ScenarioParam> &
+    params() const override
+    {
+        static const std::vector<ScenarioParam> schema = {
+            {"n", 96, 8, 4096, "row length"},
+            {"m", 32, 2, 4096, "number of rows"},
+            {"radius", 1, 1, 3, "stencil radius"},
+            {"inplace", 0, 0, 1, "1: update the input array"},
+        };
+        return schema;
+    }
+
+    GeneratedScenario
+    generate(const ScenarioSpec &spec) const override
+    {
+        std::int64_t r = spec.at("radius");
+        bool inplace = spec.at("inplace") != 0;
+        Rng rng(Rng::deriveStream(spec.seed, 11));
+
+        std::vector<std::string> decls = {
+            concat("param n = ", spec.at("n")),
+            concat("param m = ", spec.at("m")),
+            "real a(n, m)",
+        };
+        if (!inplace)
+            decls.push_back("real b(n, m)");
+
+        GeneratedScenario scenario;
+        std::string out = programHead(scenario, spec, decls);
+        out += "! nest: stencil1d\n";
+        out += concat("do j = 1, m\n");
+        out += concat("  do i = ", 1 + r, ", n - ", r, "\n");
+
+        std::string expr;
+        for (std::int64_t d = -r; d <= r; ++d) {
+            if (!expr.empty())
+                expr += " + ";
+            expr += concat(coefLit(rng), " * a(", offsetTerm("i", d),
+                           ", j)");
+        }
+        out += concat("    ", inplace ? "a" : "b", "(i, j) = ", expr,
+                      "\n");
+        out += "  end do\nend do\n";
+
+        scenario.source = std::move(out);
+        scenario.truth.depth = 2;
+        scenario.truth.carriedNonInput = inplace;
+        // Carried dependences (in-place) live entirely in the inner
+        // i loop with '=' at j, so unroll-and-jam of j stays legal.
+        scenario.truth.legalUnroll = {true, false};
+        scenario.truth.selfReuse = {{"a", SelfReuse::Spatial}};
+        if (!inplace)
+            scenario.truth.selfReuse.push_back(
+                {"b", SelfReuse::Spatial});
+        return scenario;
+    }
+};
+
+class Stencil2dGenerator final : public IScenarioGenerator
+{
+  public:
+    const char *family() const override { return "stencil2d"; }
+
+    const char *
+    summary() const override
+    {
+        return "2D star/box stencils; in-place box forbids outer "
+               "unroll";
+    }
+
+    const std::vector<ScenarioParam> &
+    params() const override
+    {
+        static const std::vector<ScenarioParam> schema = {
+            {"n", 48, 8, 2048, "grid extent per dimension"},
+            {"radius", 1, 1, 2, "stencil radius"},
+            {"shape", 0, 0, 1, "0: star (axis offsets), 1: box"},
+            {"inplace", 0, 0, 1, "1: update the input array"},
+        };
+        return schema;
+    }
+
+    GeneratedScenario
+    generate(const ScenarioSpec &spec) const override
+    {
+        std::int64_t r = spec.at("radius");
+        bool box = spec.at("shape") != 0;
+        bool inplace = spec.at("inplace") != 0;
+        Rng rng(Rng::deriveStream(spec.seed, 12));
+
+        std::vector<std::string> decls = {
+            concat("param n = ", spec.at("n")),
+            "real a(n, n)",
+        };
+        if (!inplace)
+            decls.push_back("real b(n, n)");
+
+        GeneratedScenario scenario;
+        std::string out = programHead(scenario, spec, decls);
+        out += "! nest: stencil2d\n";
+        out += concat("do j = ", 1 + r, ", n - ", r, "\n");
+        out += concat("  do i = ", 1 + r, ", n - ", r, "\n");
+
+        std::string expr = concat(coefLit(rng), " * a(i, j)");
+        if (box) {
+            for (std::int64_t dj = -r; dj <= r; ++dj)
+                for (std::int64_t di = -r; di <= r; ++di) {
+                    if (di == 0 && dj == 0)
+                        continue;
+                    expr += concat(" + ", coefLit(rng), " * a(",
+                                   offsetTerm("i", di), ", ",
+                                   offsetTerm("j", dj), ")");
+                }
+        } else {
+            for (std::int64_t d = 1; d <= r; ++d) {
+                expr += concat(" + ", coefLit(rng), " * a(",
+                               offsetTerm("i", -d), ", j)");
+                expr += concat(" + ", coefLit(rng), " * a(",
+                               offsetTerm("i", d), ", j)");
+                expr += concat(" + ", coefLit(rng), " * a(i, ",
+                               offsetTerm("j", -d), ")");
+                expr += concat(" + ", coefLit(rng), " * a(i, ",
+                               offsetTerm("j", d), ")");
+            }
+        }
+        out += concat("    ", inplace ? "a" : "b", "(i, j) = ", expr,
+                      "\n");
+        out += "  end do\nend do\n";
+
+        scenario.source = std::move(out);
+        scenario.truth.depth = 2;
+        scenario.truth.carriedNonInput = inplace;
+        // In-place box: the a(i+di, j-dj) diagonal creates a flow
+        // dependence carried by j pointing backward in i -- no legal
+        // unroll of j at any amount. Star offsets stay forward.
+        bool outer_legal = !(inplace && box);
+        scenario.truth.legalUnroll = {outer_legal, false};
+        scenario.truth.selfReuse = {{"a", SelfReuse::Spatial}};
+        if (!inplace)
+            scenario.truth.selfReuse.push_back(
+                {"b", SelfReuse::Spatial});
+        return scenario;
+    }
+};
+
+class Stencil3dGenerator final : public IScenarioGenerator
+{
+  public:
+    const char *family() const override { return "stencil3d"; }
+
+    const char *
+    summary() const override
+    {
+        return "3D star stencils over a cubic grid";
+    }
+
+    const std::vector<ScenarioParam> &
+    params() const override
+    {
+        static const std::vector<ScenarioParam> schema = {
+            {"n", 20, 6, 256, "grid extent per dimension"},
+            {"radius", 1, 1, 2, "stencil radius"},
+            {"inplace", 0, 0, 1, "1: update the input array"},
+        };
+        return schema;
+    }
+
+    GeneratedScenario
+    generate(const ScenarioSpec &spec) const override
+    {
+        std::int64_t r = spec.at("radius");
+        bool inplace = spec.at("inplace") != 0;
+        Rng rng(Rng::deriveStream(spec.seed, 13));
+
+        std::vector<std::string> decls = {
+            concat("param n = ", spec.at("n")),
+            "real a(n, n, n)",
+        };
+        if (!inplace)
+            decls.push_back("real b(n, n, n)");
+
+        GeneratedScenario scenario;
+        std::string out = programHead(scenario, spec, decls);
+        out += "! nest: stencil3d\n";
+        out += concat("do k = ", 1 + r, ", n - ", r, "\n");
+        out += concat("  do j = ", 1 + r, ", n - ", r, "\n");
+        out += concat("    do i = ", 1 + r, ", n - ", r, "\n");
+
+        std::string expr = concat(coefLit(rng), " * a(i, j, k)");
+        for (std::int64_t d = 1; d <= r; ++d) {
+            expr += concat(" + ", coefLit(rng), " * a(",
+                           offsetTerm("i", -d), ", j, k)");
+            expr += concat(" + ", coefLit(rng), " * a(",
+                           offsetTerm("i", d), ", j, k)");
+            expr += concat(" + ", coefLit(rng), " * a(i, ",
+                           offsetTerm("j", -d), ", k)");
+            expr += concat(" + ", coefLit(rng), " * a(i, ",
+                           offsetTerm("j", d), ", k)");
+            expr += concat(" + ", coefLit(rng), " * a(i, j, ",
+                           offsetTerm("k", -d), ")");
+            expr += concat(" + ", coefLit(rng), " * a(i, j, ",
+                           offsetTerm("k", d), ")");
+        }
+        out += concat("      ", inplace ? "a" : "b",
+                      "(i, j, k) = ", expr, "\n");
+        out += "    end do\n  end do\nend do\n";
+
+        scenario.source = std::move(out);
+        scenario.truth.depth = 3;
+        scenario.truth.carriedNonInput = inplace;
+        // Star offsets move along one axis at a time, so every
+        // carried dependence is forward (or '=') in the inner loops:
+        // both outer levels stay legal, in place or not.
+        scenario.truth.legalUnroll = {true, true, false};
+        scenario.truth.selfReuse = {{"a", SelfReuse::Spatial}};
+        if (!inplace)
+            scenario.truth.selfReuse.push_back(
+                {"b", SelfReuse::Spatial});
+        return scenario;
+    }
+};
+
+} // namespace
+
+void
+appendStencilFamilies(std::vector<const IScenarioGenerator *> &out)
+{
+    static const Stencil1dGenerator stencil1d;
+    static const Stencil2dGenerator stencil2d;
+    static const Stencil3dGenerator stencil3d;
+    out.push_back(&stencil1d);
+    out.push_back(&stencil2d);
+    out.push_back(&stencil3d);
+}
+
+} // namespace scenarios_detail
+
+} // namespace ujam

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Strided and skewed access scenario family.
+ *
+ * A 2D sweep reading a 1D table at `stride*i + skew*j + d`: the
+ * subscript matrix H = [skew stride] degenerates self-temporal reuse
+ * to ker H, so the table is invariant across the inner loop exactly
+ * when stride == 0 (temporal reuse) and otherwise only line-sharing
+ * (spatial class under the subspace model, which is blind to stride
+ * magnitude -- the dataflow congruence rule UJ019 covers that side).
+ * Multiple offset terms share one uniformly generated set, producing
+ * pure input-dependence graphs: the paper's headline storage case.
+ */
+
+#include "scenarios/families.hh"
+
+#include "support/diagnostics.hh"
+
+namespace ujam
+{
+
+namespace scenarios_detail
+{
+
+namespace
+{
+
+class StridedGenerator final : public IScenarioGenerator
+{
+  public:
+    const char *family() const override { return "strided"; }
+
+    const char *
+    summary() const override
+    {
+        return "b(i,j) = sum of table reads at stride*i + skew*j + d";
+    }
+
+    const std::vector<ScenarioParam> &
+    params() const override
+    {
+        static const std::vector<ScenarioParam> schema = {
+            {"n", 64, 4, 2048, "inner trip count"},
+            {"m", 32, 2, 2048, "outer trip count"},
+            {"stride", 2, 0, 8, "inner-loop coefficient of the table"},
+            {"skew", 0, 0, 8, "outer-loop coefficient of the table"},
+            {"terms", 2, 1, 4, "adjacent table reads per iteration"},
+        };
+        return schema;
+    }
+
+    GeneratedScenario
+    generate(const ScenarioSpec &spec) const override
+    {
+        std::int64_t stride = spec.at("stride");
+        std::int64_t skew = spec.at("skew");
+        std::int64_t terms = spec.at("terms");
+        Rng rng(Rng::deriveStream(spec.seed, 31));
+
+        GeneratedScenario scenario;
+        std::string out = concat("! scenario: ", spec.toString(), "\n",
+                                 "param n = ", spec.at("n"), "\n",
+                                 "param m = ", spec.at("m"), "\n");
+        // Table extent covers stride*n + skew*m + terms, plus slack
+        // for unroll-and-jammed replicas (the optimizer caps unroll
+        // at 8 per loop; the reach validator checks every replica
+        // against extent + halo).
+        std::vector<std::string> extent_terms = {
+            scaledTerm(stride, "n"), scaledTerm(skew, "m")};
+        std::int64_t slack = 8 * (stride + skew);
+        out += concat("real tab(",
+                      affineSum(extent_terms, terms + 1 + slack),
+                      ")\n");
+        out += "real b(n, m)\n";
+        out += "! nest: strided\n";
+        out += "do j = 1, m\n";
+        out += "  do i = 1, n\n";
+
+        std::string expr;
+        for (std::int64_t d = 0; d < terms; ++d) {
+            if (!expr.empty())
+                expr += " + ";
+            std::vector<std::string> sub = {scaledTerm(stride, "i"),
+                                            scaledTerm(skew, "j")};
+            expr += concat(coefLit(rng), " * tab(",
+                           affineSum(sub, d + 1), ")");
+        }
+        out += concat("    b(i, j) = ", expr, "\n");
+        out += "  end do\nend do\n";
+
+        scenario.source = std::move(out);
+        scenario.truth.depth = 2;
+        scenario.truth.carriedNonInput = false;
+        scenario.truth.legalUnroll = {true, false};
+        scenario.truth.selfReuse = {
+            {"b", SelfReuse::Spatial},
+            {"tab", stride == 0 ? SelfReuse::Temporal
+                                : SelfReuse::Spatial}};
+        return scenario;
+    }
+};
+
+} // namespace
+
+void
+appendStridedFamilies(std::vector<const IScenarioGenerator *> &out)
+{
+    static const StridedGenerator strided;
+    out.push_back(&strided);
+}
+
+} // namespace scenarios_detail
+
+} // namespace ujam

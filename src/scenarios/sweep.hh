@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The scenario sweep runner behind ujam-sweep and bench_sweep.
+ *
+ * A sweep manifest names families with parameter grids, machine
+ * presets, pipeline configurations and seeds; the runner expands the
+ * cross product into scenario jobs, fans them out through the
+ * existing parallel pipeline, and records per scenario what every
+ * layer said: validator verdict, ground-truth conformance, analyzer
+ * finding counts, safety-net rollbacks, the model's unroll pick next
+ * to the autotuner's measured-best pick (MeasureMode::Model, so the
+ * whole sweep is deterministic), and the ujam-tune-features-v1
+ * training row.
+ *
+ * Determinism contract: runSweep() fills index-addressed row slots
+ * (one per expanded job, expansion order fixed by the manifest) with
+ * every per-scenario pipeline pinned to one thread, and the rendered
+ * "ujam-sweep-v1" document contains no wall-clock measurement, so
+ * the same manifest produces bit-identical bytes at any thread
+ * count.
+ */
+
+#ifndef UJAM_SCENARIOS_SWEEP_HH
+#define UJAM_SCENARIOS_SWEEP_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenarios/scenario.hh"
+
+namespace ujam
+{
+
+/** One named pipeline configuration a sweep runs scenarios under. */
+struct SweepPipeline
+{
+    std::string name = "default";
+    std::string lint = "warn"; //!< "off", "warn" or "strict"
+    bool distribute = false;
+    bool interchange = false;
+    bool scalarReplace = true;
+    bool prefetch = false;
+};
+
+/** One family with an explicit parameter grid (schema order kept). */
+struct SweepFamily
+{
+    std::string family;
+    /** Parameter name -> values to sweep; unlisted parameters stay at
+     * their schema defaults. Expansion varies the last entry
+     * fastest. */
+    std::vector<std::pair<std::string, std::vector<std::int64_t>>> grid;
+};
+
+/** A parsed sweep manifest ("ujam-sweep-manifest-v1"). */
+struct SweepManifest
+{
+    std::vector<SweepFamily> families;
+    std::vector<std::string> machines = {"alpha"};
+    std::vector<SweepPipeline> pipelines = {SweepPipeline{}};
+    std::vector<std::uint64_t> seeds = {0};
+    bool oracle = true; //!< differentially verify every stage
+
+    /** @return families x grid x seeds x machines x pipelines. */
+    std::size_t jobCount() const;
+};
+
+/**
+ * Parse a manifest document.
+ *
+ * Grammar (strict JSON): an object with optional "schema"
+ * ("ujam-sweep-manifest-v1"), required non-empty "families" (array of
+ * {"family": name, "grid": {param: [ints...]}}), and optional
+ * "machines" (preset names), "pipelines" (array of {"name", "lint",
+ * "distribute", "interchange", "scalar_replace", "prefetch"}),
+ * "seeds" (array of non-negative ints) and "oracle" (bool). Grid
+ * parameters are validated against the family schema up front so a
+ * bad manifest fails before any work runs.
+ *
+ * @param text  The manifest bytes.
+ * @param error Receives a one-line message on failure.
+ * @return The manifest, or std::nullopt.
+ */
+std::optional<SweepManifest> parseSweepManifest(const std::string &text,
+                                                std::string *error);
+
+/**
+ * @return The built-in manifest bench_sweep and `ujam-sweep
+ * --default` run: every registered family with a small grid, two
+ * seeds, two machines, one pipeline -- a bit over a hundred
+ * scenarios sized to finish quickly under the oracle.
+ */
+SweepManifest defaultSweepManifest();
+
+/** @return The default manifest rendered as manifest JSON. */
+std::string renderDefaultSweepManifest();
+
+/** Everything the sweep learned about one scenario job. */
+struct SweepRow
+{
+    std::string scenario; //!< canonical family:params:seed name
+    std::string family;
+    std::string machine;  //!< preset name
+    std::string pipeline; //!< SweepPipeline::name
+    std::uint64_t seed = 0;
+    std::size_t depth = 0;
+
+    bool validatorOk = false; //!< structural validation of the source
+    bool truthOk = false;     //!< verifyScenarioTruth verdict
+    std::string truthWhy;     //!< mismatch reason when !truthOk
+
+    std::size_t lintErrors = 0;
+    std::size_t lintWarnings = 0;
+    std::size_t lintNotes = 0;
+    std::size_t rollbacks = 0; //!< safety-net contained faults
+    /** One "stage:kind: message" line per contained fault. */
+    std::vector<std::string> rollbackDetail;
+
+    std::string modelPick; //!< pipeline decision's unroll vector
+    std::string tunerPick; //!< autotuner measured-best vector
+    bool agree = false;    //!< modelPick == tunerPick
+    double baselineCycles = 0; //!< simulator cycles, zero vector
+    double modelCycles = 0;    //!< simulator cycles, model pick
+    double bestCycles = 0;     //!< simulator cycles, tuner pick
+
+    std::string featureRow; //!< one ujam-tune-features-v1 NDJSON line
+};
+
+/** A finished sweep: one row per expanded job, expansion order. */
+struct SweepResult
+{
+    bool oracle = false;        //!< manifest had the oracle on
+    std::vector<SweepRow> rows;
+};
+
+/**
+ * Run every job of a manifest.
+ *
+ * @param manifest The expanded work list.
+ * @param threads  Sweep-level fan-out: 0 = one per core, 1 = serial.
+ *                 Rows are written to index-addressed slots and each
+ *                 job runs its pipeline single-threaded, so the
+ *                 result is identical for every thread count.
+ * @return One row per job, in expansion order.
+ */
+SweepResult runSweep(const SweepManifest &manifest,
+                     std::size_t threads = 0);
+
+/**
+ * Render a sweep as one "ujam-sweep-v1" JSON document: a census
+ * (job totals, validator/truth pass counts, rollback and lint
+ * totals, model-vs-tuner agreement overall and per family) followed
+ * by every scenario row. Deterministic: contains no timing fields.
+ *
+ * @param result A finished sweep.
+ * @param indent Spaces per nesting level; 0 = compact one-line.
+ */
+std::string sweepResultJson(const SweepResult &result, int indent = 0);
+
+/** @return All rows' feature lines as one NDJSON blob ("" if none). */
+std::string sweepFeatureRows(const SweepResult &result);
+
+} // namespace ujam
+
+#endif // UJAM_SCENARIOS_SWEEP_HH

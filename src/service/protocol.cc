@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "scenarios/scenario.hh"
 #include "support/json.hh"
 
 namespace ujam
@@ -290,6 +291,7 @@ parseRequest(const std::string &line)
     }
 
     FieldErrors errors;
+    std::string scenario_name;
     for (const auto &[name, value] : root.members) {
         if (name == "op")
             continue;
@@ -305,6 +307,12 @@ parseRequest(const std::string &line)
                 continue;
             }
             request.source = value.stringValue;
+        } else if (name == "scenario") {
+            if (!value.isString()) {
+                errors.fail("field 'scenario' must be a string");
+                continue;
+            }
+            scenario_name = value.stringValue;
         } else if (name == "machine") {
             if (!value.isString()) {
                 errors.fail("field 'machine' must be a string");
@@ -345,12 +353,31 @@ parseRequest(const std::string &line)
     }
     request.machine = *machine;
 
+    if (!scenario_name.empty()) {
+        if (!request.source.empty()) {
+            return {std::nullopt,
+                    "fields 'source' and 'scenario' are mutually "
+                    "exclusive",
+                    RequestErrorKind::BadField};
+        }
+        std::string spec_error;
+        std::optional<ScenarioSpec> spec =
+            parseScenarioSpec(scenario_name, &spec_error);
+        if (!spec) {
+            return {std::nullopt, "bad scenario: " + spec_error,
+                    RequestErrorKind::BadField};
+        }
+        request.scenarioName = spec->toString();
+        request.source = generateScenario(*spec).source;
+    }
+
     bool needs_source = request.op == ServiceOp::Optimize ||
                         request.op == ServiceOp::Lint ||
                         request.op == ServiceOp::Codegen ||
                         request.op == ServiceOp::Tune;
     if (needs_source && request.source.empty()) {
-        return {std::nullopt, "missing field 'source'",
+        return {std::nullopt,
+                "missing field 'source' (or 'scenario')",
                 RequestErrorKind::BadField};
     }
 

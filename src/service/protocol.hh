@@ -13,6 +13,9 @@
  *          "ping" | "shutdown",
  *    "id": "any string, echoed back",          (optional)
  *    "source": "<DSL text>",              (optimize/lint/codegen)
+ *    "scenario": "family:k=v,...:seed",   (alternative to "source":
+ *                 the named generated scenario becomes the source;
+ *                 sending both is an error)
  *    "machine": "alpha|parisc|wide|wide-prefetch",  (default alpha)
  *    "options": { ... pipeline knobs ... },    (optional)
  *    "deadline_ms": N,   // budget from receipt; 0 = already expired
@@ -86,6 +89,10 @@ struct ServiceRequest
     ServiceOp op = ServiceOp::Ping;
     std::string id;               //!< echoed verbatim ("" = absent)
     std::string source;           //!< DSL text (optimize/lint)
+    /** Canonical scenario name when the source came from the
+     * "scenario" field ("" when "source" was sent directly). Kept so
+     * responses and logs can name the generated program. */
+    std::string scenarioName;
     std::string machineName = "alpha";
     MachineModel machine;         //!< resolved preset
     PipelineConfig config;        //!< resolved pipeline knobs

@@ -208,7 +208,10 @@ UjamServer::runOptimize(const ServiceRequest &request,
     Clock::time_point parse_start = Clock::now();
     Program program;
     try {
-        program = parseProgram(request.source, "<request>");
+        program = parseProgram(request.source,
+                               request.scenarioName.empty()
+                                   ? "<request>"
+                                   : "scenario:" + request.scenarioName);
         std::vector<std::string> problems = validateProgram(program);
         if (!problems.empty()) {
             metrics_.parseLatency.record(microsSince(parse_start));

@@ -201,8 +201,16 @@ tuneNest(const Program &program, const LoopNest &nest,
     PipelineResult model_run = optimizeProgram(solo, machine, base);
     if (model_run.outcomes.empty())
         return out;
-    const UnrollDecision &decision =
-        model_run.outcomes.front().decision;
+    UnrollDecision decision = model_run.outcomes.front().decision;
+    // A contained unroll-stage fault (e.g. coupled subscripts the
+    // tables cannot rank) leaves the decision's vectors empty;
+    // normalize to all-zero at nest depth so every IntVector
+    // downstream (neighborhood sort, applied-vector dedup) compares
+    // at one size.
+    if (decision.unroll.size() != nest.depth())
+        decision.unroll = IntVector(nest.depth());
+    if (decision.safetyBounds.size() != nest.depth())
+        decision.safetyBounds = IntVector(nest.depth());
     out.modelPick = decision.unroll;
     out.features = featuresOf(nest, machine, decision);
 
@@ -252,10 +260,15 @@ tuneNest(const Program &program, const LoopNest &nest,
             continue;
         const UnrollDecision &d = run.outcomes.front().decision;
         // Projection/clamping can collapse distinct requests onto one
-        // applied vector; measure each applied vector once.
-        if (!applied_seen.insert(d.unroll).second)
+        // applied vector; measure each applied vector once. A
+        // contained fault leaves d.unroll empty -- that run applied
+        // nothing, so it dedups as the zero vector.
+        IntVector applied = d.unroll.size() == nest.depth()
+                                ? d.unroll
+                                : IntVector(nest.depth());
+        if (!applied_seen.insert(applied).second)
             continue;
-        cand.unroll = d.unroll;
+        cand.unroll = applied;
         cand.predictedBalance = d.predictedBalance;
         cand.predictedScore =
             std::fabs(d.predictedBalance - machine.machineBalance());
